@@ -1,0 +1,66 @@
+// Shared helpers for the experiment benches: aligned table printing and a
+// standard header that states which paper artifact the binary regenerates.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace zab::bench {
+
+inline void banner(const char* exp_id, const char* title,
+                   const char* paper_artifact) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", exp_id, title);
+  std::printf("reproduces: %s\n", paper_artifact);
+  std::printf("==============================================================\n");
+}
+
+/// Minimal aligned-column table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      width[i] = headers_[i].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], r[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& r) {
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(width[i]), r[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+inline std::string fmt_int(std::uint64_t v) { return std::to_string(v); }
+
+inline void quiet_logs() { logging::set_level(LogLevel::kError); }
+
+}  // namespace zab::bench

@@ -1,0 +1,58 @@
+// E7 — Log-device force policy (fsync) and group commit.
+//
+// Paper artifact: §6 implementation — ZooKeeper forces every transaction to
+// a dedicated log device before a follower ACKs; batching writes (group
+// commit) amortizes the force latency under load. We sweep the sync policy
+// and the device's force latency. Expected shape: per-append forcing caps
+// throughput at ~1/sync_latency regardless of the network; group commit
+// recovers nearly the network-bound throughput because one force covers a
+// whole batch; the gap widens as the device gets slower.
+#include "bench/bench_common.h"
+#include "harness/workload.h"
+
+using namespace zab;
+using namespace zab::harness;
+using namespace zab::bench;
+
+namespace {
+
+double measure(sim::SyncPolicy policy, Duration sync_latency) {
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 7000 + static_cast<std::uint64_t>(sync_latency / kMicrosecond);
+  cfg.enable_checker = false;
+  cfg.disk.policy = policy;
+  cfg.disk.sync_latency = sync_latency;
+  cfg.node.max_outstanding = 4096;
+  SimCluster c(cfg);
+  return run_closed_loop(c, 512, 1024, millis(300), seconds(1)).throughput_ops;
+}
+
+
+}  // namespace
+
+int main() {
+  quiet_logs();
+  banner("E7", "throughput vs. log force policy",
+         "DSN'11 §6: forced writes to the log device, amortized by group "
+         "commit (3 servers, 1 KiB ops, closed loop)");
+
+  Table t({"force latency", "no-sync ops/s", "group-commit ops/s",
+           "force-each ops/s", "force-each bound (1/lat)"});
+  for (Duration lat : {micros(100), micros(200), micros(500), millis(1),
+                       millis(2), millis(5)}) {
+    const double none = measure(sim::SyncPolicy::kNoSync, lat);
+    const double group = measure(sim::SyncPolicy::kGroupCommit, lat);
+    const double each = measure(sim::SyncPolicy::kSyncEachAppend, lat);
+    t.row({format_duration(lat), fmt(none, 0), fmt(group, 0), fmt(each, 0),
+           fmt(1e9 / static_cast<double>(lat), 0)});
+  }
+  t.print();
+
+  std::printf(
+      "\nexpected shape: no-sync and group-commit stay near the network\n"
+      "bound (~52k ops/s); force-each tracks 1/latency once that drops\n"
+      "below the network bound. This is why ZooKeeper group-commits to a\n"
+      "dedicated log device (paper §6).\n");
+  return 0;
+}

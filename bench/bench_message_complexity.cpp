@@ -1,0 +1,168 @@
+// E8 — Message complexity and commit latency in message delays.
+//
+// Paper artifact: the protocol-analysis table — per committed transaction,
+// how many messages each role sends, and how many one-way message delays a
+// commit takes, for Zab and for Multi-Paxos, as the ensemble grows. Counts
+// are measured from instrumented runs (not derived on paper), using a
+// near-zero-latency network so queueing doesn't blur the delay count.
+#include "bench/bench_common.h"
+#include "harness/paxos_cluster.h"
+#include "harness/workload.h"
+
+using namespace zab;
+using namespace zab::harness;
+using namespace zab::bench;
+
+namespace {
+
+struct Complexity {
+  double leader_msgs_per_op;
+  double follower_msgs_per_op;  // per follower
+  double total_msgs_per_op;
+  double commit_delays;  // commit latency / one-way delay
+};
+
+Complexity measure_zab(std::size_t n) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.seed = 80 + n;
+  cfg.enable_checker = false;
+  cfg.net.base_latency = millis(1);
+  cfg.net.jitter_mean = 0;
+  cfg.net.egress_bytes_per_sec = 1e12;  // isolate delay counting
+  cfg.disk.policy = sim::SyncPolicy::kNoSync;
+  SimCluster c(cfg);
+  const NodeId l = c.wait_for_leader();
+
+  // Snapshot counters after establishment, then run a fixed op count.
+  const auto leader_before = c.node(l).stats().total_sent();
+  std::uint64_t followers_before = 0;
+  for (NodeId i = 1; i <= n; ++i) {
+    if (i != l) followers_before += c.node(i).stats().total_sent();
+  }
+  const auto net_before = c.network().stats().messages_sent;
+
+  constexpr std::size_t kOps = 2000;
+  const auto res = run_closed_loop(c, 16, 64, millis(200), seconds(2));
+  (void)res;
+  // Use actual committed count over the whole window for stable ratios.
+  const double ops = static_cast<double>(c.node(l).stats().txns_committed);
+  const double leader_msgs =
+      static_cast<double>(c.node(l).stats().total_sent() - leader_before);
+  std::uint64_t followers_after = 0;
+  for (NodeId i = 1; i <= n; ++i) {
+    if (i != l) followers_after += c.node(i).stats().total_sent();
+  }
+  const double follower_msgs =
+      static_cast<double>(followers_after - followers_before) /
+      static_cast<double>(n - 1);
+  const double total =
+      static_cast<double>(c.network().stats().messages_sent - net_before);
+  (void)kOps;
+
+  // Commit latency in one-way delays: measure a single isolated op.
+  Histogram lat;
+  {
+    ClusterConfig cfg2 = cfg;
+    cfg2.seed += 1;
+    SimCluster c2(cfg2);
+    const auto r2 = run_closed_loop(c2, 1, 64, millis(200), seconds(1));
+    lat.merge(r2.latency);
+  }
+  return {leader_msgs / ops, follower_msgs / ops, total / ops,
+          lat.mean() / static_cast<double>(millis(1))};
+}
+
+Complexity measure_paxos(std::size_t n) {
+  PaxosClusterConfig cfg;
+  cfg.n = n;
+  cfg.seed = 80 + n;
+  cfg.net.base_latency = millis(1);
+  cfg.net.jitter_mean = 0;
+  cfg.net.egress_bytes_per_sec = 1e12;
+  cfg.disk.policy = sim::SyncPolicy::kNoSync;
+  PaxosSimCluster c(cfg);
+  const NodeId l = c.wait_for_leader();
+  if (l == kNoNode) return {};
+
+  const auto net_before_probe = c.network().stats().messages_sent;
+  (void)net_before_probe;
+
+  struct St {
+    std::uint64_t committed = 0;
+    std::uint64_t seq = 1;
+    TimePoint submit_t = 0;
+    Histogram lat;
+  } st;
+  auto submit = [&] {
+    Bytes op(64);
+    std::memcpy(op.data(), &st.seq, 8);
+    ++st.seq;
+    st.submit_t = c.sim().now();
+    (void)c.node(l).submit(std::move(op));
+  };
+  c.set_deliver_hook([&](NodeId node, paxos::Slot, const Bytes& v) {
+    if (node != l || v.empty()) return;
+    ++st.committed;
+    st.lat.record(static_cast<std::uint64_t>(c.sim().now() - st.submit_t));
+    submit();  // window of 1: clean delay measurement
+  });
+
+  const auto leader_before = c.node(l).stats().messages_sent;
+  std::uint64_t followers_before = 0;
+  for (NodeId i = 1; i <= n; ++i) {
+    if (i != l) followers_before += c.node(i).stats().messages_sent;
+  }
+  const auto net_before = c.network().stats().messages_sent;
+  const auto committed_before = st.committed;
+
+  submit();
+  c.run_for(seconds(2));
+
+  const double ops = static_cast<double>(st.committed - committed_before);
+  const double leader_msgs =
+      static_cast<double>(c.node(l).stats().messages_sent - leader_before);
+  std::uint64_t followers_after = 0;
+  for (NodeId i = 1; i <= n; ++i) {
+    if (i != l) followers_after += c.node(i).stats().messages_sent;
+  }
+  const double follower_msgs =
+      static_cast<double>(followers_after - followers_before) /
+      static_cast<double>(n - 1);
+  const double total =
+      static_cast<double>(c.network().stats().messages_sent - net_before);
+  c.set_deliver_hook(nullptr);
+  return {leader_msgs / ops, follower_msgs / ops, total / ops,
+          st.lat.mean() / static_cast<double>(millis(1))};
+}
+
+}  // namespace
+
+int main() {
+  quiet_logs();
+  banner("E8", "message complexity per committed txn (measured)",
+         "DSN'11 protocol analysis: messages per transaction and commit "
+         "latency in one-way message delays, Zab vs Multi-Paxos");
+
+  Table t({"protocol", "servers", "leader msgs/op", "follower msgs/op",
+           "total msgs/op", "commit delay (1-way hops)"});
+  for (std::size_t n : {3u, 5u, 7u}) {
+    const auto z = measure_zab(n);
+    t.row({"Zab", fmt_int(n), fmt(z.leader_msgs_per_op, 2),
+           fmt(z.follower_msgs_per_op, 2), fmt(z.total_msgs_per_op, 2),
+           fmt(z.commit_delays, 2)});
+    const auto p = measure_paxos(n);
+    t.row({"Multi-Paxos", fmt_int(n), fmt(p.leader_msgs_per_op, 2),
+           fmt(p.follower_msgs_per_op, 2), fmt(p.total_msgs_per_op, 2),
+           fmt(p.commit_delays, 2)});
+  }
+  t.print();
+
+  std::printf(
+      "\nexpected: both protocols send 2(n-1) leader messages per op\n"
+      "(propose+commit / accept+chosen) and 1 per follower (ack/accepted);\n"
+      "commit takes ~2 one-way delays at the leader (propose -> ack) plus\n"
+      "local work — identical asymptotics; Zab's commit message is\n"
+      "id-only, which matters for bytes (E5), not message counts.\n");
+  return 0;
+}

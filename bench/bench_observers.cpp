@@ -1,0 +1,70 @@
+// Ablation — observers vs. voting members.
+//
+// Extension of the paper's design space (ZooKeeper observers): a non-voting
+// replica receives the committed stream but never joins a quorum. Compare
+// ensembles with the same TOTAL replica count where the extras are voting
+// members vs. observers. Expected: identical leader egress (every replica
+// still receives every txn), but the voting variant needs a larger ACK
+// quorum, so commit latency — especially the tail under jitter — grows,
+// while the observer variant keeps the 3-member quorum latency.
+#include "bench/bench_common.h"
+#include "harness/workload.h"
+
+using namespace zab;
+using namespace zab::harness;
+using namespace zab::bench;
+
+namespace {
+
+LoadResult measure(std::size_t voting, std::size_t observers) {
+  ClusterConfig cfg;
+  cfg.n = voting;
+  cfg.n_observers = observers;
+  cfg.seed = 300 + voting * 10 + observers;
+  cfg.enable_checker = false;
+  cfg.net.jitter_mean = micros(500);  // jitter makes quorum size visible
+  cfg.disk.policy = sim::SyncPolicy::kGroupCommit;
+  cfg.node.max_outstanding = 4096;
+  SimCluster c(cfg);
+  // Below saturation (small ops, small window): latency reflects the ACK
+  // quorum's order statistics, not NIC queueing.
+  return run_closed_loop(c, 8, 256, millis(300), seconds(1));
+}
+
+}  // namespace
+
+int main() {
+  quiet_logs();
+  banner("A1", "observers vs. voting members (ablation)",
+         "extension of the DSN'11 design: scale read replicas without "
+         "growing quorums (ZooKeeper observers)");
+
+  Table t({"replicas", "composition", "ops/s", "mean latency ms", "p99 ms"});
+  for (std::size_t extra : {0u, 2u, 4u, 6u}) {
+    {
+      const auto r = measure(3 + extra, 0);
+      t.row({fmt_int(3 + extra), "all voting", fmt(r.throughput_ops, 0),
+             fmt(r.latency.mean() / 1e6, 3),
+             fmt(static_cast<double>(r.latency.quantile(0.99)) / 1e6, 3)});
+    }
+    if (extra > 0) {
+      const auto r = measure(3, extra);
+      t.row({fmt_int(3 + extra), "3 voting + " + fmt_int(extra) + " observers",
+             fmt(r.throughput_ops, 0), fmt(r.latency.mean() / 1e6, 3),
+             fmt(static_cast<double>(r.latency.quantile(0.99)) / 1e6, 3)});
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nexpected shape: throughput identical for equal total replicas\n"
+      "(every replica receives every txn either way). Mean commit latency\n"
+      "grows with the ALL-VOTING ensemble (the leader awaits the\n"
+      "ceil(n/2)-th fastest ACK, a higher order statistic) while the\n"
+      "observer composition keeps the 3-member quorum's mean flat.\n"
+      "Interestingly the big quorum's p99 is *tighter* (order-statistic\n"
+      "averaging), so observers trade mean for tail — and, decisively,\n"
+      "they add read capacity without increasing how many failures the\n"
+      "quorum must tolerate (E4/availability, not visible here).\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// E6 — Synchronization strategies: DIFF vs TRUNC vs SNAP.
+//
+// Paper artifact: §5/§6 synchronization phase — how a new or lagging
+// follower is brought up to date. The leader picks, per follower:
+//   DIFF   replay the missing suffix of committed txns;
+//   TRUNC  drop the follower's uncommitted tail from an abandoned epoch,
+//          then DIFF;
+//   SNAP   full state transfer when the suffix is no longer in the
+//          leader's log (purged after a checkpoint).
+// We measure, as a function of follower lag, which strategy fires, how many
+// bytes cross the wire, and how long until the follower reaches the
+// leader's frontier. Expected shape: DIFF cost grows linearly with lag;
+// SNAP cost is flat (state-sized), so a crossover appears where lag x
+// txn-size exceeds the snapshot size.
+#include "bench/bench_common.h"
+#include "harness/workload.h"
+
+using namespace zab;
+using namespace zab::harness;
+using namespace zab::bench;
+
+namespace {
+
+struct SyncCost {
+  const char* strategy;
+  double bytes;
+  double millis_to_catch_up;
+  std::uint64_t trunc_msgs;
+  std::uint64_t snap_msgs;
+};
+
+SyncCost measure_lag(std::size_t lag_ops, bool with_snapshots,
+                     bool diverged_tail) {
+  ClusterConfig cfg;
+  // The diverged-tail scenario needs leader+follower to be a *minority*
+  // (their proposals must not commit), hence 5 nodes there.
+  cfg.n = diverged_tail ? 5 : 3;
+  cfg.seed = 9000 + lag_ops + (diverged_tail ? 1 : 0);
+  cfg.enable_checker = true;
+  if (with_snapshots) {
+    cfg.node.snapshot_every = 500;
+    cfg.node.log_retain = 1000;  // lag > ~1000 ops forces SNAP
+  }
+  SimCluster c(cfg);
+  const NodeId l = c.wait_for_leader();
+  if (l == kNoNode) return {"none", 0, 0, 0, 0};
+  const NodeId f = (l == 1) ? 2 : 1;
+
+  // Baseline history, everyone in sync.
+  (void)c.replicate_ops(100, 256);
+
+  if (diverged_tail) {
+    // Give the follower an uncommitted tail: isolate {leader, f} as a
+    // minority, push proposals (f logs them, nothing commits), then crash
+    // both. The majority elects a new epoch that abandons that tail; when
+    // f reconnects, the new leader must TRUNC it before the DIFF.
+    std::set<NodeId> minority{l, f};
+    std::set<NodeId> majority;
+    for (NodeId n = 1; n <= 5; ++n) {
+      if (minority.count(n) == 0) majority.insert(n);
+    }
+    c.network().set_partition({minority, majority});
+    for (int i = 0; i < 20; ++i) {
+      (void)c.submit(make_op(777000 + static_cast<std::uint64_t>(i), 256));
+    }
+    c.run_for(millis(30));  // f logs them; no quorum -> no commit
+    c.crash(f);             // f keeps the uncommitted tail on "disk"
+    c.crash(l);             // the old leader stays down: if it rejoined, it
+                            // would win the election (longest history) and
+                            // the tail would legitimately commit instead of
+                            // being abandoned.
+    c.network().heal();
+    (void)c.wait_for_leader(seconds(10));
+  } else {
+    c.crash(f);
+  }
+
+  // Build up the lag while f is down.
+  if (lag_ops > 0) (void)c.replicate_ops(lag_ops, 256);
+
+  const NodeId leader_now = c.leader_id();
+  const Zxid target = c.node(leader_now).last_committed();
+  const auto net_before = c.network().stats();
+  const TimePoint t0 = c.sim().now();
+
+  c.restart(f);
+  (void)c.wait_delivered_on({f}, target, seconds(60));
+  const double ms = to_millis(c.sim().now() - t0);
+  const double bytes =
+      static_cast<double>(c.network().stats().bytes_sent - net_before.bytes_sent);
+
+  const auto& st = c.node(f).stats();
+  const std::uint64_t truncs = st.received[static_cast<int>(MsgType::kTrunc)];
+  const std::uint64_t snaps = st.received[static_cast<int>(MsgType::kSnap)];
+  const char* strategy = snaps > 0 ? "SNAP" : (truncs > 0 ? "TRUNC+DIFF" : "DIFF");
+  return {strategy, bytes, ms, truncs, snaps};
+}
+
+}  // namespace
+
+int main() {
+  quiet_logs();
+  banner("E6", "synchronization strategies vs. follower lag",
+         "DSN'11 §5/§6: DIFF / TRUNC / SNAP decision and its cost when a "
+         "follower reconnects");
+
+  std::printf("\n(a) lagging follower, leader retains full log (DIFF path):\n");
+  Table ta({"lag (ops)", "strategy", "sync KB on wire", "catch-up ms"});
+  for (std::size_t lag : {0u, 50u, 200u, 800u, 3200u, 12800u}) {
+    const auto r = measure_lag(lag, /*with_snapshots=*/false, false);
+    ta.row({fmt_int(lag), r.strategy, fmt(r.bytes / 1024.0, 1),
+            fmt(r.millis_to_catch_up, 2)});
+  }
+  ta.print();
+
+  std::printf("\n(b) leader checkpoints every 500 ops, retains 1000 log "
+              "entries (SNAP beyond that):\n");
+  Table tb({"lag (ops)", "strategy", "sync KB on wire", "catch-up ms"});
+  for (std::size_t lag : {200u, 800u, 3200u, 12800u}) {
+    const auto r = measure_lag(lag, /*with_snapshots=*/true, false);
+    tb.row({fmt_int(lag), r.strategy, fmt(r.bytes / 1024.0, 1),
+            fmt(r.millis_to_catch_up, 2)});
+  }
+  tb.print();
+
+  std::printf("\n(c) follower with an uncommitted tail from a dead epoch:\n");
+  Table tc({"lag (ops)", "strategy", "TRUNC msgs", "catch-up ms"});
+  for (std::size_t lag : {50u, 800u}) {
+    const auto r = measure_lag(lag, false, /*diverged_tail=*/true);
+    tc.row({fmt_int(lag), r.strategy, fmt_int(r.trunc_msgs),
+            fmt(r.millis_to_catch_up, 2)});
+  }
+  tc.print();
+
+  std::printf(
+      "\nexpected shape: DIFF bytes/time grow linearly with lag; with\n"
+      "checkpoints the cost is flat once lag exceeds the log retention\n"
+      "(SNAP ships the state, not the history); a diverged tail adds a\n"
+      "TRUNC before the DIFF. Matches the paper's recovery design.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E1 — Broadcast throughput vs. ensemble size.
+//
+// Paper artifact: the evaluation's headline figure — saturation throughput
+// of isolated atomic broadcast as the number of servers grows (3..13),
+// 1 KiB operations, network-bound configuration (log device modeled as
+// battery-backed / no forced sync), plus the same sweep with a group-commit
+// log device. Expected shape: throughput *decreases* with ensemble size
+// because the leader serializes one copy of every proposal per follower
+// through its NIC.
+#include "bench/bench_common.h"
+#include "harness/workload.h"
+
+using namespace zab;
+using namespace zab::harness;
+using namespace zab::bench;
+
+namespace {
+
+ClusterConfig make_cfg(std::size_t n, sim::SyncPolicy policy) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.seed = 42 + n;
+  cfg.enable_checker = false;  // measurement runs; checked runs live in tests
+  cfg.disk.policy = policy;
+  cfg.disk.sync_latency = micros(200);
+  cfg.node.max_outstanding = 4096;
+  return cfg;
+}
+
+double measure(std::size_t n, sim::SyncPolicy policy, std::size_t op_size,
+               Histogram* latency_out = nullptr) {
+  SimCluster c(make_cfg(n, policy));
+  const auto res =
+      run_closed_loop(c, /*outstanding=*/512, op_size,
+                      /*warmup=*/millis(300), /*measure=*/seconds(1));
+  if (latency_out) latency_out->merge(res.latency);
+  return res.throughput_ops;
+}
+
+}  // namespace
+
+int main() {
+  quiet_logs();
+  banner("E1", "broadcast throughput vs. ensemble size",
+         "DSN'11 evaluation: throughput of isolated atomic broadcast, 1 KiB "
+         "ops, as servers go 3 -> 13 (net-bound; leader NIC is the "
+         "bottleneck)");
+
+  Table t({"servers", "net-only ops/s", "group-commit ops/s",
+           "net-only MB/s (leader)", "p99 latency ms (net-only)"});
+  for (std::size_t n : {3u, 5u, 7u, 9u, 11u, 13u}) {
+    Histogram lat;
+    const double net_only = measure(n, sim::SyncPolicy::kNoSync, 1024, &lat);
+    const double with_disk = measure(n, sim::SyncPolicy::kGroupCommit, 1024);
+    const double leader_mbps =
+        net_only * 1024.0 * static_cast<double>(n - 1) / 1e6;
+    t.row({fmt_int(n), fmt(net_only, 0), fmt(with_disk, 0), fmt(leader_mbps, 1),
+           fmt(static_cast<double>(lat.quantile(0.99)) / 1e6, 2)});
+  }
+  t.print();
+
+  std::printf(
+      "\nexpected shape: ops/s falls roughly as 1/(n-1) while the leader's\n"
+      "egress MB/s stays pinned near the NIC limit (125 MB/s); the paper\n"
+      "reports the same saturation behaviour on 1 Gbit hardware.\n");
+  return 0;
+}

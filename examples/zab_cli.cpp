@@ -1,0 +1,155 @@
+// zab_cli — command-line client for zab_server ensembles.
+//
+//   zab_cli --servers 8101,8102,8103 create <path> [data] [--seq]
+//   zab_cli --servers ...            get <path>
+//   zab_cli --servers ...            set <path> <data> [version]
+//   zab_cli --servers ...            rm <path> [version]
+//   zab_cli --servers ...            ls <path>
+//   zab_cli --servers ...            stat <path>
+//   zab_cli --servers ...            watch <path>  (block until it changes)
+//   zab_cli --servers ...            leader      (which server leads?)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "pb/remote_client.h"
+
+using namespace zab;
+using pb::RemoteClient;
+
+namespace {
+
+std::vector<RemoteClient::Endpoint> parse_servers(const std::string& csv) {
+  std::vector<RemoteClient::Endpoint> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const auto comma = csv.find(',', pos);
+    std::string tok = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    std::string host = "127.0.0.1";
+    if (const auto colon = tok.find(':'); colon != std::string::npos) {
+      host = tok.substr(0, colon);
+      tok = tok.substr(colon + 1);
+    }
+    out.push_back({host, static_cast<std::uint16_t>(
+                             std::strtoul(tok.c_str(), nullptr, 10))});
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  logging::set_level(LogLevel::kError);
+  std::vector<RemoteClient::Endpoint> servers;
+  std::vector<std::string> args;
+  bool sequential = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--servers" && i + 1 < argc) {
+      servers = parse_servers(argv[++i]);
+    } else if (a == "--seq") {
+      sequential = true;
+    } else {
+      args.push_back(a);
+    }
+  }
+  if (servers.empty() || args.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --servers p1,p2,... "
+                 "<create|get|set|rm|ls|stat|leader> [args]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  RemoteClient client(servers, seconds(10));
+  const std::string& cmd = args[0];
+
+  if (cmd == "create" && args.size() >= 2) {
+    const Bytes data = args.size() > 2 ? to_bytes(args[2]) : Bytes{};
+    auto r = client.create(args[1], data, sequential);
+    if (!r.is_ok()) return fail(r.status());
+    std::printf("created %s\n", r.value().c_str());
+    return 0;
+  }
+  if (cmd == "get" && args.size() == 2) {
+    auto r = client.get(args[1]);
+    if (!r.is_ok()) return fail(r.status());
+    std::printf("%s\n", to_string_copy(r.value()).c_str());
+    return 0;
+  }
+  if (cmd == "set" && args.size() >= 3) {
+    const std::int64_t version =
+        args.size() > 3 ? std::strtoll(args[3].c_str(), nullptr, 10) : -1;
+    const Status st = client.set(args[1], to_bytes(args[2]), version);
+    if (!st.is_ok()) return fail(st);
+    std::printf("ok\n");
+    return 0;
+  }
+  if (cmd == "rm" && args.size() >= 2) {
+    const std::int64_t version =
+        args.size() > 2 ? std::strtoll(args[2].c_str(), nullptr, 10) : -1;
+    const Status st = client.remove(args[1], version);
+    if (!st.is_ok()) return fail(st);
+    std::printf("ok\n");
+    return 0;
+  }
+  if (cmd == "ls" && args.size() == 2) {
+    auto r = client.get_children(args[1]);
+    if (!r.is_ok()) return fail(r.status());
+    for (const auto& k : r.value()) std::printf("%s\n", k.c_str());
+    return 0;
+  }
+  if (cmd == "stat" && args.size() == 2) {
+    auto r = client.stat(args[1]);
+    if (!r.is_ok()) return fail(r.status());
+    const auto& s = r.value();
+    std::printf("czxid=%s mzxid=%s version=%u cversion=%u children=%u len=%llu\n",
+                to_string(s.czxid).c_str(), to_string(s.mzxid).c_str(),
+                s.version, s.cversion, s.num_children,
+                static_cast<unsigned long long>(s.data_length));
+    return 0;
+  }
+  if (cmd == "watch" && args.size() == 2) {
+    // Register a data/exists watch and block until it fires.
+    auto ex = client.exists(args[1], /*watch=*/true);
+    if (!ex.is_ok()) return fail(ex.status());
+    std::printf("watching %s (currently %s) ...\n", args[1].c_str(),
+                ex.value() ? "exists" : "absent");
+    auto ev = client.wait_watch_event(seconds(3600));
+    if (!ev.is_ok()) return fail(ev.status());
+    const char* what = "changed";
+    switch (ev.value().event) {
+      case pb::WatchEvent::kNodeCreated: what = "created"; break;
+      case pb::WatchEvent::kNodeDeleted: what = "deleted"; break;
+      case pb::WatchEvent::kChildrenChanged: what = "children changed"; break;
+      case pb::WatchEvent::kDataChanged: what = "data changed"; break;
+    }
+    std::printf("%s %s\n", ev.value().path.c_str(), what);
+    return 0;
+  }
+  if (cmd == "leader") {
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      RemoteClient one({servers[i]}, seconds(2));
+      auto r = one.ping_is_leader();
+      std::printf("%s:%u -> %s\n", servers[i].host.c_str(), servers[i].port,
+                  !r.is_ok()        ? "unreachable"
+                  : r.value()       ? "LEADER"
+                                    : "follower");
+    }
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}

@@ -1,0 +1,179 @@
+// zab_server — one replica as a standalone process.
+//
+// Run a 3-node ensemble in three terminals:
+//   ./zab_server --id 1 --peers 7101,7102,7103 --client-port 8101 --data /tmp/zab/1
+//   ./zab_server --id 2 --peers 7101,7102,7103 --client-port 8102 --data /tmp/zab/2
+//   ./zab_server --id 3 --peers 7101,7102,7103 --client-port 8103 --data /tmp/zab/3
+// then talk to it:
+//   ./zab_cli --servers 8101,8102,8103 create /hello world
+//   ./zab_cli --servers 8101,8102,8103 get /hello
+//
+// --peers lists the ensemble's inter-server ports in node-id order (all on
+// 127.0.0.1 in this demo binary); --observers marks trailing ids as
+// non-voting. Transaction logs, snapshots, and epoch metadata live under
+// --data and survive restarts.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "net/runtime_env.h"
+#include "net/tcp_transport.h"
+#include "pb/client_service.h"
+#include "pb/replicated_tree.h"
+#include "storage/file_storage.h"
+#include "zab/zab_node.h"
+
+using namespace zab;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+std::vector<std::uint16_t> parse_ports(const std::string& csv) {
+  std::vector<std::uint16_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const auto comma = csv.find(',', pos);
+    const std::string tok = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    out.push_back(static_cast<std::uint16_t>(std::strtoul(tok.c_str(), nullptr, 10)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --id N --peers p1,p2,... [--observers K] "
+               "--client-port P --data DIR [--fsync] [-v]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  NodeId id = kNoNode;
+  std::vector<std::uint16_t> peer_ports;
+  std::size_t n_observers = 0;
+  std::uint16_t client_port = 0;
+  std::string data_dir;
+  bool fsync = false;
+  logging::set_level(LogLevel::kInfo);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--id") {
+      id = static_cast<NodeId>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--peers") {
+      peer_ports = parse_ports(next());
+    } else if (arg == "--observers") {
+      n_observers = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--client-port") {
+      client_port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--data") {
+      data_dir = next();
+    } else if (arg == "--fsync") {
+      fsync = true;
+    } else if (arg == "-v") {
+      logging::set_level(LogLevel::kDebug);
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (id == kNoNode || peer_ports.empty() || id > peer_ports.size() ||
+      data_dir.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  // --- Assemble the replica ------------------------------------------------
+  net::TcpConfig tc;
+  tc.id = id;
+  for (std::size_t i = 0; i < peer_ports.size(); ++i) {
+    tc.ports[static_cast<NodeId>(i + 1)] = peer_ports[i];
+  }
+  auto transport_res = net::TcpTransport::create(tc);
+  if (!transport_res.is_ok()) {
+    std::fprintf(stderr, "transport: %s\n",
+                 transport_res.status().to_string().c_str());
+    return 1;
+  }
+  auto transport = std::move(transport_res).take();
+
+  storage::FileStorageOptions so;
+  so.dir = data_dir;
+  so.fsync = fsync;
+  auto storage_res = storage::FileStorage::open(so);
+  if (!storage_res.is_ok()) {
+    std::fprintf(stderr, "storage: %s\n",
+                 storage_res.status().to_string().c_str());
+    return 1;
+  }
+  auto storage = std::move(storage_res).take();
+
+  net::RuntimeEnv env(id, 0x5eed + id, *transport);
+
+  ZabConfig zc;
+  zc.id = id;
+  const std::size_t voting = peer_ports.size() - n_observers;
+  for (std::size_t i = 0; i < voting; ++i) {
+    zc.peers.push_back(static_cast<NodeId>(i + 1));
+  }
+  for (std::size_t i = voting; i < peer_ports.size(); ++i) {
+    zc.observers.push_back(static_cast<NodeId>(i + 1));
+  }
+  zc.snapshot_every = 10000;
+  zc.log_retain = 20000;
+
+  std::unique_ptr<ZabNode> node;
+  std::unique_ptr<pb::ReplicatedTree> tree;
+  env.start([&] {
+    node = std::make_unique<ZabNode>(zc, env, *storage);
+    tree = std::make_unique<pb::ReplicatedTree>(*node);
+    node->add_state_handler([&](Role r, Epoch e) {
+      std::printf("[node %u] %s epoch=%u\n", id, role_name(r), e);
+    });
+    transport->set_handler([&](NodeId from, Bytes payload) {
+      env.post([&, from, payload = std::move(payload)] {
+        if (node) node->on_message(from, payload);
+      });
+    });
+    node->start();
+  });
+  env.run_sync([] {});  // barrier: node + tree constructed
+
+  pb::ClientService service(env, *tree);
+  if (Status st = service.start("127.0.0.1", client_port); !st.is_ok()) {
+    std::fprintf(stderr, "client service: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  std::printf("zab_server: node %u up — peers on ports [", id);
+  for (std::size_t i = 0; i < peer_ports.size(); ++i) {
+    std::printf("%s%u", i ? "," : "", peer_ports[i]);
+  }
+  std::printf("], clients on %u, data in %s%s\n", service.port(),
+              data_dir.c_str(), fsync ? " (fsync)" : "");
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("\nzab_server: shutting down node %u\n", id);
+  service.stop();
+  env.run_sync([&] {
+    if (node) node->shutdown();
+  });
+  transport->shutdown();
+  env.stop();
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Binary wire codec: append-only writer and bounds-checked reader.
+//
+// All protocol messages and log records are encoded little-endian with
+// fixed-width integers plus varint for lengths. The reader never throws;
+// it sets a failure flag on short/invalid input and all subsequent reads
+// return zero values, so callers check ok() once at the end (torn or
+// malicious input cannot cause UB).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace zab {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only binary encoder.
+class BufWriter {
+ public:
+  BufWriter() = default;
+  explicit BufWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// LEB128 unsigned varint (lengths, counts).
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void zxid(const Zxid& z) { u64(z.packed()); }
+
+  /// Length-prefixed byte string.
+  void bytes(std::span<const std::uint8_t> b) {
+    varint(b.size());
+    raw(b);
+  }
+  void str(std::string_view s) {
+    varint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  /// Raw append without a length prefix.
+  void raw(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const Bytes& data() const& { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+
+  /// Patch a previously written u32 at `offset` (frame lengths).
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    std::memcpy(buf_.data() + offset, &v, sizeof(v));
+  }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    // Little-endian host assumed (x86/ARM Linux); static check keeps us honest.
+    static_assert(std::endian::native == std::endian::little);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  Bytes buf_;
+};
+
+/// Bounds-checked binary decoder over a borrowed span.
+class BufReader {
+ public:
+  explicit BufReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit BufReader(const Bytes& b) : data_(b) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return remaining() == 0; }
+
+  std::uint8_t u8() {
+    if (!check(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() { return read_le<std::uint16_t>(); }
+  std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean() { return u8() != 0; }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (!check(1)) return 0;
+      const std::uint8_t b = data_[pos_++];
+      if (shift >= 64 || (shift == 63 && b > 1)) {  // overflow
+        ok_ = false;
+        return 0;
+      }
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  Zxid zxid() { return Zxid::from_packed(u64()); }
+
+  Bytes bytes() {
+    const std::uint64_t n = varint();
+    if (!check(n)) return {};
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  std::string str() {
+    const std::uint64_t n = varint();
+    if (!check(n)) return {};
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+  /// Borrow `n` raw bytes without copying.
+  std::span<const std::uint8_t> raw(std::size_t n) {
+    if (!check(n)) return {};
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  bool check(std::uint64_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  template <typename T>
+  T read_le() {
+    if (!check(sizeof(T))) return T{};
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+[[nodiscard]] inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+[[nodiscard]] inline std::string to_string_copy(std::span<const std::uint8_t> b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+}  // namespace zab

@@ -1,0 +1,61 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace zab {
+namespace {
+
+// Build 8 slicing tables for CRC32C (poly 0x82f63b78, reflected) at startup.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82f63b78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t j = 1; j < 8; ++j) {
+        c = t[0][c & 0xff] ^ (c >> 8);
+        t[j][i] = c;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc,
+                            std::span<const std::uint8_t> data) {
+  const auto& t = tables().t;
+  std::uint32_t c = ~crc;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+
+  // Process 8 bytes at a time with slicing-by-8.
+  while (n >= 8) {
+    const std::uint32_t lo = c ^ (static_cast<std::uint32_t>(p[0]) |
+                                  static_cast<std::uint32_t>(p[1]) << 8 |
+                                  static_cast<std::uint32_t>(p[2]) << 16 |
+                                  static_cast<std::uint32_t>(p[3]) << 24);
+    c = t[7][lo & 0xff] ^ t[6][(lo >> 8) & 0xff] ^ t[5][(lo >> 16) & 0xff] ^
+        t[4][(lo >> 24) & 0xff] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^
+        t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = t[0][(c ^ *p++) & 0xff] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace zab

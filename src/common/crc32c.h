@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli) used to protect transaction-log records and snapshot
+// chunks against torn writes and bit rot. Software table-driven
+// implementation (slicing-by-8), no hardware intrinsics so it runs anywhere.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace zab {
+
+/// Incremental CRC32C. `crc` is the running value (0 to start).
+[[nodiscard]] std::uint32_t crc32c_extend(std::uint32_t crc,
+                                          std::span<const std::uint8_t> data);
+
+[[nodiscard]] inline std::uint32_t crc32c(std::span<const std::uint8_t> data) {
+  return crc32c_extend(0, data);
+}
+
+/// Masked CRC (as in LevelDB) so that CRCs stored alongside CRC-covered data
+/// don't collide with the data's own CRC structure.
+[[nodiscard]] inline std::uint32_t crc32c_mask(std::uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+[[nodiscard]] inline std::uint32_t crc32c_unmask(std::uint32_t masked) {
+  const std::uint32_t rot = masked - 0xa282ead8ul;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace zab

@@ -1,0 +1,71 @@
+// Minimal leveled logger.
+//
+// Protocol code logs through ZAB_LOG(level) streams; the global level is a
+// process-wide atomic so benchmarks can silence everything. Output goes to
+// stderr with a millisecond timestamp and the logging site.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string_view>
+
+namespace zab {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+namespace logging {
+
+std::atomic<int>& global_level();
+
+inline bool enabled(LogLevel lvl) {
+  return static_cast<int>(lvl) >= global_level().load(std::memory_order_relaxed);
+}
+
+inline void set_level(LogLevel lvl) {
+  global_level().store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+void emit(LogLevel lvl, std::string_view file, int line, std::string_view msg);
+
+/// Stream collector that emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, const char* file, int line)
+      : lvl_(lvl), file_(file), line_(line) {}
+  ~LogLine() { emit(lvl_, file_, line_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace logging
+}  // namespace zab
+
+#define ZAB_LOG_AT(lvl)                                    \
+  if (!::zab::logging::enabled(lvl)) {                     \
+  } else                                                   \
+    ::zab::logging::LogLine(lvl, __FILE__, __LINE__)
+
+#define ZAB_TRACE() ZAB_LOG_AT(::zab::LogLevel::kTrace)
+#define ZAB_DEBUG() ZAB_LOG_AT(::zab::LogLevel::kDebug)
+#define ZAB_INFO() ZAB_LOG_AT(::zab::LogLevel::kInfo)
+#define ZAB_WARN() ZAB_LOG_AT(::zab::LogLevel::kWarn)
+#define ZAB_ERROR() ZAB_LOG_AT(::zab::LogLevel::kError)

@@ -1,0 +1,83 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace zab {
+
+int Histogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  // Values >= kSubBuckets land in octaves of doubling width; within an
+  // octave only the upper half of sub-bucket codes occur, so each octave
+  // contributes kSubBuckets/2 buckets.
+  const int msb = 63 - std::countl_zero(value);
+  const int octave = msb - kSubBucketBits + 1;  // >= 1
+  const auto sub = static_cast<int>(value >> octave) & (kSubBuckets - 1);
+  const int idx =
+      kSubBuckets + (octave - 1) * (kSubBuckets / 2) + (sub - kSubBuckets / 2);
+  return std::min(idx, kNumBuckets - 1);
+}
+
+std::uint64_t Histogram::bucket_midpoint(int idx) {
+  if (idx < kSubBuckets) return static_cast<std::uint64_t>(idx);
+  const int rel = idx - kSubBuckets;
+  const int octave = rel / (kSubBuckets / 2) + 1;
+  const int sub = rel % (kSubBuckets / 2) + kSubBuckets / 2;
+  const std::uint64_t lo = static_cast<std::uint64_t>(sub) << octave;
+  return lo + (1ull << (octave - 1));
+}
+
+void Histogram::record(std::uint64_t value) {
+  ++buckets_[static_cast<std::size_t>(bucket_index(value))];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen > target) {
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0u);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+std::string Histogram::summary(double scale, const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2f%s p50=%.2f%s p99=%.2f%s max=%.2f%s",
+                static_cast<unsigned long long>(count_), mean() * scale,
+                unit.c_str(), static_cast<double>(quantile(0.5)) * scale,
+                unit.c_str(), static_cast<double>(quantile(0.99)) * scale,
+                unit.c_str(), static_cast<double>(max()) * scale, unit.c_str());
+  return buf;
+}
+
+}  // namespace zab

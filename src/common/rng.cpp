@@ -1,0 +1,9 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace zab {
+
+double Rng::log_approx(double u) { return std::log(u); }
+
+}  // namespace zab

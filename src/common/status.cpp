@@ -1,0 +1,32 @@
+#include "common/status.h"
+
+namespace zab {
+
+const char* code_name(Code c) {
+  switch (c) {
+    case Code::kOk: return "OK";
+    case Code::kNotFound: return "NotFound";
+    case Code::kCorruption: return "Corruption";
+    case Code::kIoError: return "IoError";
+    case Code::kInvalidArgument: return "InvalidArgument";
+    case Code::kNotLeader: return "NotLeader";
+    case Code::kNotReady: return "NotReady";
+    case Code::kClosed: return "Closed";
+    case Code::kTimeout: return "Timeout";
+    case Code::kExists: return "Exists";
+    case Code::kBadVersion: return "BadVersion";
+    case Code::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::to_string() const {
+  std::string s = code_name(code_);
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace zab

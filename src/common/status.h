@@ -1,0 +1,130 @@
+// Lightweight Status / Result types for fallible operations.
+//
+// We avoid exceptions on hot protocol paths (Core Guidelines E.intro: use
+// exceptions for exceptional cases; storage/network errors here are expected
+// and handled locally), so fallible APIs return Status or Result<T>.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace zab {
+
+enum class Code {
+  kOk = 0,
+  kNotFound,
+  kCorruption,
+  kIoError,
+  kInvalidArgument,
+  kNotLeader,
+  kNotReady,
+  kClosed,
+  kTimeout,
+  kExists,
+  kBadVersion,
+  kInternal,
+};
+
+[[nodiscard]] const char* code_name(Code c);
+
+/// A status word with an optional human-readable message.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  [[nodiscard]] static Status ok() { return Status{}; }
+  [[nodiscard]] static Status not_found(std::string m = {}) {
+    return {Code::kNotFound, std::move(m)};
+  }
+  [[nodiscard]] static Status corruption(std::string m = {}) {
+    return {Code::kCorruption, std::move(m)};
+  }
+  [[nodiscard]] static Status io_error(std::string m = {}) {
+    return {Code::kIoError, std::move(m)};
+  }
+  [[nodiscard]] static Status invalid_argument(std::string m = {}) {
+    return {Code::kInvalidArgument, std::move(m)};
+  }
+  [[nodiscard]] static Status not_leader(std::string m = {}) {
+    return {Code::kNotLeader, std::move(m)};
+  }
+  [[nodiscard]] static Status not_ready(std::string m = {}) {
+    return {Code::kNotReady, std::move(m)};
+  }
+  [[nodiscard]] static Status closed(std::string m = {}) {
+    return {Code::kClosed, std::move(m)};
+  }
+  [[nodiscard]] static Status timeout(std::string m = {}) {
+    return {Code::kTimeout, std::move(m)};
+  }
+  [[nodiscard]] static Status exists(std::string m = {}) {
+    return {Code::kExists, std::move(m)};
+  }
+  [[nodiscard]] static Status bad_version(std::string m = {}) {
+    return {Code::kBadVersion, std::move(m)};
+  }
+  [[nodiscard]] static Status internal(std::string m = {}) {
+    return {Code::kInternal, std::move(m)};
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == Code::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  [[nodiscard]] Code code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return msg_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+/// Either a value or an error Status. Minimal std::expected stand-in.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                    // NOLINT
+  Result(Status status) : v_(std::move(status)) {              // NOLINT
+    assert(!std::get<Status>(v_).is_ok() && "Result error must not be OK");
+  }
+
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(is_ok());
+    return std::get<T>(std::move(v_));
+  }
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(v_);
+  }
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace zab
+
+/// Propagate a non-OK Status from the current function.
+#define ZAB_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::zab::Status zab_st_ = (expr);                \
+    if (!zab_st_.is_ok()) return zab_st_;          \
+  } while (0)

@@ -1,0 +1,27 @@
+#include "common/time.h"
+
+#include <ctime>
+
+namespace zab {
+
+std::string format_duration(Duration d) {
+  if (d < kMicrosecond) return std::to_string(d) + "ns";
+  if (d < kMillisecond) {
+    return std::to_string(d / kMicrosecond) + "." +
+           std::to_string((d % kMicrosecond) / 100) + "us";
+  }
+  if (d < kSecond) {
+    return std::to_string(d / kMillisecond) + "." +
+           std::to_string((d % kMillisecond) / (100 * kMicrosecond)) + "ms";
+  }
+  return std::to_string(d / kSecond) + "." +
+         std::to_string((d % kSecond) / (100 * kMillisecond)) + "s";
+}
+
+TimePoint SystemClock::now() const {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<TimePoint>(ts.tv_sec) * kSecond + ts.tv_nsec;
+}
+
+}  // namespace zab

@@ -1,0 +1,62 @@
+// Time representation shared by the simulator and the real runtime.
+//
+// All protocol and simulator code measures time as integer nanoseconds since
+// an arbitrary origin (simulation start or process start). Using a plain
+// integer rather than std::chrono keeps the discrete-event queue and wire
+// encoding trivial, while the helpers below keep call sites readable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace zab {
+
+/// Nanoseconds since origin.
+using TimePoint = std::int64_t;
+/// Nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+[[nodiscard]] constexpr Duration micros(std::int64_t n) { return n * kMicrosecond; }
+[[nodiscard]] constexpr Duration millis(std::int64_t n) { return n * kMillisecond; }
+[[nodiscard]] constexpr Duration seconds(std::int64_t n) { return n * kSecond; }
+
+[[nodiscard]] constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+[[nodiscard]] constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+[[nodiscard]] std::string format_duration(Duration d);
+
+/// Abstract clock: the simulator advances a virtual clock; the runtime reads
+/// the monotonic system clock. Protocol code only ever sees this interface.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimePoint now() const = 0;
+};
+
+/// Monotonic wall clock (CLOCK_MONOTONIC), origin = first use.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override;
+};
+
+/// Manually advanced clock for unit tests.
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override { return now_; }
+  void advance(Duration d) { now_ += d; }
+  void set(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_ = 0;
+};
+
+}  // namespace zab

@@ -1,0 +1,9 @@
+#include "common/types.h"
+
+namespace zab {
+
+std::string to_string(const Zxid& z) {
+  return "<" + std::to_string(z.epoch) + "," + std::to_string(z.counter) + ">";
+}
+
+}  // namespace zab

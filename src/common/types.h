@@ -1,0 +1,76 @@
+// Core identifier types shared by every module of the Zab reproduction.
+//
+// The paper identifies every transaction by a zxid ⟨epoch, counter⟩ (§2.2):
+// the epoch is the number of the primary instance that generated the change
+// and the counter is its position within that epoch. Zxids are totally
+// ordered lexicographically; ZooKeeper packs them into a single 64-bit
+// integer (high 32 bits epoch, low 32 bits counter), and so do we.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace zab {
+
+/// Identifier of a replica (a "process" in the paper). Valid ids are >= 1;
+/// 0 denotes "no node".
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0;
+
+/// Primary/leader epoch number ("instance" in the paper).
+using Epoch = std::uint32_t;
+inline constexpr Epoch kNoEpoch = 0;
+
+/// Transaction identifier ⟨epoch, counter⟩ with lexicographic order.
+struct Zxid {
+  Epoch epoch = 0;
+  std::uint32_t counter = 0;
+
+  constexpr Zxid() = default;
+  constexpr Zxid(Epoch e, std::uint32_t c) : epoch(e), counter(c) {}
+
+  /// Packs into ZooKeeper's on-wire form: high 32 bits epoch, low counter.
+  [[nodiscard]] constexpr std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(epoch) << 32) | counter;
+  }
+  [[nodiscard]] static constexpr Zxid from_packed(std::uint64_t v) {
+    return Zxid{static_cast<Epoch>(v >> 32),
+                static_cast<std::uint32_t>(v & 0xffffffffULL)};
+  }
+
+  /// The smallest zxid; a fresh replica's "last zxid".
+  [[nodiscard]] static constexpr Zxid zero() { return Zxid{0, 0}; }
+  /// Larger than every real zxid.
+  [[nodiscard]] static constexpr Zxid max() {
+    return Zxid{std::numeric_limits<Epoch>::max(),
+                std::numeric_limits<std::uint32_t>::max()};
+  }
+
+  /// First zxid of the next epoch (used when a new primary takes over).
+  [[nodiscard]] constexpr Zxid next_epoch_start() const {
+    return Zxid{epoch + 1, 0};
+  }
+  /// Next zxid within the same epoch.
+  [[nodiscard]] constexpr Zxid next_in_epoch() const {
+    return Zxid{epoch, counter + 1};
+  }
+
+  friend constexpr auto operator<=>(const Zxid&, const Zxid&) = default;
+};
+
+[[nodiscard]] std::string to_string(const Zxid& z);
+
+/// A monotonically increasing round number used by Fast Leader Election.
+using ElectionEpoch = std::uint64_t;
+
+}  // namespace zab
+
+template <>
+struct std::hash<zab::Zxid> {
+  std::size_t operator()(const zab::Zxid& z) const noexcept {
+    return std::hash<std::uint64_t>{}(z.packed());
+  }
+};

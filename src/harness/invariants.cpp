@@ -1,0 +1,136 @@
+#include "harness/invariants.h"
+
+#include <algorithm>
+
+#include "common/crc32c.h"
+
+namespace zab::harness {
+
+std::uint64_t InvariantChecker::fingerprint(const Bytes& b) {
+  return (static_cast<std::uint64_t>(crc32c(b)) << 32) ^ b.size();
+}
+
+void InvariantChecker::note_injected(const Bytes& payload) {
+  injected_.insert(fingerprint(payload));
+}
+
+void InvariantChecker::begin_segment(NodeId node, Zxid start) {
+  segments_[node].push_back(Segment{start, {}});
+}
+
+void InvariantChecker::on_deliver(NodeId node, const Txn& txn) {
+  auto& segs = segments_[node];
+  if (segs.empty()) segs.push_back(Segment{Zxid::zero(), {}});
+  const std::uint64_t fp = fingerprint(txn.data);
+  segs.back().seq.emplace_back(txn.zxid, fp);
+  ++deliveries_;
+  if (txn.zxid > max_delivered_) max_delivered_ = txn.zxid;
+
+  // Integrity + total order, caught eagerly for better diagnostics.
+  auto [it, inserted] = zxid_payload_.emplace(txn.zxid.packed(), fp);
+  if (!inserted && it->second != fp) {
+    early_violations_.push_back("zxid " + to_string(txn.zxid) +
+                                " delivered with two different payloads");
+  }
+  if (!injected_.empty() && injected_.count(fp) == 0) {
+    early_violations_.push_back("node " + std::to_string(node) +
+                                " delivered a payload never injected at " +
+                                to_string(txn.zxid));
+  }
+}
+
+std::vector<std::string> InvariantChecker::check() const {
+  std::vector<std::string> v = early_violations_;
+
+  // Per-segment checks.
+  for (const auto& [node, segs] : segments_) {
+    for (const auto& seg : segs) {
+      Zxid prev = seg.start;
+      // epoch -> last counter seen in this segment
+      std::map<Epoch, std::uint32_t> epoch_tail;
+      for (const auto& [z, fp] : seg.seq) {
+        if (z <= prev) {
+          v.push_back("node " + std::to_string(node) +
+                      ": non-increasing delivery " + to_string(z) + " after " +
+                      to_string(prev));
+        }
+        prev = z;
+        // Local primary order: within an epoch, counters must be contiguous.
+        auto it = epoch_tail.find(z.epoch);
+        if (it != epoch_tail.end()) {
+          if (z.counter != it->second + 1) {
+            v.push_back("node " + std::to_string(node) + ": epoch " +
+                        std::to_string(z.epoch) + " skipped from counter " +
+                        std::to_string(it->second) + " to " +
+                        std::to_string(z.counter));
+          }
+          it->second = z.counter;
+        } else {
+          // First delivery of this epoch in the segment: must either start
+          // the epoch (counter 1) or continue from the segment start point.
+          const bool continues_start =
+              z.epoch == seg.start.epoch && z.counter == seg.start.counter + 1;
+          if (z.counter != 1 && !continues_start) {
+            v.push_back("node " + std::to_string(node) + ": epoch " +
+                        std::to_string(z.epoch) + " begins at counter " +
+                        std::to_string(z.counter) + " (segment start " +
+                        to_string(seg.start) + ")");
+          }
+          epoch_tail[z.epoch] = z.counter;
+        }
+      }
+    }
+  }
+
+  // Global primary order over the union of delivered zxids: each epoch's
+  // counters contiguous from 1 (a hole would mean some process delivered a
+  // txn without the change it depends on ever being delivered anywhere).
+  std::map<Epoch, std::set<std::uint32_t>> by_epoch;
+  for (const auto& [packed, fp] : zxid_payload_) {
+    const Zxid z = Zxid::from_packed(packed);
+    by_epoch[z.epoch].insert(z.counter);
+  }
+  for (const auto& [e, counters] : by_epoch) {
+    std::uint32_t expect = 1;
+    for (std::uint32_t c : counters) {
+      if (c != expect) {
+        v.push_back("epoch " + std::to_string(e) +
+                    ": delivered counters have a hole before " +
+                    std::to_string(c));
+        break;
+      }
+      ++expect;
+    }
+  }
+  return v;
+}
+
+std::vector<std::string> InvariantChecker::check_agreement(
+    const std::vector<NodeId>& live) const {
+  std::vector<std::string> v;
+  Zxid frontier = Zxid::zero();
+  for (NodeId n : live) {
+    auto it = segments_.find(n);
+    Zxid f = Zxid::zero();
+    if (it != segments_.end() && !it->second.empty()) {
+      const Segment& seg = it->second.back();
+      f = seg.seq.empty() ? seg.start : seg.seq.back().first;
+    }
+    frontier = std::max(frontier, f);
+  }
+  for (NodeId n : live) {
+    auto it = segments_.find(n);
+    Zxid f = Zxid::zero();
+    if (it != segments_.end() && !it->second.empty()) {
+      const Segment& seg = it->second.back();
+      f = seg.seq.empty() ? seg.start : seg.seq.back().first;
+    }
+    if (f != frontier) {
+      v.push_back("agreement: node " + std::to_string(n) + " frontier " +
+                  to_string(f) + " != " + to_string(frontier));
+    }
+  }
+  return v;
+}
+
+}  // namespace zab::harness

@@ -1,0 +1,70 @@
+// Multi-Paxos ensemble on the simulator (baseline for bench_zab_vs_paxos).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "paxos/replica.h"
+#include "sim/disk.h"
+#include "sim/network.h"
+#include "sim/node_env.h"
+#include "sim/simulator.h"
+
+namespace zab::harness {
+
+struct PaxosClusterConfig {
+  std::size_t n = 3;
+  std::uint64_t seed = 42;
+  sim::NetworkConfig net;
+  sim::DiskConfig disk;
+  paxos::PaxosConfig node;
+};
+
+class PaxosSimCluster {
+ public:
+  using DeliverHook = std::function<void(NodeId, paxos::Slot, const Bytes&)>;
+
+  explicit PaxosSimCluster(PaxosClusterConfig cfg);
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] sim::Network& network() { return net_; }
+  [[nodiscard]] paxos::Replica& node(NodeId id) { return *slots_[id - 1]->node; }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  void set_deliver_hook(DeliverHook hook) { hook_ = std::move(hook); }
+
+  void crash(NodeId id);
+  void restart(NodeId id);
+
+  void run_for(Duration d) { sim_.run_for(d); }
+
+  /// Run until a leader emerges; returns it or kNoNode.
+  NodeId wait_for_leader(Duration max_wait = seconds(30));
+  [[nodiscard]] NodeId leader_id();
+
+  /// Run until every up node delivered slot >= s.
+  bool wait_delivered(paxos::Slot s, Duration max_wait = seconds(30));
+
+ private:
+  struct Slot {
+    NodeId id;
+    sim::NodeEnv env;
+    sim::DiskModel disk;
+    std::unique_ptr<paxos::Replica> node;
+    bool up = false;
+
+    Slot(sim::Simulator& s, sim::Network& n, NodeId nid,
+         const sim::DiskConfig& dc)
+        : id(nid), env(s, n, nid), disk(s, dc) {}
+  };
+
+  void boot(Slot& s);
+
+  PaxosClusterConfig cfg_;
+  sim::Simulator sim_;
+  sim::Network net_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  DeliverHook hook_;
+};
+
+}  // namespace zab::harness

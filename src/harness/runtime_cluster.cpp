@@ -1,0 +1,160 @@
+#include "harness/runtime_cluster.h"
+
+#include <chrono>
+#include <thread>
+
+namespace zab::harness {
+
+RuntimeCluster::RuntimeCluster(RuntimeClusterConfig cfg)
+    : cfg_(std::move(cfg)) {}
+
+RuntimeCluster::~RuntimeCluster() { stop(); }
+
+Status RuntimeCluster::start() {
+  if (started_) return Status::ok();
+
+  // Bind every TCP listener first (ephemeral ports supported), then share
+  // the complete port map with every transport before any node dials out.
+  std::vector<std::unique_ptr<net::TcpTransport>> tcp;
+  if (cfg_.use_tcp) {
+    std::map<NodeId, std::uint16_t> ports;
+    for (std::size_t i = 0; i < cfg_.n; ++i) {
+      const NodeId id = static_cast<NodeId>(i + 1);
+      net::TcpConfig tc;
+      tc.id = id;
+      tc.ports[id] =
+          cfg_.base_port == 0
+              ? 0
+              : static_cast<std::uint16_t>(cfg_.base_port + id);
+      auto t = net::TcpTransport::create(tc);
+      if (!t.is_ok()) return t.status();
+      tcp.push_back(std::move(t).take());
+      ports[id] = tcp.back()->listen_port();
+    }
+    for (auto& t : tcp) t->set_peer_ports(ports);
+  }
+
+  for (std::size_t i = 0; i < cfg_.n; ++i) {
+    const NodeId id = static_cast<NodeId>(i + 1);
+    auto slot = std::make_unique<Slot>();
+    slot->id = id;
+
+    if (cfg_.use_tcp) {
+      slot->transport = std::move(tcp[i]);
+    } else {
+      slot->transport = std::make_unique<net::InprocTransport>(hub_, id);
+    }
+
+    if (!cfg_.storage_dir.empty()) {
+      storage::FileStorageOptions opts;
+      opts.dir = cfg_.storage_dir + "/node" + std::to_string(id);
+      opts.fsync = cfg_.fsync;
+      auto fs = storage::FileStorage::open(opts);
+      if (!fs.is_ok()) return fs.status();
+      slot->storage = std::move(fs).take();
+    } else {
+      slot->storage = std::make_unique<storage::MemStorage>();
+    }
+
+    slot->env = std::make_unique<net::RuntimeEnv>(id, cfg_.seed + id,
+                                                  *slot->transport);
+    slots_.push_back(std::move(slot));
+  }
+
+  for (auto& s : slots_) {
+    Slot* slot = s.get();
+    slot->env->start([this, slot] {
+      ZabConfig nc = cfg_.node;
+      nc.id = slot->id;
+      nc.peers.clear();
+      for (std::size_t i = 0; i < cfg_.n; ++i) {
+        nc.peers.push_back(static_cast<NodeId>(i + 1));
+      }
+      slot->node =
+          std::make_unique<ZabNode>(nc, *slot->env, *slot->storage);
+      if (cfg_.with_trees) {
+        slot->tree = std::make_unique<pb::ReplicatedTree>(*slot->node);
+      }
+      slot->transport->set_handler(
+          [slot](NodeId from, Bytes payload) {
+            slot->env->post([slot, from, payload = std::move(payload)] {
+              if (slot->node) slot->node->on_message(from, payload);
+            });
+          });
+      slot->node->start();
+    });
+  }
+
+  if (cfg_.with_client_service) {
+    for (auto& s : slots_) {
+      // Barrier: the tree is constructed on the loop; sync before use.
+      s->env->run_sync([] {});
+      s->client = std::make_unique<pb::ClientService>(*s->env, *s->tree);
+      ZAB_RETURN_IF_ERROR(s->client->start("127.0.0.1", 0));
+    }
+  }
+  started_ = true;
+  return Status::ok();
+}
+
+void RuntimeCluster::stop() {
+  if (!started_) return;
+  for (auto& s : slots_) {
+    if (s->client) s->client->stop();
+  }
+  // Silence nodes first (on their own loops), then stop loops & transports.
+  for (auto& s : slots_) {
+    s->env->run_sync([&s] {
+      if (s->node) s->node->shutdown();
+    });
+  }
+  for (auto& s : slots_) s->transport->shutdown();
+  for (auto& s : slots_) s->env->stop();
+  for (auto& s : slots_) {
+    s->node.reset();
+    s->tree.reset();
+  }
+  slots_.clear();
+  started_ = false;
+}
+
+NodeId RuntimeCluster::wait_for_leader(Duration max_wait) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(max_wait);
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (auto& s : slots_) {
+      bool leader = false;
+      s->env->run_sync([&s, &leader] {
+        leader = s->node && s->node->is_active_leader();
+      });
+      if (leader) return s->id;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return kNoNode;
+}
+
+void RuntimeCluster::with_node(NodeId id,
+                               const std::function<void(ZabNode&)>& fn) {
+  Slot& s = *slots_.at(id - 1);
+  s.env->run_sync([&] { fn(*s.node); });
+}
+
+void RuntimeCluster::with_tree(
+    NodeId id, const std::function<void(pb::ReplicatedTree&)>& fn) {
+  Slot& s = *slots_.at(id - 1);
+  s.env->run_sync([&] { fn(*s.tree); });
+}
+
+RuntimeCluster::NodeView RuntimeCluster::view(NodeId id) {
+  NodeView v{};
+  with_node(id, [&v](ZabNode& n) {
+    v.role = n.role();
+    v.epoch = n.epoch();
+    v.last_delivered = n.last_delivered();
+    v.active_leader = n.is_active_leader();
+  });
+  return v;
+}
+
+}  // namespace zab::harness

@@ -1,0 +1,174 @@
+#include "harness/sim_cluster.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace zab::harness {
+
+Bytes make_op(std::uint64_t seq, std::size_t size) {
+  Bytes b(std::max<std::size_t>(size, 8), 0);
+  std::memcpy(b.data(), &seq, 8);
+  return b;
+}
+
+SimCluster::SimCluster(ClusterConfig cfg)
+    : cfg_(cfg), sim_(cfg.seed), net_(sim_, cfg.net) {
+  slots_.reserve(cfg_.n + cfg_.n_observers);
+  for (std::size_t i = 0; i < cfg_.n + cfg_.n_observers; ++i) {
+    const NodeId id = static_cast<NodeId>(i + 1);
+    slots_.push_back(std::make_unique<Slot>(sim_, net_, id, cfg_.disk));
+    Slot& s = *slots_.back();
+    s.storage.set_scheduler([&s](std::size_t bytes, std::function<void()> cb) {
+      s.disk.submit(bytes, std::move(cb));
+    });
+  }
+  for (auto& s : slots_) boot(*s);
+}
+
+SimCluster::~SimCluster() = default;
+
+ZabConfig SimCluster::node_config(NodeId id) const {
+  ZabConfig nc = cfg_.node;
+  nc.id = id;
+  nc.peers.clear();
+  nc.observers.clear();
+  for (std::size_t i = 0; i < cfg_.n; ++i) {
+    nc.peers.push_back(static_cast<NodeId>(i + 1));
+  }
+  for (std::size_t i = 0; i < cfg_.n_observers; ++i) {
+    nc.observers.push_back(static_cast<NodeId>(cfg_.n + i + 1));
+  }
+  return nc;
+}
+
+void SimCluster::boot(Slot& s) {
+  s.node = std::make_unique<ZabNode>(node_config(s.id), s.env, s.storage);
+  ZabNode* node = s.node.get();
+  const NodeId id = s.id;
+  node->add_deliver_handler([this, id](const Txn& t) {
+    if (cfg_.enable_checker) checker_.on_deliver(id, t);
+    for (auto& [hid, hook] : hooks_) hook(id, t);
+  });
+  node->add_snapshot_installer([this, id](Zxid z, const Bytes&) {
+    if (cfg_.enable_checker) checker_.begin_segment(id, z);
+  });
+  // Default snapshot provider: empty state (pure-broadcast benchmarks).
+  node->set_snapshot_provider([] { return Bytes{}; });
+
+  if (cfg_.boot_hook) cfg_.boot_hook(s.id, *node);
+
+  s.env.attach([node](NodeId from, Bytes payload) {
+    node->on_message(from, payload);
+  });
+  s.up = true;
+  if (cfg_.enable_checker) {
+    // Recovery resumes from the storage snapshot (or zero).
+    Zxid start = Zxid::zero();
+    if (auto snap = s.storage.snapshot()) start = snap->last_included;
+    checker_.begin_segment(s.id, start);
+  }
+  node->start();
+}
+
+std::vector<NodeId> SimCluster::up_nodes() const {
+  std::vector<NodeId> out;
+  for (const auto& s : slots_) {
+    if (s->up) out.push_back(s->id);
+  }
+  return out;
+}
+
+void SimCluster::crash(NodeId id) {
+  Slot& s = slot(id);
+  if (!s.up) return;
+  s.env.crash();          // timers dead, network detached
+  s.disk.crash();         // pending writes lost
+  s.storage.crash_volatile();
+  s.node.reset();         // volatile protocol state gone
+  s.up = false;
+}
+
+void SimCluster::restart(NodeId id) {
+  Slot& s = slot(id);
+  if (s.up) return;
+  boot(s);
+}
+
+NodeId SimCluster::leader_id() {
+  for (auto& s : slots_) {
+    if (s->up && s->node->is_active_leader()) return s->id;
+  }
+  return kNoNode;
+}
+
+NodeId SimCluster::wait_for_leader(Duration max_wait) {
+  const TimePoint deadline = sim_.now() + max_wait;
+  while (sim_.now() < deadline) {
+    if (NodeId l = leader_id(); l != kNoNode) return l;
+    sim_.run_for(millis(5));
+  }
+  return leader_id();
+}
+
+bool SimCluster::wait_delivered(Zxid z, Duration max_wait) {
+  return wait_delivered_on(up_nodes(), z, max_wait);
+}
+
+bool SimCluster::wait_delivered_on(const std::vector<NodeId>& nodes, Zxid z,
+                                   Duration max_wait) {
+  const TimePoint deadline = sim_.now() + max_wait;
+  auto all_reached = [&] {
+    for (NodeId n : nodes) {
+      Slot& s = slot(n);
+      if (s.up && s.node->last_delivered() < z) return false;
+    }
+    return true;
+  };
+  while (sim_.now() < deadline) {
+    if (all_reached()) return true;
+    sim_.run_for(millis(5));
+  }
+  return all_reached();
+}
+
+Result<Zxid> SimCluster::submit(Bytes op) {
+  const NodeId l = leader_id();
+  if (l == kNoNode) return Status::not_ready("no active leader");
+  if (cfg_.enable_checker) checker_.note_injected(op);
+  return node(l).broadcast(std::move(op));
+}
+
+Status SimCluster::replicate_ops(std::size_t count, std::size_t size,
+                                 Duration max_wait) {
+  const TimePoint deadline = sim_.now() + max_wait;
+  Zxid last;
+  std::size_t sent = 0;
+  while (sent < count) {
+    if (sim_.now() >= deadline) return Status::timeout("replicate_ops");
+    auto res = submit(make_op(op_seq_, size));
+    if (res.is_ok()) {
+      ++op_seq_;
+      ++sent;
+      last = res.value();
+    } else {
+      sim_.run_for(millis(1));  // back-pressure or election in progress
+    }
+  }
+  // Wait for convergence. An op accepted by a leader that is deposed before
+  // committing it is (correctly) dropped — Zab only promises delivery of
+  // committed txns. If the frontier stalls, push a fresh marker op through
+  // whoever leads now; its commit implies every earlier committed op is in.
+  while (sim_.now() < deadline) {
+    if (wait_delivered(last, millis(500))) return Status::ok();
+    auto marker = submit(make_op(op_seq_, size));
+    if (marker.is_ok()) {
+      ++op_seq_;
+      last = marker.value();
+    } else {
+      sim_.run_for(millis(10));
+    }
+  }
+  return Status::timeout("replicate_ops delivery");
+}
+
+}  // namespace zab::harness

@@ -1,0 +1,136 @@
+// A whole Zab ensemble on the discrete-event simulator.
+//
+// Owns the simulator, the network/disk models, and one (env, storage, node)
+// triple per replica. Supports crash, restart, partitions, and wires every
+// node's deliveries into the invariant checker. This is the driver used by
+// integration tests, property tests, and all protocol benchmarks.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "harness/invariants.h"
+#include "sim/disk.h"
+#include "sim/network.h"
+#include "sim/node_env.h"
+#include "sim/simulator.h"
+#include "storage/mem_storage.h"
+#include "zab/zab_node.h"
+
+namespace zab::harness {
+
+struct ClusterConfig {
+  std::size_t n = 3;
+  /// Additional non-voting members (ids n+1 .. n+n_observers).
+  std::size_t n_observers = 0;
+  std::uint64_t seed = 42;
+  sim::NetworkConfig net;
+  sim::DiskConfig disk;
+  /// Template for per-node protocol settings (id/peers are filled in).
+  ZabConfig node;
+  bool enable_checker = true;
+  /// Called for every node boot (initial and after restart), before
+  /// ZabNode::start(): attach application layers / extra handlers here.
+  std::function<void(NodeId, ZabNode&)> boot_hook;
+};
+
+class SimCluster {
+ public:
+  using DeliverHook = std::function<void(NodeId, const Txn&)>;
+
+  explicit SimCluster(ClusterConfig cfg);
+  ~SimCluster();
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] sim::Network& network() { return net_; }
+  [[nodiscard]] InvariantChecker& checker() { return checker_; }
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] ZabNode& node(NodeId id) { return *slot(id).node; }
+  [[nodiscard]] storage::MemStorage& storage(NodeId id) {
+    return slot(id).storage;
+  }
+  [[nodiscard]] sim::DiskModel& disk(NodeId id) { return slot(id).disk; }
+  [[nodiscard]] bool is_up(NodeId id) { return slot(id).up; }
+  [[nodiscard]] std::vector<NodeId> up_nodes() const;
+
+  /// Extra per-delivery callbacks (latency tracking, application replicas).
+  /// Removable: drivers install a hook for a measurement window and must
+  /// remove it before their captured state dies.
+  using HookId = std::uint64_t;
+  HookId add_deliver_hook(DeliverHook hook) {
+    const HookId id = next_hook_++;
+    hooks_[id] = std::move(hook);
+    return id;
+  }
+  void remove_deliver_hook(HookId id) { hooks_.erase(id); }
+
+  // --- Fault injection -------------------------------------------------------
+  void crash(NodeId id);
+  void restart(NodeId id);
+
+  // --- Driving ---------------------------------------------------------------
+  void run_for(Duration d) { sim_.run_for(d); }
+  void run_until(TimePoint t) { sim_.run_until(t); }
+
+  /// Run until some node is an active leader (returns it), or kNoNode after
+  /// `max_wait` of simulated time.
+  NodeId wait_for_leader(Duration max_wait = seconds(30));
+  /// Current active leader, or kNoNode.
+  [[nodiscard]] NodeId leader_id();
+
+  /// Run until every up node's delivery frontier reaches `z` (or timeout);
+  /// returns true on success.
+  bool wait_delivered(Zxid z, Duration max_wait = seconds(30));
+
+  /// Like wait_delivered but only for the given nodes (e.g. the majority
+  /// side of a partition).
+  bool wait_delivered_on(const std::vector<NodeId>& nodes, Zxid z,
+                         Duration max_wait = seconds(30));
+
+  /// Inject an operation at the current leader (records it with the
+  /// checker). Fails if there is no active leader or under back-pressure.
+  Result<Zxid> submit(Bytes op);
+
+  /// Convenience: submit `count` unique ops of `size` bytes at the leader,
+  /// retrying under back-pressure, and wait until all deliver everywhere.
+  Status replicate_ops(std::size_t count, std::size_t size = 16,
+                       Duration max_wait = seconds(60));
+
+ private:
+  struct Slot {
+    NodeId id;
+    sim::NodeEnv env;
+    sim::DiskModel disk;
+    storage::MemStorage storage;
+    std::unique_ptr<ZabNode> node;
+    bool up = false;
+
+    Slot(sim::Simulator& s, sim::Network& n, NodeId nid,
+         const sim::DiskConfig& dc)
+        : id(nid), env(s, n, nid), disk(s, dc) {}
+  };
+
+  [[nodiscard]] Slot& slot(NodeId id) { return *slots_.at(id - 1); }
+  void boot(Slot& s);
+  [[nodiscard]] ZabConfig node_config(NodeId id) const;
+
+  ClusterConfig cfg_;
+  sim::Simulator sim_;
+  sim::Network net_;
+  InvariantChecker checker_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::map<HookId, DeliverHook> hooks_;
+  HookId next_hook_ = 1;
+  std::uint64_t op_seq_ = 0;
+};
+
+/// Build a payload of `size` bytes whose first bytes encode `seq` (unique,
+/// checker-friendly).
+[[nodiscard]] Bytes make_op(std::uint64_t seq, std::size_t size);
+
+}  // namespace zab::harness

@@ -1,0 +1,148 @@
+#include "harness/workload.h"
+
+#include <memory>
+
+namespace zab::harness {
+
+namespace {
+
+/// Shared driver state: kept on the heap so hooks and scheduled arrival
+/// events can outlive the driver function scope safely (guarded by
+/// `stopped`).
+struct DriverState {
+  std::unordered_map<std::uint64_t, TimePoint> submit_time;  // zxid -> t
+  std::uint64_t seq = 0;
+  bool measuring = false;
+  bool stopped = false;
+  LoadResult result;
+};
+
+}  // namespace
+
+LoadResult run_closed_loop(SimCluster& c, std::size_t outstanding,
+                           std::size_t op_size, Duration warmup,
+                           Duration measure) {
+  const NodeId leader = c.wait_for_leader();
+  if (leader == kNoNode) return {};
+
+  auto st = std::make_shared<DriverState>();
+  st->seq = 0x10000000ull * (c.sim().rng().next() & 0xff);  // avoid collisions
+
+  auto submit_one = [&c, st, op_size] {
+    auto r = c.submit(make_op(st->seq++, op_size));
+    if (r.is_ok()) {
+      st->submit_time[r.value().packed()] = c.sim().now();
+    }
+  };
+
+  const auto hook = c.add_deliver_hook(
+      [&c, st, leader, submit_one](NodeId n, const Txn& t) {
+        if (st->stopped || n != leader) return;
+        auto it = st->submit_time.find(t.zxid.packed());
+        if (it == st->submit_time.end()) return;
+        if (st->measuring) {
+          st->result.latency.record(
+              static_cast<std::uint64_t>(c.sim().now() - it->second));
+          ++st->result.committed;
+        }
+        st->submit_time.erase(it);
+        submit_one();  // keep the window full
+      });
+
+  for (std::size_t i = 0; i < outstanding; ++i) submit_one();
+  c.run_for(warmup);
+
+  const auto net_before = c.network().stats();
+  st->measuring = true;
+  const TimePoint t0 = c.sim().now();
+  c.run_for(measure);
+  st->measuring = false;
+  st->stopped = true;
+  c.remove_deliver_hook(hook);
+
+  LoadResult res = std::move(st->result);
+  res.measured_seconds = to_seconds(c.sim().now() - t0);
+  res.throughput_ops =
+      static_cast<double>(res.committed) / res.measured_seconds;
+  res.messages_sent =
+      c.network().stats().messages_sent - net_before.messages_sent;
+  res.bytes_sent = c.network().stats().bytes_sent - net_before.bytes_sent;
+  return res;
+}
+
+LoadResult run_open_loop(SimCluster& c, double offered_ops_per_sec,
+                         std::size_t op_size, Duration warmup,
+                         Duration measure) {
+  const NodeId leader = c.wait_for_leader();
+  if (leader == kNoNode) return {};
+
+  auto st = std::make_shared<DriverState>();
+  st->seq = 0x20000000ull * (c.sim().rng().next() & 0xff);
+
+  const auto hook = c.add_deliver_hook([&c, st, leader](NodeId n,
+                                                        const Txn& t) {
+    if (st->stopped || n != leader) return;
+    auto it = st->submit_time.find(t.zxid.packed());
+    if (it == st->submit_time.end()) return;
+    if (st->measuring) {
+      st->result.latency.record(
+          static_cast<std::uint64_t>(c.sim().now() - it->second));
+      ++st->result.committed;
+    }
+    st->submit_time.erase(it);
+  });
+
+  // Poisson arrivals: a self-scheduling heap-allocated recursive lambda
+  // (safe to leave in flight after we stop: it checks st->stopped).
+  const double mean_gap_ns = 1e9 / offered_ops_per_sec;
+  auto arrive_fn = std::make_shared<std::function<void()>>();
+  *arrive_fn = [&c, st, op_size, mean_gap_ns, arrive_fn] {
+    if (st->stopped) return;
+    auto r = c.submit(make_op(st->seq++, op_size));
+    if (r.is_ok()) {
+      st->submit_time[r.value().packed()] = c.sim().now();
+    }
+    const auto gap = static_cast<Duration>(
+        c.sim().rng().exponential(mean_gap_ns));
+    c.sim().after(gap, [arrive_fn] { (*arrive_fn)(); });
+  };
+  (*arrive_fn)();
+
+  c.run_for(warmup);
+  st->measuring = true;
+  const TimePoint t0 = c.sim().now();
+  c.run_for(measure);
+  st->measuring = false;
+  st->stopped = true;
+  c.remove_deliver_hook(hook);
+
+  LoadResult res = std::move(st->result);
+  res.measured_seconds = to_seconds(c.sim().now() - t0);
+  res.throughput_ops =
+      static_cast<double>(res.committed) / res.measured_seconds;
+  return res;
+}
+
+Timeline::Timeline(SimCluster& c, Duration bucket) : c_(&c), bucket_(bucket) {
+  hook_ = c.add_deliver_hook([this](NodeId, const Txn& t) {
+    if (!seen_.insert(t.zxid.packed()).second) return;  // count once
+    const auto idx = static_cast<std::size_t>(c_->sim().now() / bucket_);
+    if (counts_.size() <= idx) counts_.resize(idx + 1, 0);
+    ++counts_[idx];
+  });
+}
+
+Timeline::~Timeline() { c_->remove_deliver_hook(hook_); }
+
+std::vector<double> Timeline::ops_per_second() const {
+  std::vector<double> out;
+  const auto total = static_cast<std::size_t>(c_->sim().now() / bucket_) + 1;
+  out.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::uint64_t n = i < counts_.size() ? counts_[i] : 0;
+    out.push_back(static_cast<double>(n) / to_seconds(bucket_));
+  }
+  return out;
+}
+
+}  // namespace zab::harness

@@ -1,0 +1,64 @@
+// Workload drivers and measurement for protocol benchmarks.
+//
+// Two client models, both driven inside simulated time:
+//   * closed loop — K outstanding operations; a commit immediately triggers
+//     the next submission. Measures saturation throughput (paper's
+//     throughput figures).
+//   * open loop  — Poisson arrivals at a fixed offered rate. Measures the
+//     latency/throughput curve up to saturation (paper's latency figure).
+//
+// Latency = submit time -> delivery at the leader (client-visible commit).
+// The timeline collector buckets globally-first-seen deliveries per
+// interval, for the throughput-under-failures experiment.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/metrics.h"
+#include "harness/sim_cluster.h"
+
+namespace zab::harness {
+
+struct LoadResult {
+  double measured_seconds = 0;
+  std::uint64_t committed = 0;
+  double throughput_ops = 0;  // committed ops / measured second
+  Histogram latency;          // nanoseconds, submit -> leader delivery
+  std::uint64_t messages_sent = 0;   // network-wide during measurement
+  std::uint64_t bytes_sent = 0;
+};
+
+/// Closed-loop driver against the current (stable) leader.
+LoadResult run_closed_loop(SimCluster& c, std::size_t outstanding,
+                           std::size_t op_size, Duration warmup,
+                           Duration measure);
+
+/// Open-loop Poisson driver. Returns measured throughput (may be below the
+/// offered rate when saturated) and the latency distribution.
+LoadResult run_open_loop(SimCluster& c, double offered_ops_per_sec,
+                         std::size_t op_size, Duration warmup,
+                         Duration measure);
+
+/// Throughput-over-time collector: counts each committed txn once (first
+/// delivery anywhere) into fixed-width buckets.
+class Timeline {
+ public:
+  Timeline(SimCluster& c, Duration bucket);
+  ~Timeline();
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  /// Bucketed ops/s values from t=0 to the current sim time.
+  [[nodiscard]] std::vector<double> ops_per_second() const;
+  [[nodiscard]] Duration bucket() const { return bucket_; }
+
+ private:
+  SimCluster* c_;
+  Duration bucket_;
+  SimCluster::HookId hook_ = 0;
+  std::unordered_set<std::uint64_t> seen_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace zab::harness

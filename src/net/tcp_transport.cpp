@@ -1,0 +1,359 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace zab::net {
+
+namespace {
+
+constexpr std::uint32_t kHelloMagic = 0x5a41424eu;  // "ZABN"
+constexpr std::uint32_t kMaxFrame = 64u << 20;
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::io_error("fcntl O_NONBLOCK");
+  }
+  return Status::ok();
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+void append_u32(std::deque<std::uint8_t>& q, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  q.insert(q.end(), p, p + 4);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::create(TcpConfig cfg) {
+  std::unique_ptr<TcpTransport> t(new TcpTransport(std::move(cfg)));
+  ZAB_RETURN_IF_ERROR(t->init());
+  return t;
+}
+
+Status TcpTransport::init() {
+  if (::pipe(wake_pipe_) != 0) return Status::io_error("pipe");
+  ZAB_RETURN_IF_ERROR(set_nonblocking(wake_pipe_[0]));
+  ZAB_RETURN_IF_ERROR(set_nonblocking(wake_pipe_[1]));
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::io_error("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.ports.at(cfg_.id));
+  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::invalid_argument("bad host " + cfg_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::io_error(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) return Status::io_error("listen");
+  ZAB_RETURN_IF_ERROR(set_nonblocking(listen_fd_));
+
+  // Recover the actual port (supports port 0 = ephemeral, used in tests).
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  listen_port_ = ntohs(bound.sin_port);
+
+  running_ = true;
+  io_thread_ = std::thread([this] { io_loop(); });
+  return Status::ok();
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::set_handler(Handler h) {
+  std::lock_guard<std::mutex> lk(mu_);
+  handler_ = std::move(h);
+}
+
+void TcpTransport::set_peer_ports(std::map<NodeId, std::uint16_t> ports) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ports[cfg_.id] = cfg_.ports.at(cfg_.id);  // keep our own bound port
+  cfg_.ports = std::move(ports);
+}
+
+void TcpTransport::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) {
+      if (io_thread_.joinable()) io_thread_.join();
+      return;
+    }
+    running_ = false;
+  }
+  wake();
+  if (io_thread_.joinable()) io_thread_.join();
+  for (auto& [peer, out] : outgoing_) close_fd(out.fd);
+  for (auto& in : inbound_) close_fd(in.fd);
+  inbound_.clear();
+  close_fd(listen_fd_);
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+}
+
+void TcpTransport::wake() {
+  const char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+}
+
+void TcpTransport::send(NodeId to, Bytes payload) {
+  if (payload.size() > kMaxFrame) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) return;
+    Outgoing& out = outgoing_[to];
+    if (out.outbuf.size() + payload.size() + 4 > cfg_.max_outbuf_bytes) {
+      return;  // back-pressure overflow: drop (protocol-level loss)
+    }
+    append_u32(out.outbuf, static_cast<std::uint32_t>(payload.size()));
+    out.outbuf.insert(out.outbuf.end(), payload.begin(), payload.end());
+  }
+  wake();
+}
+
+void TcpTransport::start_connect(NodeId peer, Outgoing& out,
+                                 std::int64_t now) {
+  auto pit = cfg_.ports.find(peer);
+  if (pit == cfg_.ports.end()) return;
+  out.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (out.fd < 0) return;
+  if (!set_nonblocking(out.fd).is_ok()) {
+    close_outgoing(out, now);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(out.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(pit->second);
+  ::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr);
+  const int rc =
+      ::connect(out.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0 || errno == EINPROGRESS) {
+    out.connecting = (rc != 0);
+    out.hello_sent = false;
+    // Prepend the hello frame ahead of whatever is queued.
+    std::deque<std::uint8_t> hello;
+    append_u32(hello, kHelloMagic);
+    append_u32(hello, cfg_.id);
+    out.outbuf.insert(out.outbuf.begin(), hello.begin(), hello.end());
+    out.hello_sent = true;
+  } else {
+    close_outgoing(out, now);
+  }
+}
+
+void TcpTransport::close_outgoing(Outgoing& out, std::int64_t now) {
+  close_fd(out.fd);
+  out.connecting = false;
+  out.hello_sent = false;
+  out.outbuf.clear();  // connection broke: in-flight frames are lost
+  out.next_attempt_ms = now + cfg_.reconnect_ms;
+}
+
+bool TcpTransport::flush_outgoing(Outgoing& out) {
+  while (!out.outbuf.empty()) {
+    // deque is not contiguous; copy a chunk to a stack buffer.
+    std::uint8_t chunk[16384];
+    const std::size_t n = std::min(out.outbuf.size(), sizeof(chunk));
+    std::copy_n(out.outbuf.begin(), n, chunk);
+    const ssize_t w = ::send(out.fd, chunk, n, MSG_NOSIGNAL);
+    if (w > 0) {
+      out.outbuf.erase(out.outbuf.begin(),
+                       out.outbuf.begin() + static_cast<std::ptrdiff_t>(w));
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;  // broken
+  }
+  return true;
+}
+
+void TcpTransport::handle_inbound_readable(Inbound& in) {
+  std::uint8_t buf[16384];
+  while (true) {
+    const ssize_t n = ::recv(in.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      in.inbuf.insert(in.inbuf.end(), buf, buf + n);
+      if (!parse_inbound(in)) {
+        close_fd(in.fd);
+        return;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    close_fd(in.fd);  // EOF or error
+    return;
+  }
+}
+
+bool TcpTransport::parse_inbound(Inbound& in) {
+  std::size_t pos = 0;
+  while (true) {
+    if (in.peer == kNoNode) {
+      if (in.inbuf.size() - pos < 8) break;
+      std::uint32_t magic = 0;
+      std::uint32_t from = 0;
+      std::memcpy(&magic, in.inbuf.data() + pos, 4);
+      std::memcpy(&from, in.inbuf.data() + pos + 4, 4);
+      if (magic != kHelloMagic || from == kNoNode) return false;
+      in.peer = from;
+      pos += 8;
+      continue;
+    }
+    if (in.inbuf.size() - pos < 4) break;
+    std::uint32_t len = 0;
+    std::memcpy(&len, in.inbuf.data() + pos, 4);
+    if (len > kMaxFrame) return false;
+    if (in.inbuf.size() - pos < 4 + static_cast<std::size_t>(len)) break;
+    Bytes payload(in.inbuf.begin() + static_cast<std::ptrdiff_t>(pos) + 4,
+                  in.inbuf.begin() + static_cast<std::ptrdiff_t>(pos) + 4 +
+                      static_cast<std::ptrdiff_t>(len));
+    pos += 4 + len;
+    Handler h;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      h = handler_;
+    }
+    if (h) h(in.peer, std::move(payload));
+  }
+  in.inbuf.erase(in.inbuf.begin(),
+                 in.inbuf.begin() + static_cast<std::ptrdiff_t>(pos));
+  return true;
+}
+
+void TcpTransport::io_loop() {
+  while (true) {
+    // Snapshot state under the lock; do IO without it.
+    std::vector<std::pair<NodeId, Outgoing*>> outs;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!running_) return;
+      const std::int64_t now = now_ms();
+      for (auto& [peer, out] : outgoing_) {
+        if (out.fd < 0 && !out.outbuf.empty() && now >= out.next_attempt_ms) {
+          start_connect(peer, out, now);
+        }
+        if (out.fd >= 0) outs.emplace_back(peer, &out);
+      }
+    }
+
+    std::vector<pollfd> pfds;
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    const std::size_t out_base = pfds.size();
+    for (auto& [peer, out] : outs) {
+      short ev = POLLIN;  // detect close
+      if (out->connecting || !out->outbuf.empty()) ev |= POLLOUT;
+      pfds.push_back({out->fd, ev, 0});
+    }
+    const std::size_t in_base = pfds.size();
+    std::erase_if(inbound_, [](const Inbound& in) { return in.fd < 0; });
+    for (auto& in : inbound_) pfds.push_back({in.fd, POLLIN, 0});
+    // Connections accepted below are appended to inbound_ but have no
+    // pollfd this iteration; only the first `polled_inbound` entries may be
+    // indexed against pfds.
+    const std::size_t polled_inbound = inbound_.size();
+
+    const int rc = ::poll(pfds.data(), pfds.size(), cfg_.reconnect_ms);
+    if (rc < 0 && errno != EINTR) return;
+
+    // Drain the wake pipe.
+    if (pfds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    // Accept new inbound connections.
+    if (pfds[1].revents & POLLIN) {
+      while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (set_nonblocking(fd).is_ok()) {
+          const int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          inbound_.push_back(Inbound{fd, kNoNode, {}});
+        } else {
+          ::close(fd);
+        }
+      }
+    }
+
+    // Progress outgoing connections.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      const std::int64_t now = now_ms();
+      for (std::size_t i = 0; i < outs.size(); ++i) {
+        Outgoing* out = outs[i].second;
+        if (out->fd < 0) continue;
+        const short rev = pfds[out_base + i].revents;
+        if (rev & (POLLERR | POLLHUP)) {
+          close_outgoing(*out, now);
+          continue;
+        }
+        if (out->connecting && (rev & POLLOUT)) {
+          int err = 0;
+          socklen_t elen = sizeof(err);
+          ::getsockopt(out->fd, SOL_SOCKET, SO_ERROR, &err, &elen);
+          if (err != 0) {
+            close_outgoing(*out, now);
+            continue;
+          }
+          out->connecting = false;
+        }
+        if (!out->connecting && (rev & POLLOUT || !out->outbuf.empty())) {
+          if (!flush_outgoing(*out)) close_outgoing(*out, now);
+        }
+        if (rev & POLLIN) {
+          // Outgoing connections are write-only; any readable data means
+          // EOF/garbage. Probe and close on EOF.
+          char b;
+          const ssize_t n = ::recv(out->fd, &b, 1, MSG_PEEK);
+          if (n == 0) close_outgoing(*out, now);
+        }
+      }
+    }
+
+    // Inbound reads (handler invoked without the lock held).
+    for (std::size_t i = 0; i < polled_inbound; ++i) {
+      if (pfds[in_base + i].revents & (POLLIN | POLLERR | POLLHUP)) {
+        handle_inbound_readable(inbound_[i]);
+      }
+    }
+  }
+}
+
+}  // namespace zab::net

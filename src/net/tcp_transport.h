@@ -1,0 +1,101 @@
+// TCP mesh transport: length-prefixed frames over per-pair connections.
+//
+// Mirrors ZooKeeper's transport choice (dedicated TCP channels between
+// servers, §6): reliable FIFO delivery while a connection lives, and silent
+// drops across connection breaks — exactly the failure model the protocol's
+// re-sync path expects.
+//
+// Topology: every node listens on its configured port; for sending to peer
+// P it maintains one *outgoing* connection to P (created lazily, re-dialed
+// with backoff). Inbound connections are receive-only and identified by a
+// hello frame, so no connection dedup/negotiation is needed.
+//
+// Wire format (little-endian):
+//   hello:  u32 magic 0x5a41424e ("ZABN") | u32 sender id
+//   frame:  u32 len | payload[len]            (len capped at 64 MiB)
+//
+// One IO thread per transport runs a poll() loop; send() from any thread
+// appends to the peer's output queue and wakes the loop via a pipe.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace zab::net {
+
+struct TcpConfig {
+  NodeId id = kNoNode;
+  std::string host = "127.0.0.1";
+  /// Listen/dial port per ensemble member.
+  std::map<NodeId, std::uint16_t> ports;
+  /// Re-dial a broken outgoing connection after this long (real time, ms).
+  int reconnect_ms = 200;
+  /// Per-peer output buffer cap; sends beyond it are dropped (the protocol
+  /// treats that as message loss and re-syncs).
+  std::size_t max_outbuf_bytes = 8u << 20;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds the listen socket and starts the IO thread.
+  static Result<std::unique_ptr<TcpTransport>> create(TcpConfig cfg);
+  ~TcpTransport() override;
+
+  void send(NodeId to, Bytes payload) override;
+  void set_handler(Handler h) override;
+  void shutdown() override;
+
+  [[nodiscard]] std::uint16_t listen_port() const { return listen_port_; }
+
+  /// Update the peer port map (e.g. after every member bound an ephemeral
+  /// port). Affects future dials; thread-safe.
+  void set_peer_ports(std::map<NodeId, std::uint16_t> ports);
+
+ private:
+  explicit TcpTransport(TcpConfig cfg) : cfg_(std::move(cfg)) {}
+  Status init();
+  void io_loop();
+  void wake();
+
+  struct Outgoing {
+    int fd = -1;
+    bool connecting = false;
+    bool hello_sent = false;
+    std::deque<std::uint8_t> outbuf;  // pending bytes (frames + hello)
+    std::int64_t next_attempt_ms = 0;
+  };
+  struct Inbound {
+    int fd = -1;
+    NodeId peer = kNoNode;  // learned from hello
+    std::vector<std::uint8_t> inbuf;
+  };
+
+  void start_connect(NodeId peer, Outgoing& out, std::int64_t now_ms);
+  void close_outgoing(Outgoing& out, std::int64_t now_ms);
+  bool flush_outgoing(Outgoing& out);
+  void handle_inbound_readable(Inbound& in);
+  bool parse_inbound(Inbound& in);
+
+  TcpConfig cfg_;
+  std::uint16_t listen_port_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::mutex mu_;
+  Handler handler_;
+  std::map<NodeId, Outgoing> outgoing_;
+  bool running_ = false;
+
+  std::vector<Inbound> inbound_;  // IO-thread local
+  std::thread io_thread_;
+};
+
+}  // namespace zab::net

@@ -1,0 +1,33 @@
+// Transport abstraction for the real (non-simulated) runtime.
+//
+// A Transport instance belongs to one node. Delivery is best-effort and
+// FIFO per (sender, receiver) while both ends are up — the same contract
+// the simulator provides and the protocol relies on (it models ZooKeeper's
+// TCP channels). The receive handler may be invoked from any thread; the
+// RuntimeEnv posts messages onto the node's event loop.
+#pragma once
+
+#include <functional>
+
+#include "common/buffer.h"
+#include "common/types.h"
+
+namespace zab::net {
+
+class Transport {
+ public:
+  using Handler = std::function<void(NodeId from, Bytes payload)>;
+
+  virtual ~Transport() = default;
+
+  /// Best-effort, non-blocking send to a peer.
+  virtual void send(NodeId to, Bytes payload) = 0;
+
+  /// Install the receive callback (must be set before traffic flows).
+  virtual void set_handler(Handler h) = 0;
+
+  /// Release network resources; no sends/receives after this returns.
+  virtual void shutdown() = 0;
+};
+
+}  // namespace zab::net

@@ -1,0 +1,149 @@
+#include "paxos/messages.h"
+
+namespace zab::paxos {
+
+const char* paxos_msg_type_name(PaxosMsgType t) {
+  switch (t) {
+    case PaxosMsgType::kPrepare: return "PREPARE";
+    case PaxosMsgType::kPromise: return "PROMISE";
+    case PaxosMsgType::kAccept: return "ACCEPT";
+    case PaxosMsgType::kAccepted: return "ACCEPTED";
+    case PaxosMsgType::kNack: return "NACK";
+    case PaxosMsgType::kChosen: return "CHOSEN";
+    case PaxosMsgType::kPing: return "PING";
+    case PaxosMsgType::kRequest: return "REQUEST";
+  }
+  return "?";
+}
+
+PaxosMsgType paxos_message_type(const PaxosMessage& m) {
+  switch (m.index()) {
+    case 0: return PaxosMsgType::kPrepare;
+    case 1: return PaxosMsgType::kPromise;
+    case 2: return PaxosMsgType::kAccept;
+    case 3: return PaxosMsgType::kAccepted;
+    case 4: return PaxosMsgType::kNack;
+    case 5: return PaxosMsgType::kChosen;
+    case 6: return PaxosMsgType::kPing;
+    default: return PaxosMsgType::kRequest;
+  }
+}
+
+Bytes encode_paxos_message(const PaxosMessage& m) {
+  BufWriter w(64);
+  w.u8(static_cast<std::uint8_t>(paxos_message_type(m)));
+  std::visit(
+      [&w](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, PrepareMsg>) {
+          w.u64(body.ballot);
+          w.u64(body.from_slot);
+        } else if constexpr (std::is_same_v<T, PromiseMsg>) {
+          w.u64(body.ballot);
+          w.u64(body.from_slot);
+          w.varint(body.accepted.size());
+          for (const auto& e : body.accepted) {
+            w.u64(e.slot);
+            w.u64(e.accepted_ballot);
+            w.bytes(e.value);
+          }
+        } else if constexpr (std::is_same_v<T, AcceptMsg>) {
+          w.u64(body.ballot);
+          w.u64(body.slot);
+          w.bytes(body.value);
+        } else if constexpr (std::is_same_v<T, AcceptedMsg>) {
+          w.u64(body.ballot);
+          w.u64(body.slot);
+        } else if constexpr (std::is_same_v<T, NackMsg>) {
+          w.u64(body.promised);
+        } else if constexpr (std::is_same_v<T, ChosenMsg>) {
+          w.u64(body.slot);
+          w.bytes(body.value);
+        } else if constexpr (std::is_same_v<T, PaxosPingMsg>) {
+          w.u64(body.ballot);
+          w.u64(body.last_chosen);
+        } else if constexpr (std::is_same_v<T, PaxosRequestMsg>) {
+          w.bytes(body.payload);
+        }
+      },
+      m);
+  return std::move(w).take();
+}
+
+std::optional<PaxosMessage> decode_paxos_message(
+    std::span<const std::uint8_t> wire) {
+  BufReader r(wire);
+  const auto tag = static_cast<PaxosMsgType>(r.u8());
+  PaxosMessage out;
+  switch (tag) {
+    case PaxosMsgType::kPrepare: {
+      PrepareMsg m;
+      m.ballot = r.u64();
+      m.from_slot = r.u64();
+      out = m;
+      break;
+    }
+    case PaxosMsgType::kPromise: {
+      PromiseMsg m;
+      m.ballot = r.u64();
+      m.from_slot = r.u64();
+      const auto n = r.varint();
+      for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+        PromiseEntry e;
+        e.slot = r.u64();
+        e.accepted_ballot = r.u64();
+        e.value = r.bytes();
+        m.accepted.push_back(std::move(e));
+      }
+      out = std::move(m);
+      break;
+    }
+    case PaxosMsgType::kAccept: {
+      AcceptMsg m;
+      m.ballot = r.u64();
+      m.slot = r.u64();
+      m.value = r.bytes();
+      out = std::move(m);
+      break;
+    }
+    case PaxosMsgType::kAccepted: {
+      AcceptedMsg m;
+      m.ballot = r.u64();
+      m.slot = r.u64();
+      out = m;
+      break;
+    }
+    case PaxosMsgType::kNack: {
+      NackMsg m;
+      m.promised = r.u64();
+      out = m;
+      break;
+    }
+    case PaxosMsgType::kChosen: {
+      ChosenMsg m;
+      m.slot = r.u64();
+      m.value = r.bytes();
+      out = std::move(m);
+      break;
+    }
+    case PaxosMsgType::kPing: {
+      PaxosPingMsg m;
+      m.ballot = r.u64();
+      m.last_chosen = r.u64();
+      out = m;
+      break;
+    }
+    case PaxosMsgType::kRequest: {
+      PaxosRequestMsg m;
+      m.payload = r.bytes();
+      out = std::move(m);
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return out;
+}
+
+}  // namespace zab::paxos

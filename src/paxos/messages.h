@@ -1,0 +1,117 @@
+// Multi-Paxos wire messages.
+//
+// The baseline the paper argues against (§2): a replicated log built from
+// independent Paxos instances (slots). A new leader runs Prepare over the
+// unchosen suffix, re-proposes the highest-ballot accepted value per slot,
+// and fills gap slots with whatever it has (client values or no-ops). That
+// per-slot independence is precisely what breaks primary order when a
+// primary has multiple transactions in flight.
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/types.h"
+
+namespace zab::paxos {
+
+/// Ballot number: (round << 32) | proposer id. Totally ordered; unique per
+/// proposer per round.
+using Ballot = std::uint64_t;
+inline constexpr Ballot kNoBallot = 0;
+
+[[nodiscard]] constexpr Ballot make_ballot(std::uint32_t round, NodeId id) {
+  return (static_cast<Ballot>(round) << 32) | id;
+}
+[[nodiscard]] constexpr std::uint32_t ballot_round(Ballot b) {
+  return static_cast<std::uint32_t>(b >> 32);
+}
+[[nodiscard]] constexpr NodeId ballot_node(Ballot b) {
+  return static_cast<NodeId>(b & 0xffffffffu);
+}
+
+using Slot = std::uint64_t;
+
+enum class PaxosMsgType : std::uint8_t {
+  kPrepare = 1,
+  kPromise = 2,
+  kAccept = 3,
+  kAccepted = 4,
+  kNack = 5,
+  kChosen = 6,
+  kPing = 7,
+  kRequest = 8,
+};
+
+inline constexpr int kNumPaxosMsgTypes = 9;
+[[nodiscard]] const char* paxos_msg_type_name(PaxosMsgType t);
+
+/// Phase 1a: candidate asks acceptors to promise ballot b and report every
+/// value they accepted at or above from_slot.
+struct PrepareMsg {
+  Ballot ballot = kNoBallot;
+  Slot from_slot = 0;
+};
+
+struct PromiseEntry {
+  Slot slot = 0;
+  Ballot accepted_ballot = kNoBallot;
+  Bytes value;
+};
+
+/// Phase 1b.
+struct PromiseMsg {
+  Ballot ballot = kNoBallot;
+  Slot from_slot = 0;
+  std::vector<PromiseEntry> accepted;
+};
+
+/// Phase 2a.
+struct AcceptMsg {
+  Ballot ballot = kNoBallot;
+  Slot slot = 0;
+  Bytes value;
+};
+
+/// Phase 2b.
+struct AcceptedMsg {
+  Ballot ballot = kNoBallot;
+  Slot slot = 0;
+};
+
+/// Acceptor has promised a higher ballot: proposer must back off.
+struct NackMsg {
+  Ballot promised = kNoBallot;
+};
+
+/// Learner message: slot's value is chosen. Carries the value so learners
+/// that never accepted it still learn it.
+struct ChosenMsg {
+  Slot slot = 0;
+  Bytes value;
+};
+
+/// Leader heartbeat; last_chosen lets laggards request missing slots via a
+/// fresh Prepare-free path (we simply resend Chosen for the gap).
+struct PaxosPingMsg {
+  Ballot ballot = kNoBallot;
+  Slot last_chosen = 0;
+};
+
+/// Client operation forwarded to the leader.
+struct PaxosRequestMsg {
+  Bytes payload;
+};
+
+using PaxosMessage =
+    std::variant<PrepareMsg, PromiseMsg, AcceptMsg, AcceptedMsg, NackMsg,
+                 ChosenMsg, PaxosPingMsg, PaxosRequestMsg>;
+
+[[nodiscard]] PaxosMsgType paxos_message_type(const PaxosMessage& m);
+[[nodiscard]] Bytes encode_paxos_message(const PaxosMessage& m);
+[[nodiscard]] std::optional<PaxosMessage> decode_paxos_message(
+    std::span<const std::uint8_t> wire);
+
+}  // namespace zab::paxos

@@ -1,0 +1,335 @@
+#include "paxos/replica.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace zab::paxos {
+
+Replica::Replica(PaxosConfig cfg, Env& env)
+    : cfg_(std::move(cfg)), env_(&env) {}
+
+void Replica::start() {
+  last_leader_contact_ = env_->now();
+  arm_liveness_timer();
+}
+
+void Replica::shutdown() {
+  for (TimerId* t : {&liveness_timer_, &heartbeat_timer_, &prepare_timer_}) {
+    if (*t != kNoTimer) {
+      env_->cancel_timer(*t);
+      *t = kNoTimer;
+    }
+  }
+}
+
+void Replica::send_to(NodeId to, const PaxosMessage& m) {
+  ++stats_.messages_sent;
+  env_->send(to, encode_paxos_message(m));
+}
+
+void Replica::broadcast_to_peers(const PaxosMessage& m) {
+  const Bytes wire = encode_paxos_message(m);
+  for (NodeId p : cfg_.peers) {
+    if (p == cfg_.id) continue;
+    ++stats_.messages_sent;
+    env_->send(p, wire);
+  }
+}
+
+void Replica::on_message(NodeId from, std::span<const std::uint8_t> wire) {
+  auto decoded = decode_paxos_message(wire);
+  if (!decoded) return;
+  std::visit(
+      [this, from](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, PrepareMsg>) {
+          on_prepare(from, m);
+        } else if constexpr (std::is_same_v<T, PromiseMsg>) {
+          on_promise(from, std::move(m));
+        } else if constexpr (std::is_same_v<T, AcceptMsg>) {
+          on_accept(from, std::move(m));
+        } else if constexpr (std::is_same_v<T, AcceptedMsg>) {
+          on_accepted(from, m);
+        } else if constexpr (std::is_same_v<T, NackMsg>) {
+          on_nack(from, m);
+        } else if constexpr (std::is_same_v<T, ChosenMsg>) {
+          on_chosen(from, std::move(m));
+        } else if constexpr (std::is_same_v<T, PaxosPingMsg>) {
+          on_ping(from, m);
+        } else if constexpr (std::is_same_v<T, PaxosRequestMsg>) {
+          (void)submit(std::move(m.payload));
+        }
+      },
+      std::move(*decoded));
+}
+
+// --- Liveness / election ------------------------------------------------------
+
+void Replica::arm_liveness_timer() {
+  const Duration jitter = static_cast<Duration>(
+      env_->rng().below(static_cast<std::uint64_t>(cfg_.election_backoff_max)));
+  liveness_timer_ = env_->set_timer(cfg_.heartbeat_interval + jitter, [this] {
+    if (leading_) {
+      broadcast_to_peers(PaxosPingMsg{my_ballot_, next_deliver_ - 1});
+    } else if (!preparing_ &&
+               env_->now() - last_leader_contact_ > cfg_.leader_timeout) {
+      start_election();
+    }
+    arm_liveness_timer();
+  });
+}
+
+void Replica::start_election() {
+  ++stats_.elections_started;
+  ++stats_.prepare_rounds;
+  preparing_ = true;
+  leading_ = false;
+  const std::uint32_t round =
+      std::max(ballot_round(promised_), ballot_round(my_ballot_)) + 1;
+  my_ballot_ = make_ballot(round, cfg_.id);
+  promises_.clear();
+
+  const Slot from_slot = next_deliver_;
+  ZAB_DEBUG() << "paxos " << cfg_.id << ": prepare ballot " << my_ballot_
+              << " from slot " << from_slot;
+
+  // Self-promise (we are our own acceptor).
+  promised_ = my_ballot_;
+  PromiseMsg self;
+  self.ballot = my_ballot_;
+  self.from_slot = from_slot;
+  for (const auto& [slot, bv] : accepted_) {
+    if (slot >= from_slot) {
+      self.accepted.push_back(PromiseEntry{slot, bv.first, bv.second});
+    }
+  }
+  promises_[cfg_.id] = std::move(self);
+
+  broadcast_to_peers(PrepareMsg{my_ballot_, from_slot});
+
+  if (prepare_timer_ != kNoTimer) env_->cancel_timer(prepare_timer_);
+  prepare_timer_ = env_->set_timer(cfg_.prepare_timeout, [this] {
+    prepare_timer_ = kNoTimer;
+    if (preparing_) start_election();  // new round
+  });
+
+  if (promises_.size() >= quorum()) become_leader();  // single-node ensemble
+}
+
+void Replica::on_prepare(NodeId from, const PrepareMsg& m) {
+  if (m.ballot < promised_) {
+    send_to(from, NackMsg{promised_});
+    return;
+  }
+  promised_ = m.ballot;
+  leader_hint_ = from;
+  last_leader_contact_ = env_->now();
+  if (leading_ && m.ballot > my_ballot_) leading_ = false;
+  if (preparing_ && m.ballot > my_ballot_) preparing_ = false;
+
+  PromiseMsg reply;
+  reply.ballot = m.ballot;
+  reply.from_slot = m.from_slot;
+  for (const auto& [slot, bv] : accepted_) {
+    if (slot >= m.from_slot) {
+      reply.accepted.push_back(PromiseEntry{slot, bv.first, bv.second});
+    }
+  }
+  send_to(from, std::move(reply));
+}
+
+void Replica::on_promise(NodeId from, PromiseMsg m) {
+  if (!preparing_ || m.ballot != my_ballot_) return;
+  promises_[from] = std::move(m);
+  if (promises_.size() >= quorum()) become_leader();
+}
+
+void Replica::become_leader() {
+  preparing_ = false;
+  leading_ = true;
+  leader_hint_ = cfg_.id;
+  if (prepare_timer_ != kNoTimer) {
+    env_->cancel_timer(prepare_timer_);
+    prepare_timer_ = kNoTimer;
+  }
+
+  // Adopt the highest-ballot accepted value for every slot reported by the
+  // quorum; remember the highest slot seen.
+  std::map<Slot, std::pair<Ballot, Bytes>> adopted;
+  Slot max_slot = next_deliver_ - 1;
+  Slot from_slot = next_deliver_;
+  for (auto& [nid, pm] : promises_) {
+    from_slot = pm.from_slot;  // identical across replies (our own value)
+    for (auto& e : pm.accepted) {
+      max_slot = std::max(max_slot, e.slot);
+      auto it = adopted.find(e.slot);
+      if (it == adopted.end() || e.accepted_ballot > it->second.first) {
+        adopted[e.slot] = {e.accepted_ballot, std::move(e.value)};
+      }
+    }
+  }
+
+  ZAB_DEBUG() << "paxos " << cfg_.id << ": leading with ballot " << my_ballot_
+              << ", re-proposing up to slot " << max_slot;
+
+  // Re-propose adopted values; fill the gaps. THE key difference from Zab:
+  // a gap slot k gets a *new* value (pending client op, or a no-op) even
+  // though slot k+1 may hold an old primary's value that causally depended
+  // on whatever was originally proposed at k. Per-slot Paxos cannot see the
+  // dependency; the paper's Figure 1 run falls out of exactly this code.
+  in_flight_.clear();
+  for (Slot s = from_slot; s <= max_slot; ++s) {
+    auto it = adopted.find(s);
+    Bytes value;
+    if (it != adopted.end()) {
+      value = std::move(it->second.second);
+    } else if (!pending_.empty()) {
+      value = std::move(pending_.front());
+      pending_.pop_front();
+      ++stats_.values_proposed;
+    }  // else: empty value = no-op filler
+    propose_value(s, std::move(value));
+  }
+  next_slot_ = max_slot + 1;
+  drain_pending();
+}
+
+// --- Proposer -------------------------------------------------------------------
+
+Status Replica::submit(Bytes op) {
+  if (leading_) {
+    if (in_flight_.size() >= cfg_.max_outstanding) {
+      return Status::not_ready("too many outstanding proposals");
+    }
+    ++stats_.values_proposed;
+    propose_value(next_slot_++, std::move(op));
+    return Status::ok();
+  }
+  if (leader_hint_ != kNoNode && leader_hint_ != cfg_.id) {
+    send_to(leader_hint_, PaxosRequestMsg{std::move(op)});
+    return Status::ok();
+  }
+  pending_.push_back(std::move(op));
+  return Status::ok();
+}
+
+void Replica::drain_pending() {
+  while (leading_ && !pending_.empty() &&
+         in_flight_.size() < cfg_.max_outstanding) {
+    ++stats_.values_proposed;
+    propose_value(next_slot_++, std::move(pending_.front()));
+    pending_.pop_front();
+  }
+}
+
+void Replica::propose_value(Slot slot, Bytes value) {
+  in_flight_[slot] = InFlight{value, {}, false};
+  broadcast_to_peers(AcceptMsg{my_ballot_, slot, value});
+
+  // Self-accept with durability: our vote counts once the value is logged.
+  accepted_[slot] = {my_ballot_, std::move(value)};
+  const Ballot b = my_ballot_;
+  auto self_ack = [this, slot, b] {
+    if (!leading_ || b != my_ballot_) return;
+    auto it = in_flight_.find(slot);
+    if (it == in_flight_.end() || it->second.chosen) return;
+    it->second.acks.insert(cfg_.id);
+    if (it->second.acks.size() >= quorum()) {
+      choose(slot, it->second.value);
+    }
+  };
+  if (durability_) {
+    durability_(accepted_[slot].second.size() + 16, std::move(self_ack));
+  } else {
+    self_ack();
+  }
+}
+
+void Replica::on_accepted(NodeId from, const AcceptedMsg& m) {
+  if (!leading_ || m.ballot != my_ballot_) return;
+  auto it = in_flight_.find(m.slot);
+  if (it == in_flight_.end() || it->second.chosen) return;
+  it->second.acks.insert(from);
+  if (it->second.acks.size() >= quorum()) {
+    choose(m.slot, it->second.value);
+  }
+}
+
+void Replica::on_nack(NodeId from, const NackMsg& m) {
+  (void)from;
+  if (m.promised > promised_) {
+    // Someone with a higher ballot is around; stop competing.
+    leading_ = false;
+    preparing_ = false;
+  }
+}
+
+void Replica::choose(Slot slot, Bytes value) {
+  ++stats_.slots_chosen;
+  broadcast_to_peers(ChosenMsg{slot, value});
+  in_flight_.erase(slot);
+  chosen_[slot] = std::move(value);
+  try_deliver();
+  drain_pending();
+}
+
+// --- Acceptor ----------------------------------------------------------------------
+
+void Replica::on_accept(NodeId from, AcceptMsg m) {
+  if (m.ballot < promised_) {
+    send_to(from, NackMsg{promised_});
+    return;
+  }
+  promised_ = m.ballot;
+  leader_hint_ = ballot_node(m.ballot);
+  last_leader_contact_ = env_->now();
+  if (leading_ && m.ballot > my_ballot_) leading_ = false;
+  if (preparing_ && m.ballot > my_ballot_) preparing_ = false;
+
+  const Slot slot = m.slot;
+  const Ballot b = m.ballot;
+  const std::size_t bytes = m.value.size() + 16;
+  accepted_[slot] = {b, std::move(m.value)};
+  auto reply = [this, from, b, slot] { send_to(from, AcceptedMsg{b, slot}); };
+  if (durability_) {
+    durability_(bytes, std::move(reply));
+  } else {
+    reply();
+  }
+}
+
+// --- Learner -----------------------------------------------------------------------
+
+void Replica::on_chosen(NodeId from, ChosenMsg m) {
+  (void)from;
+  last_leader_contact_ = env_->now();
+  if (m.slot >= next_deliver_) {
+    chosen_[m.slot] = std::move(m.value);
+    try_deliver();
+  }
+}
+
+void Replica::on_ping(NodeId from, const PaxosPingMsg& m) {
+  if (m.ballot >= promised_) {
+    promised_ = std::max(promised_, m.ballot);
+    leader_hint_ = from;
+    last_leader_contact_ = env_->now();
+  }
+}
+
+void Replica::try_deliver() {
+  auto it = chosen_.find(next_deliver_);
+  while (it != chosen_.end()) {
+    ++stats_.values_delivered;
+    if (it->second.empty()) ++stats_.noops_delivered;
+    if (deliver_) deliver_(next_deliver_, it->second);
+    chosen_.erase(it);
+    ++next_deliver_;
+    it = chosen_.find(next_deliver_);
+  }
+}
+
+Slot Replica::last_chosen_contiguous() const { return next_deliver_ - 1; }
+
+}  // namespace zab::paxos

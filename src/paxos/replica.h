@@ -1,0 +1,139 @@
+// Multi-Paxos replica: proposer + acceptor + learner in one process.
+//
+// Baseline for the paper's comparison. A stable leader assigns client values
+// to consecutive slots and runs phase 2 (Accept/Accepted) per slot, with
+// many slots in flight. On leader change the new leader runs phase 1
+// (Prepare/Promise) over the unchosen suffix, adopts the highest-ballot
+// accepted value for each slot it learns about, and fills the remaining gap
+// slots with pending client values (or no-ops). Values are chosen per slot
+// *independently*, and delivery waits only for a contiguous chosen prefix —
+// there is no notion of "this value depends on the previous one from the
+// same primary". That is the paper's Figure-1 behaviour, reproduced by
+// bench_zab_vs_paxos.
+//
+// Like ZabNode, a Replica is a passive single-threaded state machine over an
+// Env, so it runs under the simulator and under the threaded runtime alike.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "paxos/messages.h"
+
+namespace zab::paxos {
+
+struct PaxosConfig {
+  NodeId id = kNoNode;
+  std::vector<NodeId> peers;
+  Duration heartbeat_interval = millis(40);
+  Duration leader_timeout = millis(200);
+  /// Randomized extra delay before starting an election (avoids duels).
+  Duration election_backoff_max = millis(100);
+  Duration prepare_timeout = millis(500);
+  std::size_t max_outstanding = 2048;
+
+  [[nodiscard]] std::size_t quorum_size() const { return peers.size() / 2 + 1; }
+};
+
+struct PaxosStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t values_proposed = 0;
+  std::uint64_t slots_chosen = 0;
+  std::uint64_t values_delivered = 0;
+  std::uint64_t noops_delivered = 0;
+  std::uint64_t elections_started = 0;
+  std::uint64_t prepare_rounds = 0;
+};
+
+class Replica {
+ public:
+  /// (slot, value). No-op fillers are delivered with an empty value so the
+  /// caller can observe holes that Paxos plugged.
+  using DeliverFn = std::function<void(Slot, const Bytes&)>;
+  /// Optional durability model: acceptors persist accepted values before
+  /// replying Accepted (args: bytes, completion).
+  using DurabilityScheduler =
+      std::function<void(std::size_t, std::function<void()>)>;
+
+  Replica(PaxosConfig cfg, Env& env);
+
+  void set_deliver_handler(DeliverFn fn) { deliver_ = std::move(fn); }
+  void set_durability_scheduler(DurabilityScheduler s) { durability_ = std::move(s); }
+
+  void start();
+  void shutdown();
+
+  void on_message(NodeId from, std::span<const std::uint8_t> wire);
+
+  /// Leader: assign to the next slot. Follower: forward. Else queue locally
+  /// until a leader emerges (pending values are also used as gap fillers
+  /// after a Prepare round — the Figure-1 behaviour).
+  Status submit(Bytes op);
+
+  [[nodiscard]] bool is_leader() const { return leading_; }
+  [[nodiscard]] NodeId leader_hint() const { return leader_hint_; }
+  [[nodiscard]] Slot last_delivered() const { return next_deliver_ - 1; }
+  [[nodiscard]] Slot last_chosen_contiguous() const;
+  [[nodiscard]] const PaxosStats& stats() const { return stats_; }
+  [[nodiscard]] Ballot ballot() const { return my_ballot_; }
+
+ private:
+  struct InFlight {
+    Bytes value;
+    std::set<NodeId> acks;
+    bool chosen = false;
+  };
+
+  void send_to(NodeId to, const PaxosMessage& m);
+  void broadcast_to_peers(const PaxosMessage& m);
+  [[nodiscard]] std::size_t quorum() const { return cfg_.quorum_size(); }
+
+  void start_election();
+  void on_prepare(NodeId from, const PrepareMsg& m);
+  void on_promise(NodeId from, PromiseMsg m);
+  void become_leader();
+  void on_accept(NodeId from, AcceptMsg m);
+  void on_accepted(NodeId from, const AcceptedMsg& m);
+  void on_nack(NodeId from, const NackMsg& m);
+  void on_chosen(NodeId from, ChosenMsg m);
+  void on_ping(NodeId from, const PaxosPingMsg& m);
+  void propose_value(Slot slot, Bytes value);
+  void choose(Slot slot, Bytes value);
+  void try_deliver();
+  void arm_liveness_timer();
+  void drain_pending();
+
+  PaxosConfig cfg_;
+  Env* env_;
+  DeliverFn deliver_;
+  DurabilityScheduler durability_;
+  PaxosStats stats_;
+
+  // --- Acceptor state (conceptually stable storage) ---
+  Ballot promised_ = kNoBallot;
+  std::map<Slot, std::pair<Ballot, Bytes>> accepted_;
+
+  // --- Learner state ---
+  std::map<Slot, Bytes> chosen_;  // buffered out-of-order chosen values
+  Slot next_deliver_ = 1;
+
+  // --- Proposer state ---
+  bool leading_ = false;
+  bool preparing_ = false;
+  Ballot my_ballot_ = kNoBallot;
+  NodeId leader_hint_ = kNoNode;
+  std::map<NodeId, PromiseMsg> promises_;
+  std::map<Slot, InFlight> in_flight_;
+  Slot next_slot_ = 1;
+  std::deque<Bytes> pending_;  // client values waiting for leadership
+  TimePoint last_leader_contact_ = 0;
+  TimerId liveness_timer_ = kNoTimer;
+  TimerId heartbeat_timer_ = kNoTimer;
+  TimerId prepare_timer_ = kNoTimer;
+};
+
+}  // namespace zab::paxos

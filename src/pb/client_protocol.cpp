@@ -1,0 +1,144 @@
+#include "pb/client_protocol.h"
+
+namespace zab::pb {
+
+namespace {
+constexpr std::uint8_t kReqTag = 0x43;    // 'C'
+constexpr std::uint8_t kRespTag = 0x63;   // 'c'
+constexpr std::uint8_t kWatchTag = 0x57;  // 'W'
+
+void encode_stat(BufWriter& w, const Stat& s) {
+  w.zxid(s.czxid);
+  w.zxid(s.mzxid);
+  w.u32(s.version);
+  w.u32(s.cversion);
+  w.u32(s.num_children);
+  w.u64(s.data_length);
+  w.u64(s.ephemeral_owner);
+}
+
+Stat decode_stat(BufReader& r) {
+  Stat s;
+  s.czxid = r.zxid();
+  s.mzxid = r.zxid();
+  s.version = r.u32();
+  s.cversion = r.u32();
+  s.num_children = r.u32();
+  s.data_length = r.u64();
+  s.ephemeral_owner = r.u64();
+  return s;
+}
+
+}  // namespace
+
+Bytes encode_client_request(const ClientRequest& r) {
+  BufWriter w(64);
+  w.u8(kReqTag);
+  w.u64(r.xid);
+  w.u8(static_cast<std::uint8_t>(r.kind));
+  w.str(r.path);
+  w.varint(r.ops.size());
+  for (const Op& op : r.ops) {
+    w.u8(static_cast<std::uint8_t>(op.type));
+    w.str(op.path);
+    w.bytes(op.data);
+    w.i64(op.expected_version);
+    w.boolean(op.sequential);
+    w.boolean(op.ephemeral);
+  }
+  w.boolean(r.watch);
+  return std::move(w).take();
+}
+
+Result<ClientRequest> decode_client_request(
+    std::span<const std::uint8_t> wire) {
+  BufReader r(wire);
+  if (r.u8() != kReqTag) return Status::corruption("not a ClientRequest");
+  ClientRequest out;
+  out.xid = r.u64();
+  const auto kind = r.u8();
+  if (kind < 1 || kind > 6) return Status::corruption("bad request kind");
+  out.kind = static_cast<ClientOpKind>(kind);
+  out.path = r.str();
+  const auto n = r.varint();
+  if (n > 1024) return Status::corruption("too many ops");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Op op;
+    const auto type = r.u8();
+    if (type < 1 || type > 3) return Status::corruption("bad op type");
+    op.type = static_cast<OpType>(type);
+    op.path = r.str();
+    op.data = r.bytes();
+    op.expected_version = r.i64();
+    op.sequential = r.boolean();
+    op.ephemeral = r.boolean();
+    out.ops.push_back(std::move(op));
+  }
+  out.watch = r.boolean();
+  if (!r.ok() || !r.at_end()) return Status::corruption("short request");
+  return out;
+}
+
+Bytes encode_client_response(const ClientResponse& r) {
+  BufWriter w(64);
+  w.u8(kRespTag);
+  w.u64(r.xid);
+  w.u8(static_cast<std::uint8_t>(r.code));
+  w.bytes(r.data);
+  w.varint(r.paths.size());
+  for (const auto& p : r.paths) w.str(p);
+  encode_stat(w, r.stat);
+  w.boolean(r.exists);
+  w.i64(r.failed_index);
+  w.zxid(r.zxid);
+  w.boolean(r.is_leader);
+  return std::move(w).take();
+}
+
+Result<ClientResponse> decode_client_response(
+    std::span<const std::uint8_t> wire) {
+  BufReader r(wire);
+  if (r.u8() != kRespTag) return Status::corruption("not a ClientResponse");
+  ClientResponse out;
+  out.xid = r.u64();
+  out.code = static_cast<Code>(r.u8());
+  out.data = r.bytes();
+  const auto n = r.varint();
+  if (n > 100000) return Status::corruption("too many paths");
+  for (std::uint64_t i = 0; i < n; ++i) out.paths.push_back(r.str());
+  out.stat = decode_stat(r);
+  out.exists = r.boolean();
+  out.failed_index = static_cast<std::int32_t>(r.i64());
+  out.zxid = r.zxid();
+  out.is_leader = r.boolean();
+  if (!r.ok() || !r.at_end()) return Status::corruption("short response");
+  return out;
+}
+
+Bytes encode_watch_event(const WatchEventMsg& w) {
+  BufWriter out(w.path.size() + 8);
+  out.u8(kWatchTag);
+  out.u8(static_cast<std::uint8_t>(w.event));
+  out.str(w.path);
+  return std::move(out).take();
+}
+
+Result<WatchEventMsg> decode_watch_event(std::span<const std::uint8_t> wire) {
+  BufReader r(wire);
+  if (r.u8() != kWatchTag) return Status::corruption("not a WatchEvent");
+  WatchEventMsg out;
+  const auto ev = r.u8();
+  if (ev > static_cast<std::uint8_t>(WatchEvent::kChildrenChanged)) {
+    return Status::corruption("bad watch event");
+  }
+  out.event = static_cast<WatchEvent>(ev);
+  out.path = r.str();
+  if (!r.ok() || !r.at_end()) return Status::corruption("short WatchEvent");
+  return out;
+}
+
+bool is_watch_event_frame(std::span<const std::uint8_t> wire) {
+  return !wire.empty() && wire[0] == kWatchTag;
+}
+
+}  // namespace zab::pb

@@ -1,0 +1,73 @@
+// Wire protocol between external clients and replica servers.
+//
+// Framing: u32 length prefix, then one encoded request/response. Every
+// request carries a client-chosen xid echoed in the response. Writes are
+// executed through the replicated pipeline (any server forwards to the
+// primary); reads are served from the contacted server's local tree
+// (ZooKeeper's consistency: sequential per client, not linearizable).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "pb/data_tree.h"
+#include "pb/ops.h"
+
+namespace zab::pb {
+
+enum class ClientOpKind : std::uint8_t {
+  kWrite = 1,        // one or more Ops (multi when >1), atomic
+  kGetData = 2,
+  kExists = 3,
+  kGetChildren = 4,
+  kStat = 5,
+  kPing = 6,         // liveness + leader hint
+};
+
+struct ClientRequest {
+  std::uint64_t xid = 0;
+  ClientOpKind kind = ClientOpKind::kPing;
+  std::string path;       // reads
+  std::vector<Op> ops;    // kWrite
+  /// Reads only: also register a one-shot watch (kGetData -> data watch,
+  /// kExists -> exists/creation watch, kGetChildren -> child watch). The
+  /// server pushes a WatchEventMsg frame on this connection when it fires.
+  bool watch = false;
+};
+
+/// Server -> client push notification (one-shot watch fired).
+struct WatchEventMsg {
+  WatchEvent event = WatchEvent::kDataChanged;
+  std::string path;
+};
+
+struct ClientResponse {
+  std::uint64_t xid = 0;
+  Code code = Code::kOk;
+  Bytes data;                       // kGetData
+  std::vector<std::string> paths;   // kGetChildren / created paths of write
+  Stat stat;                        // kStat / kExists
+  bool exists = false;
+  std::int32_t failed_index = -1;   // failing sub-op of a write
+  Zxid zxid;                        // commit zxid of a write
+  bool is_leader = false;           // kPing: does this server lead?
+};
+
+[[nodiscard]] Bytes encode_client_request(const ClientRequest& r);
+[[nodiscard]] Result<ClientRequest> decode_client_request(
+    std::span<const std::uint8_t> wire);
+
+[[nodiscard]] Bytes encode_client_response(const ClientResponse& r);
+[[nodiscard]] Result<ClientResponse> decode_client_response(
+    std::span<const std::uint8_t> wire);
+
+[[nodiscard]] Bytes encode_watch_event(const WatchEventMsg& w);
+[[nodiscard]] Result<WatchEventMsg> decode_watch_event(
+    std::span<const std::uint8_t> wire);
+/// True if the frame is a watch-event push (vs. a response).
+[[nodiscard]] bool is_watch_event_frame(std::span<const std::uint8_t> wire);
+
+}  // namespace zab::pb

@@ -1,0 +1,357 @@
+#include "pb/client_service.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace zab::pb {
+
+namespace {
+
+constexpr std::uint32_t kMaxFrame = 16u << 20;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+}  // namespace
+
+ClientService::ClientService(net::RuntimeEnv& env, ReplicatedTree& tree)
+    : env_(&env), tree_(&tree) {}
+
+ClientService::~ClientService() { stop(); }
+
+Status ClientService::start(const std::string& host, std::uint16_t port) {
+  if (::pipe(wake_pipe_) != 0) return Status::io_error("pipe");
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::io_error("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::invalid_argument("bad host " + host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::io_error(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) return Status::io_error("listen");
+  set_nonblocking(listen_fd_);
+
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  port_ = ntohs(bound.sin_port);
+
+  // Session ids are (startup-time ^ port) + connection counter: unique
+  // across server restarts, so a recovered tree's stale ephemerals can
+  // never collide with live sessions.
+  session_base_ = (static_cast<std::uint64_t>(env_->now()) << 16) ^
+                  (static_cast<std::uint64_t>(port_) << 1);
+  if (session_base_ == 0) session_base_ = 1;
+
+  running_ = true;
+  io_thread_ = std::thread([this] { io_loop(); });
+  return Status::ok();
+}
+
+void ClientService::stop() {
+  if (!running_.exchange(false)) {
+    if (io_thread_.joinable()) io_thread_.join();
+    return;
+  }
+  wake();
+  if (io_thread_.joinable()) io_thread_.join();
+  for (auto& c : conns_) {
+    if (c.fd >= 0) {
+      ::close(c.fd);
+      c.fd = -1;
+      on_disconnect(c.id);
+    }
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+void ClientService::wake() {
+  const char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+}
+
+void ClientService::respond(std::uint64_t conn_id,
+                            const ClientResponse& resp) {
+  push_frame(conn_id, encode_client_response(resp));
+}
+
+void ClientService::push_frame(std::uint64_t conn_id, const Bytes& payload) {
+  BufWriter framed(payload.size() + 4);
+  framed.u32(static_cast<std::uint32_t>(payload.size()));
+  framed.raw(payload);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_out_.emplace_back(conn_id, std::move(framed).take());
+  }
+  wake();
+}
+
+void ClientService::register_watch(std::uint64_t conn_id, ClientOpKind kind,
+                                   const std::string& path) {
+  auto push = [this, conn_id](WatchEvent ev, const std::string& p) {
+    // Fires on the replica loop when the txn applies locally; if the
+    // connection is gone by delivery time, the frame is simply dropped.
+    push_frame(conn_id, encode_watch_event(WatchEventMsg{ev, p}));
+  };
+  switch (kind) {
+    case ClientOpKind::kGetData:
+      tree_->tree().watch_data(path, push);
+      break;
+    case ClientOpKind::kExists:
+      if (tree_->exists(path)) {
+        tree_->tree().watch_data(path, push);  // change/delete watch
+      } else {
+        tree_->tree().watch_exists(path, push);  // creation watch
+      }
+      break;
+    case ClientOpKind::kGetChildren:
+      tree_->tree().watch_children(path, push);
+      break;
+    default:
+      break;
+  }
+}
+
+void ClientService::on_disconnect(std::uint64_t conn_id) {
+  // The connection IS the session: reap its ephemerals via a replicated
+  // close-session txn. (Deviation from ZooKeeper, which keeps sessions
+  // alive across reconnects until a timeout; see docs/PROTOCOL.md.)
+  env_->post([this, conn_id] {
+    tree_->close_session(conn_id, nullptr);
+  });
+}
+
+void ClientService::dispatch(std::uint64_t conn_id, Bytes frame) {
+  env_->post([this, conn_id, frame = std::move(frame)] {
+    auto req = decode_client_request(frame);
+    if (!req.is_ok()) {
+      ClientResponse resp;
+      resp.code = Code::kInvalidArgument;
+      respond(conn_id, resp);
+      return;
+    }
+    execute(conn_id, req.value());
+  });
+}
+
+void ClientService::execute(std::uint64_t conn_id, const ClientRequest& req) {
+  ClientResponse resp;
+  resp.xid = req.xid;
+
+  switch (req.kind) {
+    case ClientOpKind::kGetData: {
+      auto v = tree_->get(req.path);
+      resp.code = v.status().code();
+      if (v.is_ok()) resp.data = v.value();
+      if (req.watch && v.is_ok()) {
+        register_watch(conn_id, req.kind, req.path);
+      }
+      break;
+    }
+    case ClientOpKind::kExists: {
+      resp.exists = tree_->exists(req.path);
+      if (resp.exists) {
+        if (auto s = tree_->stat(req.path); s.is_ok()) resp.stat = s.value();
+      }
+      if (req.watch) register_watch(conn_id, req.kind, req.path);
+      break;
+    }
+    case ClientOpKind::kGetChildren: {
+      auto kids = tree_->children(req.path);
+      resp.code = kids.status().code();
+      if (kids.is_ok()) {
+        resp.paths = kids.value();
+        if (req.watch) register_watch(conn_id, req.kind, req.path);
+      }
+      break;
+    }
+    case ClientOpKind::kStat: {
+      auto s = tree_->stat(req.path);
+      resp.code = s.status().code();
+      if (s.is_ok()) resp.stat = s.value();
+      break;
+    }
+    case ClientOpKind::kPing: {
+      resp.is_leader = tree_->node().is_active_leader();
+      break;
+    }
+    case ClientOpKind::kWrite: {
+      if (req.ops.empty()) {
+        resp.code = Code::kInvalidArgument;
+        break;
+      }
+      const std::uint64_t xid = req.xid;
+      tree_->submit_multi(
+          req.ops,
+          [this, conn_id, xid](const OpResult& r) {
+            ClientResponse out;
+            out.xid = xid;
+            out.code = r.status.code();
+            out.zxid = r.zxid;
+            out.failed_index = r.failed_index;
+            if (!r.path.empty()) out.paths.push_back(r.path);
+            for (const auto& p : r.paths) out.paths.push_back(p);
+            respond(conn_id, out);
+          },
+          /*session=*/conn_id);
+      return;  // reply happens at commit time
+    }
+  }
+  respond(conn_id, resp);
+}
+
+bool ClientService::parse_frames(Conn& c) {
+  std::size_t pos = 0;
+  while (true) {
+    if (c.in.size() - pos < 4) break;
+    std::uint32_t len = 0;
+    std::memcpy(&len, c.in.data() + pos, 4);
+    if (len > kMaxFrame) return false;
+    if (c.in.size() - pos < 4 + static_cast<std::size_t>(len)) break;
+    Bytes frame(c.in.begin() + static_cast<std::ptrdiff_t>(pos) + 4,
+                c.in.begin() + static_cast<std::ptrdiff_t>(pos) + 4 +
+                    static_cast<std::ptrdiff_t>(len));
+    pos += 4 + len;
+    dispatch(c.id, std::move(frame));
+  }
+  c.in.erase(c.in.begin(), c.in.begin() + static_cast<std::ptrdiff_t>(pos));
+  return true;
+}
+
+void ClientService::io_loop() {
+  while (running_) {
+    // Move queued responses into their connections' out buffers.
+    {
+      std::vector<std::pair<std::uint64_t, Bytes>> out;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        out.swap(pending_out_);
+      }
+      for (auto& [cid, bytes] : out) {
+        for (auto& c : conns_) {
+          if (c.id == cid && c.fd >= 0) {
+            c.out.insert(c.out.end(), bytes.begin(), bytes.end());
+            break;
+          }
+        }
+      }
+    }
+
+    std::erase_if(conns_, [](const Conn& c) { return c.fd < 0; });
+    std::vector<pollfd> pfds;
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (auto& c : conns_) {
+      short ev = POLLIN;
+      if (!c.out.empty()) ev |= POLLOUT;
+      pfds.push_back({c.fd, ev, 0});
+    }
+    // Connections accepted below this point have no pollfd this round.
+    const std::size_t polled = conns_.size();
+
+    const int rc = ::poll(pfds.data(), pfds.size(), 100);
+    if (rc < 0 && errno != EINTR) return;
+    if (!running_) return;
+
+    if (pfds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (pfds[1].revents & POLLIN) {
+      while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (!set_nonblocking(fd)) {
+          ::close(fd);
+          continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        Conn c;
+        c.fd = fd;
+        c.id = session_base_ + next_conn_id_++;
+        conns_.push_back(std::move(c));
+      }
+    }
+
+    for (std::size_t i = 0; i < polled; ++i) {
+      Conn& c = conns_[i];
+      const short rev = pfds[2 + i].revents;
+      if (rev & (POLLERR | POLLHUP)) {
+        ::close(c.fd);
+        c.fd = -1;
+        on_disconnect(c.id);
+        continue;
+      }
+      if (rev & POLLIN) {
+        std::uint8_t buf[16384];
+        while (true) {
+          const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            c.in.insert(c.in.end(), buf, buf + n);
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          ::close(c.fd);
+          c.fd = -1;
+          on_disconnect(c.id);
+          break;
+        }
+        if (c.fd >= 0 && !parse_frames(c)) {
+          ::close(c.fd);
+          c.fd = -1;
+          on_disconnect(c.id);
+        }
+      }
+      if (c.fd >= 0 && !c.out.empty()) {
+        while (!c.out.empty()) {
+          std::uint8_t chunk[16384];
+          const std::size_t n = std::min(c.out.size(), sizeof(chunk));
+          std::copy_n(c.out.begin(), n, chunk);
+          const ssize_t w = ::send(c.fd, chunk, n, MSG_NOSIGNAL);
+          if (w > 0) {
+            c.out.erase(c.out.begin(),
+                        c.out.begin() + static_cast<std::ptrdiff_t>(w));
+            continue;
+          }
+          if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          ::close(c.fd);
+          c.fd = -1;
+          on_disconnect(c.id);
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace zab::pb

@@ -1,0 +1,81 @@
+// Server-side client service: accepts external client connections on a TCP
+// port and executes their requests against the local replica.
+//
+// Reads (getData/exists/getChildren/stat) are answered from the local tree;
+// writes enter the replicated pipeline (forwarded to the primary if this
+// server follows) and are answered when the txn commits. Request execution
+// happens on the replica's event loop; a dedicated IO thread owns the
+// sockets — the same single-threaded-core discipline as the rest of the
+// stack.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/runtime_env.h"
+#include "pb/client_protocol.h"
+#include "pb/replicated_tree.h"
+
+namespace zab::pb {
+
+class ClientService {
+ public:
+  ClientService(net::RuntimeEnv& env, ReplicatedTree& tree);
+  ~ClientService();
+  ClientService(const ClientService&) = delete;
+  ClientService& operator=(const ClientService&) = delete;
+
+  /// Bind (port 0 = ephemeral) and start serving.
+  Status start(const std::string& host, std::uint16_t port);
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;  // doubles as the connection's session id
+    std::vector<std::uint8_t> in;
+    std::deque<std::uint8_t> out;
+  };
+
+  void io_loop();
+  void wake();
+  /// IO thread: parse complete frames, dispatch to the replica's loop.
+  bool parse_frames(Conn& c);
+  void dispatch(std::uint64_t conn_id, Bytes frame);
+  /// Replica loop thread: run one request, reply when the result is known.
+  void execute(std::uint64_t conn_id, const ClientRequest& req);
+  /// IO thread: the connection died; its session's ephemerals must go.
+  void on_disconnect(std::uint64_t conn_id);
+  /// Any thread: queue a response for a connection and wake the IO thread.
+  void respond(std::uint64_t conn_id, const ClientResponse& resp);
+  /// Any thread: queue a raw payload (watch-event push) for a connection.
+  void push_frame(std::uint64_t conn_id, const Bytes& payload);
+  /// Replica loop: register a one-shot tree watch that pushes to conn_id.
+  void register_watch(std::uint64_t conn_id, ClientOpKind kind,
+                      const std::string& path);
+
+  net::RuntimeEnv* env_;
+  ReplicatedTree* tree_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread io_thread_;
+
+  std::mutex mu_;  // guards pending_out_
+  std::vector<std::pair<std::uint64_t, Bytes>> pending_out_;
+
+  // IO-thread local.
+  std::vector<Conn> conns_;
+  std::uint64_t session_base_ = 0;  // makes session ids unique across runs
+  std::uint64_t next_conn_id_ = 1;
+};
+
+}  // namespace zab::pb

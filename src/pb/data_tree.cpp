@@ -1,0 +1,214 @@
+#include "pb/data_tree.h"
+
+#include <algorithm>
+
+namespace zab::pb {
+
+DataTree::DataTree() {
+  nodes_["/"] = ZNode{};  // root always exists
+}
+
+bool DataTree::valid_path(const std::string& path) {
+  if (path.empty() || path[0] != '/') return false;
+  if (path.size() > 1 && path.back() == '/') return false;
+  if (path.find("//") != std::string::npos) return false;
+  return true;
+}
+
+std::string DataTree::parent_of(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  if (pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+std::string DataTree::basename_of(const std::string& path) {
+  return path.substr(path.find_last_of('/') + 1);
+}
+
+Status DataTree::apply_create(const std::string& path, const Bytes& data,
+                              Zxid zxid, std::uint64_t owner) {
+  if (!valid_path(path) || path == "/") {
+    return Status::invalid_argument("bad path " + path);
+  }
+  const std::string parent = parent_of(path);
+  auto pit = nodes_.find(parent);
+  if (pit != nodes_.end() && pit->second.owner != 0) {
+    return Status::invalid_argument("ephemeral parent " + parent);
+  }
+  if (pit == nodes_.end()) {
+    // The primary validated the parent's existence before broadcast; on
+    // replay the parent may only be missing if a later txn deleted it —
+    // and then a delete txn for `path` precedes it too, so this is
+    // unreachable in correct replay. Surface it rather than hide it.
+    return Status::not_found("parent " + parent);
+  }
+
+  auto it = nodes_.find(path);
+  const bool existed = it != nodes_.end();
+  ZNode& n = nodes_[path];
+  if (existed) {
+    // Idempotent re-apply: reset to the txn's state, keep children.
+    if (n.owner != 0) ephemerals_[n.owner].erase(path);
+    n.data = data;
+    n.czxid = zxid;
+    n.mzxid = zxid;
+    n.version = 0;
+    n.owner = owner;
+  } else {
+    n.data = data;
+    n.czxid = zxid;
+    n.mzxid = zxid;
+    n.owner = owner;
+    nodes_[parent].children.insert(basename_of(path));
+    ++nodes_[parent].cversion;
+    fire(child_watches_, parent, WatchEvent::kChildrenChanged);
+    fire(exists_watches_, path, WatchEvent::kNodeCreated);
+  }
+  if (owner != 0) ephemerals_[owner].insert(path);
+  return Status::ok();
+}
+
+Status DataTree::apply_delete(const std::string& path) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::ok();  // idempotent replay
+  if (!it->second.children.empty()) {
+    return Status::invalid_argument("node has children: " + path);
+  }
+  if (it->second.owner != 0) {
+    auto eit = ephemerals_.find(it->second.owner);
+    if (eit != ephemerals_.end()) {
+      eit->second.erase(path);
+      if (eit->second.empty()) ephemerals_.erase(eit);
+    }
+  }
+  nodes_.erase(it);
+  const std::string parent = parent_of(path);
+  auto pit = nodes_.find(parent);
+  if (pit != nodes_.end()) {
+    pit->second.children.erase(basename_of(path));
+    ++pit->second.cversion;
+    fire(child_watches_, parent, WatchEvent::kChildrenChanged);
+  }
+  fire(data_watches_, path, WatchEvent::kNodeDeleted);
+  return Status::ok();
+}
+
+Status DataTree::apply_set_data(const std::string& path, const Bytes& data,
+                                std::uint32_t new_version, Zxid zxid) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::not_found(path);
+  it->second.data = data;
+  it->second.version = new_version;  // explicit: idempotent re-apply
+  it->second.mzxid = zxid;
+  fire(data_watches_, path, WatchEvent::kDataChanged);
+  return Status::ok();
+}
+
+bool DataTree::exists(const std::string& path) const {
+  return nodes_.count(path) != 0;
+}
+
+Result<Bytes> DataTree::get_data(const std::string& path) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::not_found(path);
+  return it->second.data;
+}
+
+Result<Stat> DataTree::stat(const std::string& path) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::not_found(path);
+  const ZNode& n = it->second;
+  Stat s;
+  s.czxid = n.czxid;
+  s.mzxid = n.mzxid;
+  s.version = n.version;
+  s.cversion = n.cversion;
+  s.num_children = static_cast<std::uint32_t>(n.children.size());
+  s.data_length = n.data.size();
+  s.ephemeral_owner = n.owner;
+  return s;
+}
+
+Result<std::vector<std::string>> DataTree::get_children(
+    const std::string& path) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::not_found(path);
+  return std::vector<std::string>(it->second.children.begin(),
+                                  it->second.children.end());
+}
+
+std::vector<std::string> DataTree::ephemerals_of(std::uint64_t session) const {
+  auto it = ephemerals_.find(session);
+  if (it == ephemerals_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+void DataTree::watch_data(const std::string& path, Watcher w) {
+  data_watches_[path].push_back(std::move(w));
+}
+void DataTree::watch_children(const std::string& path, Watcher w) {
+  child_watches_[path].push_back(std::move(w));
+}
+void DataTree::watch_exists(const std::string& path, Watcher w) {
+  exists_watches_[path].push_back(std::move(w));
+}
+
+void DataTree::fire(std::map<std::string, std::vector<Watcher>>& table,
+                    const std::string& path, WatchEvent ev) {
+  auto it = table.find(path);
+  if (it == table.end()) return;
+  std::vector<Watcher> ws = std::move(it->second);
+  table.erase(it);  // one-shot
+  for (auto& w : ws) w(ev, path);
+}
+
+Bytes DataTree::serialize() const {
+  BufWriter w;
+  w.u32(0x54524545u);  // "TREE"
+  w.varint(nodes_.size());
+  for (const auto& [path, n] : nodes_) {
+    w.str(path);
+    w.bytes(n.data);
+    w.zxid(n.czxid);
+    w.zxid(n.mzxid);
+    w.u32(n.version);
+    w.u32(n.cversion);
+    w.u64(n.owner);
+  }
+  return std::move(w).take();
+}
+
+Status DataTree::deserialize(std::span<const std::uint8_t> blob) {
+  BufReader r(blob);
+  if (r.u32() != 0x54524545u) return Status::corruption("bad tree magic");
+  const auto count = r.varint();
+  std::map<std::string, ZNode> nodes;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string path = r.str();
+    ZNode n;
+    n.data = r.bytes();
+    n.czxid = r.zxid();
+    n.mzxid = r.zxid();
+    n.version = r.u32();
+    n.cversion = r.u32();
+    n.owner = r.u64();
+    if (!r.ok()) return Status::corruption("truncated tree snapshot");
+    nodes[path] = std::move(n);
+  }
+  if (!r.ok() || !r.at_end()) return Status::corruption("trailing bytes");
+  // Rebuild child links.
+  for (auto& [path, n] : nodes) n.children.clear();
+  for (const auto& [path, n] : nodes) {
+    if (path == "/") continue;
+    nodes[parent_of(path)].children.insert(basename_of(path));
+  }
+  if (nodes.count("/") == 0) nodes["/"] = ZNode{};
+  nodes_ = std::move(nodes);
+  ephemerals_.clear();
+  for (const auto& [path, n] : nodes_) {
+    if (n.owner != 0) ephemerals_[n.owner].insert(path);
+  }
+  return Status::ok();
+}
+
+}  // namespace zab::pb

@@ -1,0 +1,116 @@
+// Hierarchical data tree: the application state ZooKeeper replicates.
+//
+// Znodes form a tree addressed by slash-separated paths. Each node carries
+// data, a data version, a child-list version, and creation/modification
+// zxids. Mutations are applied through *idempotent transactions* — the
+// primary resolves every non-deterministic input (sequential-node suffix,
+// resulting version) before broadcast, so applying a txn twice leaves the
+// same state. That idempotency is what lets recovery replay a log over a
+// fuzzy snapshot (paper §6).
+//
+// Watches are one-shot, ZooKeeper-style: they fire on the local replica
+// when the relevant txn is applied.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace zab::pb {
+
+struct Stat {
+  Zxid czxid;            // zxid of the txn that created the node
+  Zxid mzxid;            // zxid of the last data modification
+  std::uint32_t version = 0;   // data version (bumped by setData)
+  std::uint32_t cversion = 0;  // child-list version (bumped by create/delete)
+  std::uint32_t num_children = 0;
+  std::uint64_t data_length = 0;
+  /// Session that owns this znode; 0 = persistent. Ephemeral nodes are
+  /// deleted when their owner's session closes and cannot have children.
+  std::uint64_t ephemeral_owner = 0;
+};
+
+enum class WatchEvent : std::uint8_t {
+  kDataChanged,
+  kNodeCreated,
+  kNodeDeleted,
+  kChildrenChanged,
+};
+
+class DataTree {
+ public:
+  using Watcher = std::function<void(WatchEvent, const std::string& path)>;
+
+  DataTree();
+
+  // --- Idempotent apply path (called with committed txns only) --------------
+  /// Creates `path` with `data`, optionally owned by a session (ephemeral).
+  /// Re-applying over an existing node resets it to exactly this state
+  /// (idempotent replay). Fails if the parent is ephemeral.
+  Status apply_create(const std::string& path, const Bytes& data, Zxid zxid,
+                      std::uint64_t owner = 0);
+  /// Deletes `path` (and is a no-op if already gone). Fails only if the node
+  /// has children (the primary never emits such a txn).
+  Status apply_delete(const std::string& path);
+  /// Sets data and the explicit new version computed by the primary.
+  Status apply_set_data(const std::string& path, const Bytes& data,
+                        std::uint32_t new_version, Zxid zxid);
+
+  // --- Reads ------------------------------------------------------------------
+  [[nodiscard]] bool exists(const std::string& path) const;
+  [[nodiscard]] Result<Bytes> get_data(const std::string& path) const;
+  [[nodiscard]] Result<Stat> stat(const std::string& path) const;
+  [[nodiscard]] Result<std::vector<std::string>> get_children(
+      const std::string& path) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Paths of all ephemerals owned by `session`, sorted.
+  [[nodiscard]] std::vector<std::string> ephemerals_of(
+      std::uint64_t session) const;
+
+  // --- Watches -----------------------------------------------------------------
+  /// One-shot watch on data changes / deletion of `path`.
+  void watch_data(const std::string& path, Watcher w);
+  /// One-shot watch on membership changes under `path`.
+  void watch_children(const std::string& path, Watcher w);
+  /// One-shot watch triggered when `path` is created.
+  void watch_exists(const std::string& path, Watcher w);
+
+  // --- Snapshots ----------------------------------------------------------------
+  [[nodiscard]] Bytes serialize() const;
+  Status deserialize(std::span<const std::uint8_t> blob);
+
+  // --- Path helpers ----------------------------------------------------------------
+  [[nodiscard]] static bool valid_path(const std::string& path);
+  [[nodiscard]] static std::string parent_of(const std::string& path);
+  [[nodiscard]] static std::string basename_of(const std::string& path);
+
+ private:
+  struct ZNode {
+    Bytes data;
+    Zxid czxid;
+    Zxid mzxid;
+    std::uint32_t version = 0;
+    std::uint32_t cversion = 0;
+    std::uint64_t owner = 0;  // ephemeral owner session; 0 = persistent
+    std::set<std::string> children;  // child basenames
+  };
+
+  void fire(std::map<std::string, std::vector<Watcher>>& table,
+            const std::string& path, WatchEvent ev);
+
+  std::map<std::string, ZNode> nodes_;
+  std::map<std::uint64_t, std::set<std::string>> ephemerals_;  // owner->paths
+  std::map<std::string, std::vector<Watcher>> data_watches_;
+  std::map<std::string, std::vector<Watcher>> child_watches_;
+  std::map<std::string, std::vector<Watcher>> exists_watches_;
+};
+
+}  // namespace zab::pb

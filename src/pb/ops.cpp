@@ -1,0 +1,122 @@
+#include "pb/ops.h"
+
+namespace zab::pb {
+
+namespace {
+constexpr std::uint8_t kOpRequestTag = 0x52;  // 'R'
+constexpr std::uint8_t kTreeTxnTag = 0x54;    // 'T'
+
+void encode_op(BufWriter& w, const Op& op) {
+  w.u8(static_cast<std::uint8_t>(op.type));
+  w.str(op.path);
+  w.bytes(op.data);
+  w.i64(op.expected_version);
+  w.boolean(op.sequential);
+  w.boolean(op.ephemeral);
+}
+
+Result<Op> decode_op(BufReader& r) {
+  Op op;
+  const auto type = r.u8();
+  if (type < 1 || type > 4) return Status::corruption("bad op type");
+  op.type = static_cast<OpType>(type);
+  op.path = r.str();
+  op.data = r.bytes();
+  op.expected_version = r.i64();
+  op.sequential = r.boolean();
+  op.ephemeral = r.boolean();
+  if (!r.ok()) return Status::corruption("short Op");
+  return op;
+}
+
+}  // namespace
+
+Bytes encode_op_request(const OpRequest& r) {
+  BufWriter w(64);
+  w.u8(kOpRequestTag);
+  w.u32(r.origin);
+  w.u64(r.req_id);
+  w.u64(r.session_id);
+  w.varint(r.ops.size());
+  for (const Op& op : r.ops) encode_op(w, op);
+  return std::move(w).take();
+}
+
+Result<OpRequest> decode_op_request(std::span<const std::uint8_t> wire) {
+  BufReader r(wire);
+  if (r.u8() != kOpRequestTag) return Status::corruption("not an OpRequest");
+  OpRequest out;
+  out.origin = r.u32();
+  out.req_id = r.u64();
+  out.session_id = r.u64();
+  const auto n = r.varint();
+  if (n == 0 || n > 1024) return Status::corruption("bad op count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto op = decode_op(r);
+    if (!op.is_ok()) return op.status();
+    out.ops.push_back(std::move(op).take());
+  }
+  if (!r.ok() || !r.at_end()) return Status::corruption("short OpRequest");
+  return out;
+}
+
+Bytes encode_tree_txn(const TreeTxn& t) {
+  BufWriter w(32 + t.path.size() + t.data.size());
+  w.u8(kTreeTxnTag);
+  w.u8(static_cast<std::uint8_t>(t.kind));
+  w.u32(t.origin);
+  w.u64(t.req_id);
+  w.str(t.path);
+  w.bytes(t.data);
+  w.u32(t.new_version);
+  w.u8(static_cast<std::uint8_t>(t.error));
+  w.u64(t.owner);
+  return std::move(w).take();
+}
+
+Result<TreeTxn> decode_tree_txn(std::span<const std::uint8_t> wire) {
+  BufReader r(wire);
+  if (r.u8() != kTreeTxnTag) return Status::corruption("not a TreeTxn");
+  TreeTxn out;
+  const auto kind = r.u8();
+  if (kind < 1 || kind > 6) return Status::corruption("bad txn kind");
+  out.kind = static_cast<TxnKind>(kind);
+  out.origin = r.u32();
+  out.req_id = r.u64();
+  out.path = r.str();
+  out.data = r.bytes();
+  out.new_version = r.u32();
+  out.error = static_cast<Code>(r.u8());
+  out.owner = r.u64();
+  if (!r.ok() || !r.at_end()) return Status::corruption("short TreeTxn");
+  return out;
+}
+
+Bytes encode_sub_txns(const std::vector<TreeTxn>& subs) {
+  BufWriter w;
+  w.varint(subs.size());
+  for (const TreeTxn& t : subs) {
+    w.bytes(encode_tree_txn(t));
+  }
+  return std::move(w).take();
+}
+
+Result<std::vector<TreeTxn>> decode_sub_txns(
+    std::span<const std::uint8_t> blob) {
+  BufReader r(blob);
+  const auto n = r.varint();
+  if (!r.ok() || n > 1024) return Status::corruption("bad sub-txn count");
+  std::vector<TreeTxn> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Bytes one = r.bytes();
+    if (!r.ok()) return Status::corruption("short sub-txn");
+    auto t = decode_tree_txn(one);
+    if (!t.is_ok()) return t.status();
+    out.push_back(std::move(t).take());
+  }
+  if (!r.at_end()) return Status::corruption("trailing sub-txn bytes");
+  return out;
+}
+
+}  // namespace zab::pb

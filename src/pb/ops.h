@@ -1,0 +1,100 @@
+// Client operations and the idempotent transactions the primary derives
+// from them.
+//
+// The split mirrors ZooKeeper's request pipeline (paper §1, §6): a client
+// *operation* may be non-deterministic or conditional (sequential-node
+// suffix, version precondition); the primary evaluates it against its
+// current (speculative) state and emits a fully resolved, *idempotent*
+// transaction — explicit final path, explicit resulting version — or an
+// error transaction. Backups apply transactions blindly.
+#pragma once
+
+#include <string>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace zab::pb {
+
+enum class OpType : std::uint8_t {
+  kCreate = 1,
+  kDelete = 2,
+  kSetData = 3,
+  kCloseSession = 4,  // delete every ephemeral owned by the session
+};
+
+/// A client write request.
+struct Op {
+  OpType type = OpType::kCreate;
+  std::string path;
+  Bytes data;
+  /// Version precondition for kSetData/kDelete; -1 = any.
+  std::int64_t expected_version = -1;
+  /// kCreate: append a monotonically increasing, zero-padded suffix.
+  bool sequential = false;
+  /// kCreate: the znode lives only as long as the submitting session.
+  bool ephemeral = false;
+};
+
+/// Envelope for routing one or more Ops to the primary and the result
+/// back. Multiple ops form an atomic *multi*: the primary validates all of
+/// them against its speculative state (each seeing the effects of the
+/// previous ones) and emits either one composite txn or one error txn —
+/// all-or-nothing, like ZooKeeper's multi().
+struct OpRequest {
+  NodeId origin = kNoNode;
+  std::uint64_t req_id = 0;
+  /// Session on whose behalf the ops run (0 = none). Required for
+  /// ephemeral creates and kCloseSession.
+  std::uint64_t session_id = 0;
+  std::vector<Op> ops;  // size 1 = plain op, >1 = atomic multi
+};
+
+enum class TxnKind : std::uint8_t {
+  kCreate = 1,
+  kDelete = 2,
+  kSetData = 3,
+  kError = 4,  // failed precondition; applied as a no-op, result delivered
+  kMulti = 5,         // composite: `data` holds the encoded sub-txns
+  kCloseSession = 6,  // `owner` names the session whose ephemerals die
+};
+
+/// Fully resolved state change, idempotent by construction.
+struct TreeTxn {
+  TxnKind kind = TxnKind::kError;
+  NodeId origin = kNoNode;
+  std::uint64_t req_id = 0;
+  std::string path;       // final path (sequential suffix resolved)
+  Bytes data;
+  std::uint32_t new_version = 0;  // kSetData: resulting version
+  Code error = Code::kOk;         // kError: why the op failed
+  /// kCreate: ephemeral owner (0 = persistent). kCloseSession: the session.
+  std::uint64_t owner = 0;
+};
+
+/// Outcome reported to the submitting client.
+struct OpResult {
+  Status status;
+  std::string path;  // created path (kCreate; first created path for multi)
+  Zxid zxid;         // zxid of the txn that carried the result
+  /// Multi: every created path, in sub-op order (empty string for non-create
+  /// sub-ops). Index of the failing sub-op on error, -1 otherwise.
+  std::vector<std::string> paths;
+  std::int32_t failed_index = -1;
+};
+
+[[nodiscard]] Bytes encode_op_request(const OpRequest& r);
+[[nodiscard]] Result<OpRequest> decode_op_request(
+    std::span<const std::uint8_t> wire);
+
+[[nodiscard]] Bytes encode_tree_txn(const TreeTxn& t);
+[[nodiscard]] Result<TreeTxn> decode_tree_txn(
+    std::span<const std::uint8_t> wire);
+
+/// Multi helpers: pack/unpack sub-txns into a kMulti txn's `data`.
+[[nodiscard]] Bytes encode_sub_txns(const std::vector<TreeTxn>& subs);
+[[nodiscard]] Result<std::vector<TreeTxn>> decode_sub_txns(
+    std::span<const std::uint8_t> blob);
+
+}  // namespace zab::pb

@@ -1,0 +1,305 @@
+#include "pb/remote_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace zab::pb {
+
+RemoteClient::RemoteClient(std::vector<Endpoint> servers, Duration op_timeout)
+    : servers_(std::move(servers)), op_timeout_(op_timeout) {}
+
+RemoteClient::~RemoteClient() { disconnect(); }
+
+void RemoteClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status RemoteClient::ensure_connected() {
+  if (fd_ >= 0) return Status::ok();
+  if (servers_.empty()) return Status::invalid_argument("no servers");
+  const Endpoint& ep = servers_[current_ % servers_.size()];
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::io_error("socket");
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    disconnect();
+    return Status::invalid_argument("bad host " + ep.host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    disconnect();
+    return Status::io_error("connect " + ep.host + ":" +
+                            std::to_string(ep.port));
+  }
+  return Status::ok();
+}
+
+Status RemoteClient::send_all(std::span<const std::uint8_t> data,
+                              TimePoint deadline) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    if (clock_.now() > deadline) return Status::timeout("send");
+    const ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::io_error("send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Result<Bytes> RemoteClient::read_frame(TimePoint deadline) {
+  Bytes buf;
+  auto read_exact = [&](std::size_t want) -> Status {
+    const std::size_t start = buf.size();
+    buf.resize(start + want);
+    std::size_t got = 0;
+    while (got < want) {
+      const Duration left = deadline - clock_.now();
+      if (left <= 0) return Status::timeout("recv");
+      pollfd p{fd_, POLLIN, 0};
+      const int rc =
+          ::poll(&p, 1, static_cast<int>(left / kMillisecond) + 1);
+      if (rc < 0 && errno != EINTR) return Status::io_error("poll");
+      if (rc <= 0) continue;
+      const ssize_t n = ::recv(fd_, buf.data() + start + got, want - got, 0);
+      if (n == 0) return Status::closed("server closed connection");
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        return Status::io_error("recv");
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    return Status::ok();
+  };
+
+  ZAB_RETURN_IF_ERROR(read_exact(4));
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf.data(), 4);
+  if (len > (16u << 20)) return Status::corruption("oversized frame");
+  buf.clear();
+  ZAB_RETURN_IF_ERROR(read_exact(len));
+  return buf;
+}
+
+Result<ClientResponse> RemoteClient::call(ClientRequest req) {
+  const TimePoint deadline = clock_.now() + op_timeout_;
+  Status last = Status::not_ready("no attempt made");
+
+  while (clock_.now() < deadline) {
+    if (Status st = ensure_connected(); !st.is_ok()) {
+      last = st;
+      ++current_;  // rotate endpoints
+      continue;
+    }
+    req.xid = next_xid_++;
+    const Bytes payload = encode_client_request(req);
+    BufWriter framed(payload.size() + 4);
+    framed.u32(static_cast<std::uint32_t>(payload.size()));
+    framed.raw(payload);
+
+    if (Status st = send_all(framed.data(), deadline); !st.is_ok()) {
+      last = st;
+      disconnect();
+      ++current_;
+      continue;
+    }
+    auto frame = read_frame(deadline);
+    // Watch-event pushes may interleave with the response: stash them.
+    while (frame.is_ok() && is_watch_event_frame(frame.value())) {
+      if (auto ev = decode_watch_event(frame.value()); ev.is_ok()) {
+        watch_events_.push_back(ev.value());
+      }
+      frame = read_frame(deadline);
+    }
+    if (!frame.is_ok()) {
+      last = frame.status();
+      disconnect();
+      ++current_;
+      continue;
+    }
+    auto resp = decode_client_response(frame.value());
+    if (!resp.is_ok()) {
+      last = resp.status();
+      disconnect();
+      ++current_;
+      continue;
+    }
+    if (resp.value().xid != req.xid) {
+      last = Status::internal("xid mismatch");
+      disconnect();
+      continue;
+    }
+    // Not-ready servers (no leader yet / back-pressure): try another.
+    if (resp.value().code == Code::kNotReady ||
+        resp.value().code == Code::kNotLeader ||
+        resp.value().code == Code::kTimeout) {
+      last = Status(resp.value().code, "server not ready");
+      ++current_;
+      disconnect();
+      continue;
+    }
+    return resp;
+  }
+  return last.is_ok() ? Status::timeout("client op timeout") : last;
+}
+
+// --- Convenience wrappers --------------------------------------------------------
+
+Result<std::string> RemoteClient::create(const std::string& path,
+                                         const Bytes& data, bool sequential,
+                                         bool ephemeral) {
+  ClientRequest req;
+  req.kind = ClientOpKind::kWrite;
+  Op op;
+  op.type = OpType::kCreate;
+  op.path = path;
+  op.data = data;
+  op.sequential = sequential;
+  op.ephemeral = ephemeral;
+  req.ops.push_back(std::move(op));
+  auto resp = call(std::move(req));
+  if (!resp.is_ok()) return resp.status();
+  if (resp.value().code != Code::kOk) {
+    return Status(resp.value().code, "create failed");
+  }
+  return resp.value().paths.empty() ? path : resp.value().paths.front();
+}
+
+Result<Bytes> RemoteClient::get(const std::string& path, bool watch) {
+  ClientRequest req;
+  req.kind = ClientOpKind::kGetData;
+  req.path = path;
+  req.watch = watch;
+  auto resp = call(std::move(req));
+  if (!resp.is_ok()) return resp.status();
+  if (resp.value().code != Code::kOk) {
+    return Status(resp.value().code, "get failed");
+  }
+  return resp.value().data;
+}
+
+Result<bool> RemoteClient::exists(const std::string& path, bool watch) {
+  ClientRequest req;
+  req.kind = ClientOpKind::kExists;
+  req.path = path;
+  req.watch = watch;
+  auto resp = call(std::move(req));
+  if (!resp.is_ok()) return resp.status();
+  return resp.value().exists;
+}
+
+Result<std::vector<std::string>> RemoteClient::get_children(
+    const std::string& path, bool watch) {
+  ClientRequest req;
+  req.kind = ClientOpKind::kGetChildren;
+  req.path = path;
+  req.watch = watch;
+  auto resp = call(std::move(req));
+  if (!resp.is_ok()) return resp.status();
+  if (resp.value().code != Code::kOk) {
+    return Status(resp.value().code, "getChildren failed");
+  }
+  return resp.value().paths;
+}
+
+Result<Stat> RemoteClient::stat(const std::string& path) {
+  ClientRequest req;
+  req.kind = ClientOpKind::kStat;
+  req.path = path;
+  auto resp = call(std::move(req));
+  if (!resp.is_ok()) return resp.status();
+  if (resp.value().code != Code::kOk) {
+    return Status(resp.value().code, "stat failed");
+  }
+  return resp.value().stat;
+}
+
+Status RemoteClient::set(const std::string& path, const Bytes& data,
+                         std::int64_t expected_version) {
+  ClientRequest req;
+  req.kind = ClientOpKind::kWrite;
+  Op op;
+  op.type = OpType::kSetData;
+  op.path = path;
+  op.data = data;
+  op.expected_version = expected_version;
+  req.ops.push_back(std::move(op));
+  auto resp = call(std::move(req));
+  if (!resp.is_ok()) return resp.status();
+  return resp.value().code == Code::kOk
+             ? Status::ok()
+             : Status(resp.value().code, "set failed");
+}
+
+Status RemoteClient::remove(const std::string& path,
+                            std::int64_t expected_version) {
+  ClientRequest req;
+  req.kind = ClientOpKind::kWrite;
+  Op op;
+  op.type = OpType::kDelete;
+  op.path = path;
+  op.expected_version = expected_version;
+  req.ops.push_back(std::move(op));
+  auto resp = call(std::move(req));
+  if (!resp.is_ok()) return resp.status();
+  return resp.value().code == Code::kOk
+             ? Status::ok()
+             : Status(resp.value().code, "delete failed");
+}
+
+Result<ClientResponse> RemoteClient::multi(const std::vector<Op>& ops) {
+  ClientRequest req;
+  req.kind = ClientOpKind::kWrite;
+  req.ops = ops;
+  return call(std::move(req));
+}
+
+std::optional<WatchEventMsg> RemoteClient::poll_watch_event() {
+  if (watch_events_.empty()) return std::nullopt;
+  WatchEventMsg ev = watch_events_.front();
+  watch_events_.pop_front();
+  return ev;
+}
+
+Result<WatchEventMsg> RemoteClient::wait_watch_event(Duration max_wait) {
+  if (auto ev = poll_watch_event()) return *ev;
+  if (fd_ < 0) return Status::closed("not connected");
+  const TimePoint deadline = clock_.now() + max_wait;
+  while (clock_.now() < deadline) {
+    auto frame = read_frame(deadline);
+    if (!frame.is_ok()) return frame.status();
+    if (is_watch_event_frame(frame.value())) {
+      auto ev = decode_watch_event(frame.value());
+      if (ev.is_ok()) return ev.value();
+    }
+    // Unsolicited response frames (shouldn't happen) are dropped.
+  }
+  return Status::timeout("no watch event");
+}
+
+Result<bool> RemoteClient::ping_is_leader() {
+  ClientRequest req;
+  req.kind = ClientOpKind::kPing;
+  auto resp = call(std::move(req));
+  if (!resp.is_ok()) return resp.status();
+  return resp.value().is_leader;
+}
+
+}  // namespace zab::pb

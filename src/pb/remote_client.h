@@ -1,0 +1,86 @@
+// Blocking client for the replica servers' client port.
+//
+// Connects to any server in the ensemble; reads are answered by that server
+// locally, writes travel through the replicated pipeline. On connection
+// failure or a not-ready server the client rotates to the next endpoint and
+// retries until its deadline. One outstanding request at a time (simple,
+// synchronous — the style of most coordination-service client bindings'
+// sync APIs).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "pb/client_protocol.h"
+
+namespace zab::pb {
+
+class RemoteClient {
+ public:
+  struct Endpoint {
+    std::string host;
+    std::uint16_t port;
+  };
+
+  explicit RemoteClient(std::vector<Endpoint> servers,
+                        Duration op_timeout = seconds(5));
+  ~RemoteClient();
+  RemoteClient(const RemoteClient&) = delete;
+  RemoteClient& operator=(const RemoteClient&) = delete;
+
+  // --- Operations -------------------------------------------------------------
+  /// Create a znode; returns the final path (sequential suffix resolved).
+  /// Ephemeral znodes live as long as this client's connection to its
+  /// server: disconnecting (or the client's destruction) deletes them.
+  Result<std::string> create(const std::string& path, const Bytes& data,
+                             bool sequential = false, bool ephemeral = false);
+  /// Reads may register a one-shot watch on the contacted server; the event
+  /// arrives via poll_watch_event()/wait_watch_event(). Watches are bound
+  /// to the current connection (rotating to another server drops them —
+  /// real ZooKeeper clients re-register on reconnect).
+  Result<Bytes> get(const std::string& path, bool watch = false);
+  Result<bool> exists(const std::string& path, bool watch = false);
+  Result<std::vector<std::string>> get_children(const std::string& path,
+                                                bool watch = false);
+  Result<Stat> stat(const std::string& path);
+  Status set(const std::string& path, const Bytes& data,
+             std::int64_t expected_version = -1);
+  Status remove(const std::string& path, std::int64_t expected_version = -1);
+  /// Atomic multi; on failure the status carries the first error and
+  /// `failed_index` (see ClientResponse) identifies the sub-op.
+  Result<ClientResponse> multi(const std::vector<Op>& ops);
+  /// Liveness probe of the currently connected server.
+  Result<bool> ping_is_leader();
+
+  /// Raw request with endpoint rotation + retry.
+  Result<ClientResponse> call(ClientRequest req);
+
+  // --- Watch notifications -----------------------------------------------------
+  /// Pop a watch event already received (interleaved with responses).
+  std::optional<WatchEventMsg> poll_watch_event();
+  /// Block up to `max_wait` for the next watch event on this connection.
+  Result<WatchEventMsg> wait_watch_event(Duration max_wait);
+
+  /// Index of the endpoint currently connected to (for tests/demos).
+  [[nodiscard]] std::size_t current_endpoint() const { return current_; }
+
+ private:
+  Status ensure_connected();
+  void disconnect();
+  Status send_all(std::span<const std::uint8_t> data, TimePoint deadline);
+  Result<Bytes> read_frame(TimePoint deadline);
+
+  std::vector<Endpoint> servers_;
+  Duration op_timeout_;
+  int fd_ = -1;
+  std::size_t current_ = 0;
+  std::uint64_t next_xid_ = 1;
+  std::deque<WatchEventMsg> watch_events_;
+  SystemClock clock_;
+};
+
+}  // namespace zab::pb

@@ -1,0 +1,433 @@
+#include "pb/replicated_tree.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace zab::pb {
+
+ReplicatedTree::ReplicatedTree(ZabNode& node) : node_(&node) {
+  node_->add_deliver_handler([this](const Txn& t) { on_deliver(t); });
+  node_->set_request_handler([this](Bytes payload) {
+    handle_request(std::move(payload));
+  });
+  node_->set_snapshot_provider([this] { return tree_.serialize(); });
+  node_->add_snapshot_installer([this](Zxid, const Bytes& state) {
+    if (Status st = tree_.deserialize(state); !st.is_ok()) {
+      ZAB_ERROR() << "tree snapshot install failed: " << st.to_string();
+    }
+  });
+  node_->add_state_handler([this](Role r, Epoch) {
+    // Speculative state is a leader-only concept; drop it on any role
+    // change (a new leadership rebuilds it from fresh requests).
+    if (r != Role::kLeading) outstanding_.clear();
+  });
+}
+
+// --- Client API ------------------------------------------------------------------
+
+void ReplicatedTree::create(const std::string& path, Bytes data, ResultFn cb,
+                            bool sequential) {
+  Op op;
+  op.type = OpType::kCreate;
+  op.path = path;
+  op.data = std::move(data);
+  op.sequential = sequential;
+  submit(std::move(op), std::move(cb));
+}
+
+void ReplicatedTree::set_data(const std::string& path, Bytes data,
+                              std::int64_t expected_version, ResultFn cb) {
+  Op op;
+  op.type = OpType::kSetData;
+  op.path = path;
+  op.data = std::move(data);
+  op.expected_version = expected_version;
+  submit(std::move(op), std::move(cb));
+}
+
+void ReplicatedTree::remove(const std::string& path,
+                            std::int64_t expected_version, ResultFn cb) {
+  Op op;
+  op.type = OpType::kDelete;
+  op.path = path;
+  op.expected_version = expected_version;
+  submit(std::move(op), std::move(cb));
+}
+
+void ReplicatedTree::submit(Op op, ResultFn cb, std::uint64_t session) {
+  std::vector<Op> ops;
+  ops.push_back(std::move(op));
+  submit_multi(std::move(ops), std::move(cb), session);
+}
+
+void ReplicatedTree::close_session(std::uint64_t session, ResultFn cb) {
+  Op op;
+  op.type = OpType::kCloseSession;
+  submit(std::move(op), std::move(cb), session);
+}
+
+void ReplicatedTree::submit_multi(std::vector<Op> ops, ResultFn cb,
+                                  std::uint64_t session) {
+  ++stats_.writes_submitted;
+  const std::uint64_t req_id = next_req_id_++;
+  OpRequest req{node_->id(), req_id, session, std::move(ops)};
+  if (cb) pending_[req_id] = Pending{std::move(cb), node_->env().now()};
+
+  if (node_->is_active_leader()) {
+    handle_request(encode_op_request(req));
+    return;
+  }
+  const Status st = node_->submit(encode_op_request(req));
+  if (!st.is_ok()) {
+    auto it = pending_.find(req_id);
+    if (it != pending_.end()) {
+      OpResult res;
+      res.status = st;
+      it->second.cb(res);
+      pending_.erase(it);
+      ++stats_.writes_failed;
+    }
+  }
+}
+
+void ReplicatedTree::expire_pending_before(TimePoint cutoff) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.submitted < cutoff) {
+      OpResult res;
+      res.status = Status::timeout("request expired");
+      it->second.cb(res);
+      it = pending_.erase(it);
+      ++stats_.writes_failed;
+    } else {
+      ++it;
+    }
+  }
+}
+
+// --- Primary-side request execution ------------------------------------------------
+
+void ReplicatedTree::handle_request(Bytes payload) {
+  auto req = decode_op_request(payload);
+  if (!req.is_ok()) {
+    ZAB_WARN() << "dropping malformed request";
+    return;
+  }
+  const OpRequest& r = req.value();
+
+  // Execute every op against (applied state + outstanding changes + the
+  // effects of earlier ops in this request). All-or-nothing: the first
+  // failure turns the whole request into one error txn whose new_version
+  // smuggles the failing index.
+  Overlay overlay;
+  std::vector<TreeTxn> subs;
+  TreeTxn out;
+  bool failed = false;
+  for (std::size_t i = 0; i < r.ops.size(); ++i) {
+    TreeTxn t = prep(r.ops[i], r.origin, r.req_id, r.session_id, overlay);
+    if (t.kind == TxnKind::kError) {
+      t.new_version = static_cast<std::uint32_t>(i);  // failing sub-op index
+      out = std::move(t);
+      failed = true;
+      break;
+    }
+    subs.push_back(std::move(t));
+  }
+  if (!failed) {
+    if (subs.size() == 1) {
+      out = std::move(subs.front());
+    } else {
+      out.kind = TxnKind::kMulti;
+      out.origin = r.origin;
+      out.req_id = r.req_id;
+      out.data = encode_sub_txns(subs);
+    }
+  }
+
+  auto res = node_->broadcast(encode_tree_txn(out));
+  if (!res.is_ok()) {
+    // Back-pressure or leadership lost mid-call: the origin's retry loop
+    // handles it. Complete locally if the request was ours.
+    if (r.origin == node_->id()) {
+      auto it = pending_.find(r.req_id);
+      if (it != pending_.end()) {
+        OpResult fail;
+        fail.status = res.status();
+        it->second.cb(fail);
+        pending_.erase(it);
+        ++stats_.writes_failed;
+      }
+    }
+    return;
+  }
+
+  // Record speculative effects so later requests see them until delivery.
+  if (!failed) {
+    if (out.kind == TxnKind::kMulti) {
+      for (const TreeTxn& sub : subs) record_outstanding_for(sub, overlay);
+    } else {
+      record_outstanding_for(out, overlay);
+    }
+  }
+}
+
+ReplicatedTree::ChangeRecord ReplicatedTree::speculative(
+    const std::string& path, const Overlay& overlay) const {
+  if (auto it = overlay.find(path); it != overlay.end()) return it->second;
+  if (auto it = outstanding_.find(path); it != outstanding_.end()) {
+    return it->second;
+  }
+  ChangeRecord rec;
+  auto st = tree_.stat(path);
+  if (st.is_ok()) {
+    rec.exists = true;
+    rec.version = st.value().version;
+    rec.cversion = st.value().cversion;
+    rec.owner = st.value().ephemeral_owner;
+  }
+  return rec;
+}
+
+void ReplicatedTree::note_outstanding(const std::string& path,
+                                      const ChangeRecord& cr) {
+  auto& slot = outstanding_[path];
+  const std::uint32_t count = slot.outstanding + 1;
+  slot = cr;
+  slot.outstanding = count;
+}
+
+void ReplicatedTree::record_outstanding_for(const TreeTxn& sub,
+                                            const Overlay& overlay) {
+  auto from_overlay = [this, &overlay](const std::string& p) {
+    return speculative(p, overlay);
+  };
+  switch (sub.kind) {
+    case TxnKind::kCreate:
+    case TxnKind::kDelete:
+      note_outstanding(sub.path, from_overlay(sub.path));
+      note_outstanding(DataTree::parent_of(sub.path),
+                       from_overlay(DataTree::parent_of(sub.path)));
+      break;
+    case TxnKind::kSetData:
+      note_outstanding(sub.path, from_overlay(sub.path));
+      break;
+    default:
+      break;
+  }
+}
+
+void ReplicatedTree::release_outstanding_for(const TreeTxn& sub) {
+  auto release = [this](const std::string& path) {
+    auto it = outstanding_.find(path);
+    if (it == outstanding_.end()) return;
+    if (--it->second.outstanding == 0) outstanding_.erase(it);
+  };
+  switch (sub.kind) {
+    case TxnKind::kCreate:
+    case TxnKind::kDelete:
+      release(sub.path);
+      release(DataTree::parent_of(sub.path));
+      break;
+    case TxnKind::kSetData:
+      release(sub.path);
+      break;
+    default:
+      break;
+  }
+}
+
+TreeTxn ReplicatedTree::prep(const Op& op, NodeId origin,
+                             std::uint64_t req_id, std::uint64_t session,
+                             Overlay& overlay) {
+  TreeTxn txn;
+  txn.origin = origin;
+  txn.req_id = req_id;
+  txn.path = op.path;
+  auto fail = [&txn](Code code) {
+    txn.kind = TxnKind::kError;
+    txn.error = code;
+    return txn;
+  };
+
+  switch (op.type) {
+    case OpType::kCreate: {
+      if (!DataTree::valid_path(op.path) || op.path == "/") {
+        return fail(Code::kInvalidArgument);
+      }
+      if (op.ephemeral && session == 0) {
+        return fail(Code::kInvalidArgument);  // ephemeral requires a session
+      }
+      const std::string parent = DataTree::parent_of(op.path);
+      ChangeRecord prec = speculative(parent, overlay);
+      if (!prec.exists) return fail(Code::kNotFound);
+      if (prec.owner != 0) {
+        return fail(Code::kInvalidArgument);  // ephemerals have no children
+      }
+      std::string final_path = op.path;
+      if (op.sequential) {
+        // ZooKeeper derives the suffix from the parent's cversion: unique,
+        // monotonic, and deterministic once resolved by the primary.
+        char suffix[16];
+        std::snprintf(suffix, sizeof(suffix), "%010u", prec.cversion);
+        final_path += suffix;
+      }
+      if (speculative(final_path, overlay).exists) return fail(Code::kExists);
+      txn.kind = TxnKind::kCreate;
+      txn.path = final_path;
+      txn.data = op.data;
+      txn.owner = op.ephemeral ? session : 0;
+      // Fold effects into the overlay for later ops in this request.
+      overlay[final_path] = ChangeRecord{true, 0, 0, txn.owner, 0};
+      ++prec.cversion;
+      overlay[parent] = prec;
+      return txn;
+    }
+    case OpType::kSetData: {
+      ChangeRecord rec = speculative(op.path, overlay);
+      if (!rec.exists) return fail(Code::kNotFound);
+      if (op.expected_version >= 0 &&
+          static_cast<std::uint32_t>(op.expected_version) != rec.version) {
+        return fail(Code::kBadVersion);
+      }
+      txn.kind = TxnKind::kSetData;
+      txn.data = op.data;
+      txn.new_version = rec.version + 1;
+      rec.version = txn.new_version;
+      overlay[op.path] = rec;
+      return txn;
+    }
+    case OpType::kDelete: {
+      ChangeRecord rec = speculative(op.path, overlay);
+      if (!rec.exists) return fail(Code::kNotFound);
+      if (op.expected_version >= 0 &&
+          static_cast<std::uint32_t>(op.expected_version) != rec.version) {
+        return fail(Code::kBadVersion);
+      }
+      auto kids = tree_.get_children(op.path);
+      if (kids.is_ok() && !kids.value().empty()) {
+        return fail(Code::kInvalidArgument);  // non-empty node
+      }
+      txn.kind = TxnKind::kDelete;
+      ChangeRecord parent = speculative(DataTree::parent_of(op.path), overlay);
+      ++parent.cversion;
+      overlay[DataTree::parent_of(op.path)] = parent;
+      overlay[op.path] = ChangeRecord{false, 0, 0, 0, 0};
+      return txn;
+    }
+    case OpType::kCloseSession: {
+      if (session == 0) return fail(Code::kInvalidArgument);
+      txn.kind = TxnKind::kCloseSession;
+      txn.owner = session;
+      txn.path.clear();
+      return txn;
+    }
+  }
+  return fail(Code::kInternal);
+}
+
+// --- Replica-side apply ---------------------------------------------------------------
+
+void ReplicatedTree::on_deliver(const Txn& txn) {
+  auto decoded = decode_tree_txn(txn.data);
+  if (!decoded.is_ok()) {
+    ZAB_WARN() << "undecodable txn at " << to_string(txn.zxid)
+               << " (not a TreeTxn?)";
+    return;
+  }
+  const TreeTxn& t = decoded.value();
+  apply(t, txn.zxid);
+  ++stats_.txns_applied;
+
+  // Release speculative records on the (current or former) primary.
+  if (t.kind == TxnKind::kMulti) {
+    if (auto subs = decode_sub_txns(t.data); subs.is_ok()) {
+      for (const TreeTxn& sub : subs.value()) release_outstanding_for(sub);
+    }
+  } else {
+    release_outstanding_for(t);
+  }
+
+  // Complete the client callback at the origin.
+  if (t.origin == node_->id()) {
+    complete(t, txn.zxid,
+             t.kind == TxnKind::kError ? Status(t.error, "op failed")
+                                       : Status::ok());
+  }
+}
+
+void ReplicatedTree::complete(const TreeTxn& t, Zxid zxid,
+                              const Status& status) {
+  auto it = pending_.find(t.req_id);
+  if (it == pending_.end()) return;
+  OpResult res;
+  res.zxid = zxid;
+  res.status = status;
+  if (t.kind == TxnKind::kMulti) {
+    if (auto subs = decode_sub_txns(t.data); subs.is_ok()) {
+      for (const TreeTxn& sub : subs.value()) {
+        res.paths.push_back(sub.kind == TxnKind::kCreate ? sub.path : "");
+        if (res.path.empty() && sub.kind == TxnKind::kCreate) {
+          res.path = sub.path;
+        }
+      }
+    }
+  } else {
+    res.path = t.path;
+    if (t.kind == TxnKind::kError) {
+      res.failed_index = static_cast<std::int32_t>(t.new_version);
+    }
+  }
+  it->second.cb(res);
+  pending_.erase(it);
+  if (status.is_ok()) {
+    ++stats_.writes_completed;
+  } else {
+    ++stats_.writes_failed;
+  }
+}
+
+void ReplicatedTree::apply(const TreeTxn& t, Zxid zxid) {
+  if (t.kind == TxnKind::kMulti) {
+    auto subs = decode_sub_txns(t.data);
+    if (!subs.is_ok()) {
+      ZAB_ERROR() << "undecodable multi at " << to_string(zxid);
+      return;
+    }
+    for (const TreeTxn& sub : subs.value()) apply_one(sub, zxid);
+    return;
+  }
+  apply_one(t, zxid);
+}
+
+void ReplicatedTree::apply_one(const TreeTxn& t, Zxid zxid) {
+  Status st;
+  switch (t.kind) {
+    case TxnKind::kCreate:
+      st = tree_.apply_create(t.path, t.data, zxid, t.owner);
+      break;
+    case TxnKind::kCloseSession:
+      // Deterministic sweep of the session's ephemerals (sorted paths;
+      // ephemerals never have children, so every delete succeeds).
+      for (const auto& path : tree_.ephemerals_of(t.owner)) {
+        st = tree_.apply_delete(path);
+        if (!st.is_ok()) break;
+      }
+      break;
+    case TxnKind::kDelete:
+      st = tree_.apply_delete(t.path);
+      break;
+    case TxnKind::kSetData:
+      st = tree_.apply_set_data(t.path, t.data, t.new_version, zxid);
+      break;
+    case TxnKind::kError:
+    case TxnKind::kMulti:
+      break;  // no state change / handled by caller
+  }
+  if (!st.is_ok()) {
+    ZAB_ERROR() << "txn apply failed at " << to_string(zxid) << ": "
+                << st.to_string();
+  }
+}
+
+}  // namespace zab::pb

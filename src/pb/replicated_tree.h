@@ -1,0 +1,120 @@
+// ReplicatedTree: the primary-backup coordination service on top of Zab.
+//
+// Each replica hosts a DataTree and a ZabNode. Writes submitted at any
+// replica are routed to the primary (the active Zab leader), which
+// *executes* them against its speculative state — applied tree plus the
+// effects of still-uncommitted txns, ZooKeeper's outstanding-change table —
+// and broadcasts the resulting idempotent transaction. Every replica applies
+// delivered transactions in zxid order; the origin replica additionally
+// completes the client's callback. Reads are served locally (ZooKeeper's
+// consistency model: sequential consistency per client, not linearizable
+// reads).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "pb/data_tree.h"
+#include "pb/ops.h"
+#include "zab/zab_node.h"
+
+namespace zab::pb {
+
+struct TreeStats {
+  std::uint64_t writes_submitted = 0;
+  std::uint64_t writes_completed = 0;
+  std::uint64_t writes_failed = 0;
+  std::uint64_t txns_applied = 0;
+};
+
+class ReplicatedTree {
+ public:
+  using ResultFn = std::function<void(const OpResult&)>;
+
+  /// Wires itself into `node` (deliver/request/snapshot handlers). The node
+  /// must not have been started yet.
+  explicit ReplicatedTree(ZabNode& node);
+
+  // --- Client write API (asynchronous; cb fires when the txn commits) -------
+  void create(const std::string& path, Bytes data, ResultFn cb,
+              bool sequential = false);
+  void set_data(const std::string& path, Bytes data,
+                std::int64_t expected_version, ResultFn cb);
+  void remove(const std::string& path, std::int64_t expected_version,
+              ResultFn cb);
+  /// `session` (0 = none) attributes the ops to a client session; required
+  /// for ephemeral creates and close_session.
+  void submit(Op op, ResultFn cb, std::uint64_t session = 0);
+  /// Atomic multi (ZooKeeper-style): all ops succeed and apply as one txn,
+  /// or none do; on failure the result carries the failing sub-op's index.
+  void submit_multi(std::vector<Op> ops, ResultFn cb,
+                    std::uint64_t session = 0);
+  /// Delete every ephemeral owned by `session` (one replicated txn).
+  void close_session(std::uint64_t session, ResultFn cb);
+
+  // --- Local reads ------------------------------------------------------------
+  [[nodiscard]] Result<Bytes> get(const std::string& path) const {
+    return tree_.get_data(path);
+  }
+  [[nodiscard]] bool exists(const std::string& path) const {
+    return tree_.exists(path);
+  }
+  [[nodiscard]] Result<std::vector<std::string>> children(
+      const std::string& path) const {
+    return tree_.get_children(path);
+  }
+  [[nodiscard]] Result<Stat> stat(const std::string& path) const {
+    return tree_.stat(path);
+  }
+  [[nodiscard]] DataTree& tree() { return tree_; }
+  [[nodiscard]] const TreeStats& stats() const { return stats_; }
+  [[nodiscard]] ZabNode& node() { return *node_; }
+
+  /// Fail every pending request older than `cutoff` with kTimeout (drive
+  /// from the client's retry loop; uncommitted ops die with their epoch).
+  void expire_pending_before(TimePoint cutoff);
+
+ private:
+  /// Speculative view of a path on the primary: applied state + effects of
+  /// txns broadcast but not yet applied (ZooKeeper's ChangeRecord).
+  struct ChangeRecord {
+    bool exists = false;
+    std::uint32_t version = 0;
+    std::uint32_t cversion = 0;
+    std::uint64_t owner = 0;        // ephemeral owner (0 = persistent)
+    std::uint32_t outstanding = 0;  // txns in flight touching this path
+  };
+
+  using Overlay = std::map<std::string, ChangeRecord>;
+
+  void handle_request(Bytes payload);  // leader-side prep
+  /// Validate one op against applied state + outstanding_ + overlay and
+  /// produce its resolved txn (kError on failed precondition). On success
+  /// the op's effects are folded into `overlay` so later ops of the same
+  /// multi observe them.
+  TreeTxn prep(const Op& op, NodeId origin, std::uint64_t req_id,
+               std::uint64_t session, Overlay& overlay);
+  void on_deliver(const Txn& txn);
+  void apply(const TreeTxn& t, Zxid zxid);
+  void apply_one(const TreeTxn& t, Zxid zxid);
+  [[nodiscard]] ChangeRecord speculative(const std::string& path,
+                                         const Overlay& overlay) const;
+  void note_outstanding(const std::string& path, const ChangeRecord& cr);
+  void record_outstanding_for(const TreeTxn& sub, const Overlay& overlay);
+  void release_outstanding_for(const TreeTxn& sub);
+  void complete(const TreeTxn& t, Zxid zxid, const Status& status);
+
+  ZabNode* node_;
+  DataTree tree_;
+  TreeStats stats_;
+  std::map<std::string, ChangeRecord> outstanding_;
+  struct Pending {
+    ResultFn cb;
+    TimePoint submitted;
+  };
+  std::unordered_map<std::uint64_t, Pending> pending_;  // req_id -> cb
+  std::uint64_t next_req_id_ = 1;
+};
+
+}  // namespace zab::pb

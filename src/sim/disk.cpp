@@ -1,0 +1,50 @@
+#include "sim/disk.h"
+
+#include <utility>
+#include <vector>
+
+namespace zab::sim {
+
+void DiskModel::submit(std::size_t bytes, std::function<void()> on_durable) {
+  if (cfg_.policy == SyncPolicy::kNoSync) {
+    // Still hop through the event queue so callers never re-enter.
+    const std::uint64_t inc = incarnation_;
+    sim_->after(0, [this, inc, cb = std::move(on_durable)] {
+      if (inc == incarnation_) cb();
+    });
+    return;
+  }
+  queued_.push_back(Pending{bytes, std::move(on_durable)});
+  if (!sync_in_flight_) start_sync();
+}
+
+void DiskModel::start_sync() {
+  if (queued_.empty()) return;
+  sync_in_flight_ = true;
+
+  // Decide how many queued writes this sync covers.
+  std::size_t batch = 1;
+  if (cfg_.policy == SyncPolicy::kGroupCommit) batch = queued_.size();
+
+  std::size_t bytes = 0;
+  std::vector<std::function<void()>> cbs;
+  cbs.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    bytes += queued_.front().bytes;
+    cbs.push_back(std::move(queued_.front().cb));
+    queued_.pop_front();
+  }
+
+  const Duration total = cfg_.sync_latency + write_time(bytes);
+  const std::uint64_t inc = incarnation_;
+  ++syncs_;
+  sim_->after(total, [this, inc, cbs = std::move(cbs)]() mutable {
+    if (inc != incarnation_) return;  // crashed while syncing
+    sync_in_flight_ = false;
+    for (auto& cb : cbs) cb();
+    // More writes may have queued while we were syncing (group commit).
+    if (!queued_.empty()) start_sync();
+  });
+}
+
+}  // namespace zab::sim

@@ -1,0 +1,77 @@
+// Simulated log device.
+//
+// ZooKeeper writes every proposal to a dedicated log device and a follower
+// acknowledges only after the write is forced to media (paper §6). The disk
+// model reproduces the two knobs that matter for throughput:
+//   * sync latency — the fixed cost of a force/fsync;
+//   * group commit — writes arriving while a sync is in flight are made
+//     durable together by the next sync, so the per-txn sync cost amortizes
+//     under load.
+// A crash drops all not-yet-durable writes (their callbacks never fire),
+// which is exactly the torn-tail behaviour the recovery path must tolerate.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace zab::sim {
+
+enum class SyncPolicy {
+  kSyncEachAppend,  // one force per append, serialized
+  kGroupCommit,     // batch appends that arrive during an in-flight sync
+  kNoSync,          // durable immediately (models battery-backed cache)
+};
+
+struct DiskConfig {
+  Duration sync_latency = micros(200);
+  double write_bytes_per_sec = 200.0e6;
+  SyncPolicy policy = SyncPolicy::kGroupCommit;
+};
+
+class DiskModel {
+ public:
+  DiskModel(Simulator& sim, DiskConfig cfg) : sim_(&sim), cfg_(cfg) {}
+
+  /// Submit `bytes` for durability; `on_durable` fires when they are on
+  /// stable storage.
+  void submit(std::size_t bytes, std::function<void()> on_durable);
+
+  /// Crash: every pending write is lost; callbacks never fire.
+  void crash() {
+    ++incarnation_;
+    queued_.clear();
+    sync_in_flight_ = false;
+    disk_free_ = sim_->now();
+  }
+
+  [[nodiscard]] std::uint64_t syncs_performed() const { return syncs_; }
+  [[nodiscard]] const DiskConfig& config() const { return cfg_; }
+  void set_policy(SyncPolicy p) { cfg_.policy = p; }
+
+ private:
+  struct Pending {
+    std::size_t bytes;
+    std::function<void()> cb;
+  };
+
+  [[nodiscard]] Duration write_time(std::size_t bytes) const {
+    return static_cast<Duration>(static_cast<double>(bytes) /
+                                 cfg_.write_bytes_per_sec *
+                                 static_cast<double>(kSecond));
+  }
+  void start_sync();
+
+  Simulator* sim_;
+  DiskConfig cfg_;
+  std::deque<Pending> queued_;
+  bool sync_in_flight_ = false;
+  TimePoint disk_free_ = 0;
+  std::uint64_t incarnation_ = 0;
+  std::uint64_t syncs_ = 0;
+};
+
+}  // namespace zab::sim

@@ -1,0 +1,74 @@
+// Priority queue of timestamped events for the discrete-event simulator.
+//
+// Ties are broken by insertion sequence so runs are fully deterministic.
+// Cancellation is lazy: cancelled ids stay in the heap and are skipped on
+// pop, which keeps schedule/cancel O(log n) without a secondary index.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+
+namespace zab::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  EventId schedule(TimePoint at, std::function<void()> fn) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{at, id, std::move(fn)});
+    return id;
+  }
+
+  void cancel(EventId id) { cancelled_.insert(id); }
+
+  [[nodiscard]] bool empty() {
+    drop_cancelled();
+    return heap_.empty();
+  }
+
+  [[nodiscard]] TimePoint next_time() {
+    drop_cancelled();
+    return heap_.empty() ? -1 : heap_.top().at;
+  }
+
+  /// Pops and returns the earliest live event. Precondition: !empty().
+  std::pair<TimePoint, std::function<void()>> pop() {
+    drop_cancelled();
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    return {e.at, std::move(e.fn)};
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return heap_.size();  // upper bound; includes lazily cancelled entries
+  }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Entry& o) const {
+      return at != o.at ? at > o.at : id > o.id;
+    }
+  };
+
+  void drop_cancelled() {
+    while (!heap_.empty() && cancelled_.count(heap_.top().id) != 0) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace zab::sim

@@ -1,0 +1,74 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace zab::sim {
+
+void Network::attach(NodeId id, Handler handler) {
+  handlers_[id] = std::move(handler);
+}
+
+void Network::detach(NodeId id) { handlers_.erase(id); }
+
+bool Network::is_up(NodeId id) const { return handlers_.count(id) != 0; }
+
+bool Network::can_communicate(NodeId a, NodeId b) const {
+  if (blocked_.count(ordered(a, b)) != 0) return false;
+  if (!partition_.empty()) {
+    for (const auto& group : partition_) {
+      const bool ha = group.count(a) != 0;
+      const bool hb = group.count(b) != 0;
+      if (ha || hb) return ha && hb;
+    }
+    // Nodes outside every group are isolated from everyone.
+    return false;
+  }
+  return true;
+}
+
+void Network::send(NodeId from, NodeId to, Bytes payload) {
+  ++stats_.messages_sent;
+  const std::size_t wire_bytes = payload.size() + cfg_.overhead_bytes;
+  stats_.bytes_sent += wire_bytes;
+
+  if (!can_communicate(from, to)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  // Serialize through the sender's NIC: the message departs when the egress
+  // link is free and has clocked out wire_bytes at the configured bandwidth.
+  const auto tx_time = static_cast<Duration>(
+      static_cast<double>(wire_bytes) / cfg_.egress_bytes_per_sec *
+      static_cast<double>(kSecond));
+  TimePoint& egress = egress_free_[from];
+  const TimePoint departure = std::max(sim_->now(), egress) + tx_time;
+  egress = departure;
+
+  if (cfg_.loss_probability > 0.0 && rng_.chance(cfg_.loss_probability)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  const auto jitter = static_cast<Duration>(
+      rng_.exponential(static_cast<double>(cfg_.jitter_mean)));
+  TimePoint arrival = departure + cfg_.base_latency + jitter;
+
+  // Enforce FIFO per (from, to): never deliver before an earlier message on
+  // the same channel.
+  TimePoint& last = last_arrival_[{from, to}];
+  arrival = std::max(arrival, last + 1);
+  last = arrival;
+
+  sim_->at(arrival, [this, from, to, payload = std::move(payload)]() mutable {
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      ++stats_.messages_dropped;  // receiver crashed in flight
+      return;
+    }
+    ++stats_.messages_delivered;
+    it->second(from, std::move(payload));
+  });
+}
+
+}  // namespace zab::sim

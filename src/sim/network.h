@@ -1,0 +1,109 @@
+// Simulated message network.
+//
+// Models the resources that bound Zab's performance in the paper's testbed:
+//   * per-node egress bandwidth — a leader fanning a proposal out to N
+//     followers serializes N copies through its NIC, which is why broadcast
+//     throughput *falls* as the ensemble grows (paper's throughput figure);
+//   * per-link propagation latency plus exponential jitter;
+//   * message loss and network partitions for fault-injection tests.
+// Delivery is FIFO per (sender, receiver) pair while both stay up, matching
+// the TCP channels ZooKeeper uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/time.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace zab::sim {
+
+struct NetworkConfig {
+  /// One-way propagation delay.
+  Duration base_latency = millis(1) / 10;  // 100us, LAN-like
+  /// Mean of the exponential jitter added to each message.
+  Duration jitter_mean = micros(20);
+  /// Probability that a message is silently dropped.
+  double loss_probability = 0.0;
+  /// Per-node NIC egress bandwidth in bytes/second (1 Gbit/s default).
+  double egress_bytes_per_sec = 125.0e6;
+  /// Fixed per-message framing overhead added to the payload size.
+  std::size_t overhead_bytes = 64;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;  // loss + partition + dead receiver
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(NodeId from, Bytes payload)>;
+
+  Network(Simulator& sim, NetworkConfig cfg)
+      : sim_(&sim), cfg_(cfg), rng_(sim.rng().fork()) {}
+
+  /// Register (or re-register after restart) a node's receive handler and
+  /// mark it up.
+  void attach(NodeId id, Handler handler);
+  /// Mark a node down: in-flight messages to it are dropped on arrival and
+  /// its handler is released.
+  void detach(NodeId id);
+  [[nodiscard]] bool is_up(NodeId id) const;
+
+  /// Send payload from -> to. No-op (counted as drop) if blocked.
+  void send(NodeId from, NodeId to, Bytes payload);
+
+  // --- Fault injection -----------------------------------------------------
+
+  /// Block both directions between a and b.
+  void block_pair(NodeId a, NodeId b) { blocked_.insert(ordered(a, b)); }
+  void unblock_pair(NodeId a, NodeId b) { blocked_.erase(ordered(a, b)); }
+  /// Partition the node set into groups; traffic crosses groups only if
+  /// both endpoints are in the same group. Pass {} to heal.
+  void set_partition(std::vector<std::set<NodeId>> groups) {
+    partition_ = std::move(groups);
+  }
+  void heal() {
+    blocked_.clear();
+    partition_.clear();
+  }
+  void set_loss(double p) { cfg_.loss_probability = p; }
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] static std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+  [[nodiscard]] bool can_communicate(NodeId a, NodeId b) const;
+
+  struct PairHash {
+    std::size_t operator()(const std::pair<NodeId, NodeId>& p) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(p.first) << 32) | p.second);
+    }
+  };
+
+  Simulator* sim_;
+  NetworkConfig cfg_;
+  Rng rng_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  std::unordered_map<NodeId, TimePoint> egress_free_;
+  std::unordered_map<std::pair<NodeId, NodeId>, TimePoint, PairHash>
+      last_arrival_;
+  std::set<std::pair<NodeId, NodeId>> blocked_;
+  std::vector<std::set<NodeId>> partition_;
+  NetworkStats stats_;
+};
+
+}  // namespace zab::sim

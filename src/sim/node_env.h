@@ -1,0 +1,86 @@
+// Per-node Env implementation on top of the simulator.
+//
+// Owns the node's timers and its attachment to the simulated network. A
+// crash invalidates every outstanding timer and detaches from the network;
+// restart() re-attaches with a fresh message handler (typically a newly
+// constructed protocol peer reading the surviving storage).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/env.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace zab::sim {
+
+class NodeEnv final : public Env {
+ public:
+  NodeEnv(Simulator& sim, Network& net, NodeId id)
+      : sim_(&sim), net_(&net), id_(id), rng_(sim.rng().fork()) {}
+
+  // --- Env -----------------------------------------------------------------
+  [[nodiscard]] NodeId self() const override { return id_; }
+  [[nodiscard]] TimePoint now() const override { return sim_->now(); }
+
+  void send(NodeId to, Bytes payload) override {
+    if (up_) net_->send(id_, to, std::move(payload));
+  }
+
+  TimerId set_timer(Duration delay, std::function<void()> fn) override {
+    const TimerId tid = next_timer_++;
+    const std::uint64_t inc = incarnation_;
+    const EventId eid =
+        sim_->after(delay, [this, tid, inc, fn = std::move(fn)] {
+          if (inc != incarnation_) return;
+          timers_.erase(tid);
+          fn();
+        });
+    timers_[tid] = eid;
+    return tid;
+  }
+
+  void cancel_timer(TimerId id) override {
+    auto it = timers_.find(id);
+    if (it == timers_.end()) return;
+    sim_->cancel(it->second);
+    timers_.erase(it);
+  }
+
+  [[nodiscard]] Rng& rng() override { return rng_; }
+
+  // --- Lifecycle -----------------------------------------------------------
+  using Handler = Network::Handler;
+
+  void attach(Handler on_message) {
+    up_ = true;
+    net_->attach(id_, std::move(on_message));
+  }
+
+  /// Crash the node: detach from the network and kill all timers. Storage
+  /// objects are owned by the caller and survive.
+  void crash() {
+    up_ = false;
+    ++incarnation_;
+    timers_.clear();
+    net_->detach(id_);
+  }
+
+  void restart(Handler on_message) { attach(std::move(on_message)); }
+
+  [[nodiscard]] bool is_up() const { return up_; }
+  [[nodiscard]] Simulator& simulator() { return *sim_; }
+
+ private:
+  Simulator* sim_;
+  Network* net_;
+  NodeId id_;
+  Rng rng_;
+  bool up_ = false;
+  std::uint64_t incarnation_ = 0;
+  TimerId next_timer_ = 1;
+  std::unordered_map<TimerId, EventId> timers_;
+};
+
+}  // namespace zab::sim

@@ -1,0 +1,409 @@
+#include "storage/file_storage.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/logging.h"
+
+namespace zab::storage {
+
+namespace {
+
+constexpr std::uint32_t kEpochMagic = 0x4f50455au;  // "ZEPO"
+constexpr std::uint32_t kSnapMagic = 0x504e535au;   // "ZSNP"
+constexpr std::uint32_t kFormatVersion = 1;
+
+std::string zxid_hex(Zxid z) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(z.packed()));
+  return buf;
+}
+
+Status write_all(int fd, std::span<const std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::io_error(std::string("write: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+std::string FileStorage::segment_path(Zxid start) const {
+  return opts_.dir + "/log." + zxid_hex(start);
+}
+std::string FileStorage::snap_path(Zxid z) const {
+  return opts_.dir + "/snap." + zxid_hex(z);
+}
+
+Result<std::unique_ptr<FileStorage>> FileStorage::open(
+    FileStorageOptions opts) {
+  ZAB_RETURN_IF_ERROR(make_dirs(opts.dir));
+  std::unique_ptr<FileStorage> fs(new FileStorage(std::move(opts)));
+  ZAB_RETURN_IF_ERROR(fs->recover());
+  return fs;
+}
+
+FileStorage::~FileStorage() = default;
+
+// --- Recovery ----------------------------------------------------------------
+
+Status FileStorage::recover() {
+  ZAB_RETURN_IF_ERROR(load_epoch_file());
+  ZAB_RETURN_IF_ERROR(load_latest_snapshot());
+
+  auto names = list_dir(opts_.dir);
+  if (!names.is_ok()) return names.status();
+  for (const auto& name : names.value()) {
+    if (name.rfind("log.", 0) != 0) continue;
+    const std::string hex = name.substr(4);
+    if (hex.size() != 16) continue;
+    Segment seg;
+    seg.start = Zxid::from_packed(std::strtoull(hex.c_str(), nullptr, 16));
+    seg.path = opts_.dir + "/" + name;
+    segments_.push_back(std::move(seg));
+  }
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& a, const Segment& b) { return a.start < b.start; });
+
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    ZAB_RETURN_IF_ERROR(
+        recover_segment(segments_[i], i + 1 == segments_.size()));
+  }
+  // Drop segments that ended up empty (e.g. fully torn).
+  std::erase_if(segments_, [this](const Segment& s) {
+    if (!s.entries.empty()) return false;
+    (void)remove_file(s.path);
+    return true;
+  });
+
+  // Reopen the last segment for appending.
+  if (!segments_.empty()) {
+    active_fd_ = Fd(::open(segments_.back().path.c_str(),
+                           O_WRONLY | O_APPEND | O_CLOEXEC));
+    if (!active_fd_.valid()) {
+      return Status::io_error("reopen active segment " + segments_.back().path);
+    }
+  }
+  return Status::ok();
+}
+
+Status FileStorage::recover_segment(Segment& seg, bool is_last) {
+  auto data_res = read_file(seg.path);
+  if (!data_res.is_ok()) return data_res.status();
+  const Bytes& data = data_res.value();
+
+  std::size_t pos = 0;
+  std::uint64_t valid_bytes = 0;
+  while (pos + 8 <= data.size()) {
+    std::uint32_t len = 0;
+    std::uint32_t masked = 0;
+    std::memcpy(&len, data.data() + pos, 4);
+    std::memcpy(&masked, data.data() + pos + 4, 4);
+    if (pos + 8 + len > data.size()) break;  // short record: torn tail
+    const std::span<const std::uint8_t> payload(data.data() + pos + 8, len);
+    if (crc32c_mask(crc32c(payload)) != masked) break;  // corrupt record
+    BufReader r(payload);
+    Txn t = decode_txn(r);
+    if (!r.ok() || !r.at_end()) break;
+    seg.entries.push_back(std::move(t));
+    pos += 8 + len;
+    valid_bytes = pos;
+  }
+
+  if (valid_bytes != data.size()) {
+    if (!is_last) {
+      return Status::corruption("corrupt record in non-final segment " +
+                                seg.path);
+    }
+    // Torn write at the tail of the newest segment: expected after a crash.
+    ZAB_WARN() << "truncating torn tail of " << seg.path << " at "
+               << valid_bytes << "/" << data.size();
+    ZAB_RETURN_IF_ERROR(truncate_file(seg.path, valid_bytes));
+  }
+  seg.bytes = valid_bytes;
+  return Status::ok();
+}
+
+Status FileStorage::load_epoch_file() {
+  const std::string path = opts_.dir + "/epoch";
+  if (!file_exists(path)) return Status::ok();
+  auto data = read_file(path);
+  if (!data.is_ok()) return data.status();
+  BufReader r(data.value());
+  const std::uint32_t magic = r.u32();
+  const std::uint32_t version = r.u32();
+  const Epoch accepted = r.u32();
+  const Epoch current = r.u32();
+  const std::uint32_t crc = r.u32();
+  if (!r.ok() || magic != kEpochMagic || version != kFormatVersion) {
+    return Status::corruption("bad epoch file header");
+  }
+  BufWriter w;
+  w.u32(magic);
+  w.u32(version);
+  w.u32(accepted);
+  w.u32(current);
+  if (crc32c(w.data()) != crc) return Status::corruption("epoch file CRC");
+  accepted_epoch_ = accepted;
+  current_epoch_ = current;
+  return Status::ok();
+}
+
+Status FileStorage::store_epoch_file() {
+  BufWriter w;
+  w.u32(kEpochMagic);
+  w.u32(kFormatVersion);
+  w.u32(accepted_epoch_);
+  w.u32(current_epoch_);
+  const std::uint32_t crc = crc32c(w.data());
+  w.u32(crc);
+  return atomic_write_file(opts_.dir + "/epoch", w.data(), opts_.fsync);
+}
+
+Status FileStorage::load_latest_snapshot() {
+  auto names = list_dir(opts_.dir);
+  if (!names.is_ok()) return names.status();
+  Zxid best = Zxid::zero();
+  std::string best_path;
+  for (const auto& name : names.value()) {
+    if (name.rfind("snap.", 0) != 0) continue;
+    const std::string hex = name.substr(5);
+    if (hex.size() != 16) continue;
+    const Zxid z = Zxid::from_packed(std::strtoull(hex.c_str(), nullptr, 16));
+    if (best_path.empty() || z > best) {
+      best = z;
+      best_path = opts_.dir + "/" + name;
+    }
+  }
+  if (best_path.empty()) return Status::ok();
+  auto data = read_file(best_path);
+  if (!data.is_ok()) return data.status();
+  BufReader r(data.value());
+  const std::uint32_t magic = r.u32();
+  const std::uint32_t version = r.u32();
+  const Zxid z = r.zxid();
+  Bytes state = r.bytes();
+  const std::uint32_t crc = r.u32();
+  if (!r.ok() || magic != kSnapMagic || version != kFormatVersion) {
+    return Status::corruption("bad snapshot header " + best_path);
+  }
+  BufWriter w;
+  w.u32(magic);
+  w.u32(version);
+  w.zxid(z);
+  w.bytes(state);
+  if (crc32c(w.data()) != crc) {
+    // A torn snapshot is ignored; an older one (or none) still gives a
+    // correct, if slower, recovery.
+    ZAB_WARN() << "ignoring snapshot with bad CRC: " << best_path;
+    return Status::ok();
+  }
+  snap_ = Snapshot{z, std::move(state)};
+  return Status::ok();
+}
+
+// --- Epochs --------------------------------------------------------------------
+
+Status FileStorage::set_accepted_epoch(Epoch e) {
+  accepted_epoch_ = e;
+  return store_epoch_file();
+}
+Status FileStorage::set_current_epoch(Epoch e) {
+  current_epoch_ = e;
+  return store_epoch_file();
+}
+
+// --- Log write path --------------------------------------------------------------
+
+Status FileStorage::start_segment(Zxid start) {
+  Segment seg;
+  seg.start = start;
+  seg.path = segment_path(start);
+  active_fd_ = Fd(::open(seg.path.c_str(),
+                         O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+  if (!active_fd_.valid()) {
+    return Status::io_error("create segment " + seg.path);
+  }
+  segments_.push_back(std::move(seg));
+  return Status::ok();
+}
+
+Status FileStorage::write_record(const Txn& txn) {
+  BufWriter payload;
+  encode_txn(payload, txn);
+  BufWriter rec(payload.size() + 8);
+  rec.u32(static_cast<std::uint32_t>(payload.size()));
+  rec.u32(crc32c_mask(crc32c(payload.data())));
+  rec.raw(payload.data());
+  ZAB_RETURN_IF_ERROR(write_all(active_fd_.get(), rec.data()));
+  if (opts_.fsync && ::fsync(active_fd_.get()) != 0) {
+    return Status::io_error("fsync segment");
+  }
+  segments_.back().bytes += rec.size();
+  return Status::ok();
+}
+
+void FileStorage::append(const Txn& txn, std::function<void()> on_durable) {
+  Status st;
+  if (segments_.empty() || segments_.back().bytes >= opts_.segment_bytes) {
+    st = start_segment(txn.zxid);
+  }
+  if (st.is_ok()) st = write_record(txn);
+  if (st.is_ok()) {
+    segments_.back().entries.push_back(txn);
+    last_io_status_ = Status::ok();
+    if (on_durable) on_durable();
+  } else {
+    // The durability callback never fires; the caller's ACK is withheld,
+    // which is the correct protocol-level response to a dead disk.
+    last_io_status_ = st;
+    ZAB_ERROR() << "append failed: " << st.to_string();
+  }
+}
+
+Status FileStorage::rewrite_segment(Segment& seg) {
+  BufWriter out;
+  for (const Txn& t : seg.entries) {
+    BufWriter payload;
+    encode_txn(payload, t);
+    out.u32(static_cast<std::uint32_t>(payload.size()));
+    out.u32(crc32c_mask(crc32c(payload.data())));
+    out.raw(payload.data());
+  }
+  ZAB_RETURN_IF_ERROR(atomic_write_file(seg.path, out.data(), opts_.fsync));
+  seg.bytes = out.size();
+  return Status::ok();
+}
+
+Status FileStorage::truncate_after(Zxid last_keep) {
+  active_fd_.reset();
+  while (!segments_.empty() && segments_.back().start > last_keep) {
+    ZAB_RETURN_IF_ERROR(remove_file(segments_.back().path));
+    segments_.pop_back();
+  }
+  if (!segments_.empty()) {
+    Segment& seg = segments_.back();
+    const std::size_t before = seg.entries.size();
+    while (!seg.entries.empty() && seg.entries.back().zxid > last_keep) {
+      seg.entries.pop_back();
+    }
+    if (seg.entries.empty()) {
+      ZAB_RETURN_IF_ERROR(remove_file(seg.path));
+      segments_.pop_back();
+    } else if (seg.entries.size() != before) {
+      ZAB_RETURN_IF_ERROR(rewrite_segment(seg));
+    }
+  }
+  if (!segments_.empty()) {
+    active_fd_ = Fd(::open(segments_.back().path.c_str(),
+                           O_WRONLY | O_APPEND | O_CLOEXEC));
+    if (!active_fd_.valid()) return Status::io_error("reopen after truncate");
+  }
+  return Status::ok();
+}
+
+// --- Log read path ----------------------------------------------------------------
+
+Zxid FileStorage::last_zxid() const {
+  if (!segments_.empty() && !segments_.back().entries.empty()) {
+    return segments_.back().entries.back().zxid;
+  }
+  if (snap_) return snap_->last_included;
+  return Zxid::zero();
+}
+
+Zxid FileStorage::latest_at_or_below(Zxid z) const {
+  Zxid best = Zxid::zero();
+  if (snap_ && snap_->last_included <= z) best = snap_->last_included;
+  for (const auto& seg : segments_) {
+    if (seg.start > z) break;
+    for (const auto& t : seg.entries) {
+      if (t.zxid > z) break;
+      best = std::max(best, t.zxid);
+    }
+  }
+  return best;
+}
+
+bool FileStorage::covers(Zxid z) const {
+  if (z == Zxid::zero()) return true;
+  if (snap_ && snap_->last_included == z) return true;
+  return latest_at_or_below(z) == z && z != Zxid::zero();
+}
+
+std::vector<Txn> FileStorage::entries_in(Zxid after, Zxid upto) const {
+  std::vector<Txn> out;
+  for (const auto& seg : segments_) {
+    for (const auto& t : seg.entries) {
+      if (t.zxid > after && t.zxid <= upto) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+Zxid FileStorage::first_logged() const {
+  for (const auto& seg : segments_) {
+    if (!seg.entries.empty()) return seg.entries.front().zxid;
+  }
+  return Zxid::max();
+}
+
+std::size_t FileStorage::total_entries() const {
+  std::size_t n = 0;
+  for (const auto& seg : segments_) n += seg.entries.size();
+  return n;
+}
+
+// --- Snapshots ------------------------------------------------------------------------
+
+Status FileStorage::save_snapshot(const Snapshot& snap) {
+  BufWriter w;
+  w.u32(kSnapMagic);
+  w.u32(kFormatVersion);
+  w.zxid(snap.last_included);
+  w.bytes(snap.state);
+  w.u32(crc32c(w.data()));
+  ZAB_RETURN_IF_ERROR(
+      atomic_write_file(snap_path(snap.last_included), w.data(), opts_.fsync));
+  snap_ = snap;
+  return Status::ok();
+}
+
+Status FileStorage::install_snapshot(const Snapshot& snap) {
+  ZAB_RETURN_IF_ERROR(save_snapshot(snap));
+  // The local log is obsolete: a snapshot install replaces history.
+  active_fd_.reset();
+  for (auto& seg : segments_) {
+    ZAB_RETURN_IF_ERROR(remove_file(seg.path));
+  }
+  segments_.clear();
+  return Status::ok();
+}
+
+void FileStorage::purge_log(std::size_t keep) {
+  if (!snap_) return;
+  while (segments_.size() > 1) {
+    const Segment& first = segments_.front();
+    if (first.entries.empty() ||
+        first.entries.back().zxid > snap_->last_included) {
+      break;
+    }
+    if (total_entries() - first.entries.size() < keep) break;
+    (void)remove_file(first.path);
+    segments_.erase(segments_.begin());
+  }
+}
+
+}  // namespace zab::storage

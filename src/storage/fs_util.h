@@ -1,0 +1,50 @@
+// Small POSIX filesystem helpers with RAII file descriptors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+
+namespace zab::storage {
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+Status make_dirs(const std::string& path);
+[[nodiscard]] bool file_exists(const std::string& path);
+Result<std::vector<std::string>> list_dir(const std::string& dir);
+Result<Bytes> read_file(const std::string& path);
+/// Write file atomically: temp file in the same dir, fsync, rename, fsync dir.
+Status atomic_write_file(const std::string& path, std::span<const std::uint8_t> data,
+                         bool do_fsync);
+Status remove_file(const std::string& path);
+Status fsync_dir(const std::string& dir);
+Status truncate_file(const std::string& path, std::uint64_t size);
+Status remove_dir_recursive(const std::string& dir);
+
+}  // namespace zab::storage

@@ -1,0 +1,80 @@
+// In-memory ZabStorage used in simulation.
+//
+// "Stable storage" here means: survives a *simulated* crash of the protocol
+// peer. The object itself is owned by the test/bench harness and outlives
+// peer restarts. Durability is delegated to a pluggable scheduler (the
+// simulator's DiskModel): an appended entry becomes durable only when the
+// scheduler fires its callback, and crash_volatile() discards the
+// not-yet-durable tail — reproducing a real machine losing its page cache.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "storage/zab_storage.h"
+
+namespace zab::storage {
+
+class MemStorage final : public ZabStorage {
+ public:
+  /// Scheduler invoked with (bytes, on_durable). The default makes appends
+  /// durable immediately (synchronously).
+  using DurabilityScheduler =
+      std::function<void(std::size_t, std::function<void()>)>;
+
+  MemStorage() = default;
+  explicit MemStorage(DurabilityScheduler sched) : sched_(std::move(sched)) {}
+
+  void set_scheduler(DurabilityScheduler sched) { sched_ = std::move(sched); }
+
+  // --- ZabStorage ------------------------------------------------------------
+  [[nodiscard]] Epoch accepted_epoch() const override { return accepted_epoch_; }
+  [[nodiscard]] Epoch current_epoch() const override { return current_epoch_; }
+  Status set_accepted_epoch(Epoch e) override {
+    accepted_epoch_ = e;
+    return Status::ok();
+  }
+  Status set_current_epoch(Epoch e) override {
+    current_epoch_ = e;
+    return Status::ok();
+  }
+
+  void append(const Txn& txn, std::function<void()> on_durable) override;
+  Status truncate_after(Zxid last_keep) override;
+  [[nodiscard]] Zxid last_zxid() const override;
+  [[nodiscard]] Zxid latest_at_or_below(Zxid z) const override;
+  [[nodiscard]] bool covers(Zxid z) const override;
+  [[nodiscard]] std::vector<Txn> entries_in(Zxid after,
+                                            Zxid upto) const override;
+  [[nodiscard]] Zxid first_logged() const override;
+
+  Status save_snapshot(const Snapshot& snap) override;
+  Status install_snapshot(const Snapshot& snap) override;
+  [[nodiscard]] std::optional<Snapshot> snapshot() const override {
+    return snap_;
+  }
+  void purge_log(std::size_t keep) override;
+
+  // --- Simulation hooks --------------------------------------------------------
+  /// Model a machine crash: drop every entry whose durability callback has
+  /// not fired yet. (Pair with DiskModel::crash(), which drops the
+  /// callbacks themselves.)
+  void crash_volatile();
+
+  [[nodiscard]] std::size_t log_size() const { return log_.size(); }
+
+ private:
+  struct Entry {
+    Txn txn;
+    bool durable = false;
+  };
+
+  DurabilityScheduler sched_;
+  std::deque<Entry> log_;  // zxid-ordered
+  std::optional<Snapshot> snap_;
+  Epoch accepted_epoch_ = kNoEpoch;
+  Epoch current_epoch_ = kNoEpoch;
+  std::uint64_t next_append_seq_ = 0;
+};
+
+}  // namespace zab::storage

@@ -1,0 +1,359 @@
+// Leader-side protocol logic: Phase 1 (discovery), Phase 2
+// (synchronization) and the leader half of Phase 3 (broadcast).
+//
+// The prospective leader:
+//   1. collects CEPOCH from a quorum, picks e' greater than every promised
+//      epoch, and proposes it with NEWEPOCH;
+//   2. on ACKEPOCH verifies no follower's history is more recent than its
+//      own (FLE makes that the common case; if violated it abdicates);
+//   3. synchronizes each follower with TRUNC / SNAP / history replay so the
+//      follower's log is a prefix-copy of the leader's, then sends
+//      NEWLEADER(e');
+//   4. once a quorum (counting itself) has durably accepted the history and
+//      acked NEWLEADER, it activates: currentEpoch := e', its entire
+//      initial history commits, UPTODATE flows out, and broadcast starts.
+//
+// Followers that arrive late (e.g. restarted replicas) go through the same
+// CEPOCH → sync → UPTODATE path against the established epoch, like
+// ZooKeeper's per-learner LearnerHandler.
+#include <algorithm>
+
+#include "common/logging.h"
+#include "zab/zab_node.h"
+
+namespace zab {
+
+void ZabNode::leader_begin_discovery() {
+  followers_.clear();
+  newleader_acks_.clear();
+  synced_observers_.clear();
+  proposals_.clear();
+  activated_ = false;
+  new_epoch_sent_ = false;
+  self_history_durable_ = false;
+  establishing_epoch_ = kNoEpoch;
+  history_end_ = last_logged_;
+
+  if (discovery_timer_ != kNoTimer) env_->cancel_timer(discovery_timer_);
+  discovery_timer_ = env_->set_timer(cfg_.discovery_timeout, [this] {
+    if (role_ == Role::kLeading && !activated_) {
+      ZAB_DEBUG() << "node " << cfg_.id << ": leadership establishment timed out";
+      go_to_election();
+    }
+  });
+
+  leader_try_new_epoch();  // single-node ensembles proceed immediately
+}
+
+void ZabNode::on_cepoch(NodeId from, const CEpochMsg& m) {
+  if (role_ != Role::kLeading) return;
+
+  FollowerState fs;
+  fs.stage = FollowerState::Stage::kDiscovered;
+  fs.accepted_epoch = m.accepted_epoch;
+  fs.current_epoch = m.current_epoch;
+  fs.last_zxid = m.last_zxid;
+  fs.last_contact = env_->now();
+  followers_[from] = fs;  // re-joining followers restart from scratch
+
+  if (new_epoch_sent_) {
+    // Epoch already chosen (late CEPOCH or re-join): offer it directly.
+    send_to(from, NewEpochMsg{establishing_epoch_});
+    return;
+  }
+  leader_try_new_epoch();
+}
+
+void ZabNode::leader_try_new_epoch() {
+  if (new_epoch_sent_) return;
+  if (followers_.size() + 1 < quorum()) return;  // +1: ourselves
+
+  Epoch max_promised = storage_->accepted_epoch();
+  for (const auto& [nid, fs] : followers_) {
+    max_promised = std::max(max_promised, fs.accepted_epoch);
+  }
+  const Epoch e = max_promised + 1;
+  if (Status st = storage_->set_accepted_epoch(e); !st.is_ok()) {
+    ZAB_ERROR() << "persist acceptedEpoch failed: " << st.to_string();
+    go_to_election();
+    return;
+  }
+  establishing_epoch_ = e;
+  new_epoch_sent_ = true;
+  ZAB_DEBUG() << "node " << cfg_.id << ": proposing NEWEPOCH " << e;
+
+  const Bytes wire = encode_message(NewEpochMsg{e});
+  for (const auto& [nid, fs] : followers_) {
+    ++stats_.sent[static_cast<std::size_t>(MsgType::kNewEpoch)];
+    env_->send(nid, wire);
+  }
+
+  // Our own history counts toward the NEWLEADER quorum once durable; in a
+  // single-node ensemble this alone activates the epoch.
+  if (last_durable_ >= history_end_) {
+    self_history_durable_ = true;
+    newleader_acks_.insert(cfg_.id);
+    leader_try_activate();
+  }
+}
+
+void ZabNode::on_ack_epoch(NodeId from, const AckEpochMsg& m) {
+  if (role_ != Role::kLeading || !new_epoch_sent_) return;
+  auto it = followers_.find(from);
+  if (it == followers_.end()) return;
+  FollowerState& fs = it->second;
+  if (fs.stage != FollowerState::Stage::kDiscovered) return;
+
+  fs.stage = FollowerState::Stage::kEpochAcked;
+  fs.current_epoch = m.current_epoch;
+  fs.last_zxid = m.last_zxid;
+  fs.last_contact = env_->now();
+
+  // Safety net: the paper's discovery phase selects the most recent history
+  // from the quorum. FLE already made us the most recent; if a follower
+  // nevertheless reports a strictly newer *epoch* (possible under
+  // partitions and vote loss), leading with our stale history could drop
+  // committed txns — abdicate and re-elect. A follower merely ahead within
+  // our OWN currentEpoch is different: quorum intersection guarantees every
+  // committed txn reached the FLE winner, so its surplus is an uncommitted
+  // tail and the sync path TRUNCs it.
+  if (!activated_ && fs.current_epoch > storage_->current_epoch()) {
+    ZAB_WARN() << "node " << cfg_.id << ": follower " << from
+               << " has newer epoch " << fs.current_epoch << "; abdicating";
+    go_to_election();
+    return;
+  }
+
+  leader_sync_follower(from);
+}
+
+void ZabNode::leader_sync_follower(NodeId f) {
+  FollowerState& fs = followers_.at(f);
+  const Zxid sync_end = last_logged_;
+
+  // Find the latest point in OUR history at or below the follower's last
+  // zxid. Everything the follower has beyond that point belongs to an
+  // abandoned branch and must go (TRUNC); everything we have beyond it is
+  // replayed. Proposals are unique per zxid, so logs agree on every zxid
+  // both contain and this single point fully determines the diff.
+  Zxid t = storage_->latest_at_or_below(fs.last_zxid);
+
+  if (t < fs.last_zxid) {
+    send_to(f, TruncMsg{establishing_epoch_, t});
+  }
+
+  // If part of (t, sync_end] has been folded into a snapshot, we cannot
+  // replay it entry-by-entry: ship the whole snapshot instead (SNAP).
+  const auto snap = storage_->snapshot();
+  if (snap && t < snap->last_included) {
+    send_to(f, SnapMsg{establishing_epoch_, snap->last_included, snap->state});
+    t = snap->last_included;
+  }
+
+  Zxid prev = t;
+  for (const Txn& txn : storage_->entries_in(t, sync_end)) {
+    send_to(f, ProposeMsg{establishing_epoch_, /*sync=*/true, prev, txn});
+    prev = txn.zxid;
+  }
+  send_to(f, NewLeaderMsg{establishing_epoch_, sync_end});
+
+  // From this moment every new proposal also flows to f (FIFO order puts
+  // them after NEWLEADER), so the stream stays gap-free.
+  fs.stage = FollowerState::Stage::kSyncing;
+}
+
+void ZabNode::on_ack_new_leader(NodeId from, const AckNewLeaderMsg& m) {
+  if (role_ != Role::kLeading || m.epoch != establishing_epoch_) return;
+  auto it = followers_.find(from);
+  if (it == followers_.end() ||
+      it->second.stage != FollowerState::Stage::kSyncing) {
+    return;
+  }
+  it->second.last_contact = env_->now();
+
+  if (cfg_.is_observer(from)) {
+    // Observers never count toward the NEWLEADER quorum.
+    if (activated_) {
+      leader_activate_follower(from);
+    } else {
+      synced_observers_.insert(from);
+    }
+    return;
+  }
+
+  newleader_acks_.insert(from);
+  if (activated_) {
+    leader_activate_follower(from);
+  } else {
+    leader_try_activate();
+  }
+}
+
+void ZabNode::leader_try_activate() {
+  if (activated_ || role_ != Role::kLeading) return;
+  if (newleader_acks_.size() < quorum()) return;
+
+  // Phase 2 complete: a quorum holds our entire initial history durably.
+  // The history therefore commits (paper: the new epoch's initial history
+  // is delivered before any new proposal), and e' becomes current.
+  if (Status st = storage_->set_current_epoch(establishing_epoch_);
+      !st.is_ok()) {
+    ZAB_ERROR() << "persist currentEpoch failed: " << st.to_string();
+    go_to_election();
+    return;
+  }
+  activated_ = true;
+  next_counter_ = 0;
+  if (discovery_timer_ != kNoTimer) {
+    env_->cancel_timer(discovery_timer_);
+    discovery_timer_ = kNoTimer;
+  }
+  ZAB_INFO() << "node " << cfg_.id << ": leading epoch " << establishing_epoch_
+             << ", history up to " << to_string(history_end_);
+
+  become(Role::kLeading, Phase::kBroadcast);
+  advance_watermark(history_end_);
+
+  for (auto& [nid, fs] : followers_) {
+    if (fs.stage == FollowerState::Stage::kSyncing &&
+        (newleader_acks_.count(nid) != 0 ||
+         synced_observers_.count(nid) != 0)) {
+      leader_activate_follower(nid);
+    }
+  }
+  synced_observers_.clear();
+
+  quorum_ok_since_ = env_->now();
+  auto beat = [this](auto&& self_fn) -> void {
+    if (role_ != Role::kLeading || !activated_) return;
+    leader_heartbeat();
+    leader_check_quorum_liveness();
+    if (role_ != Role::kLeading) return;  // stepped down in liveness check
+    heartbeat_timer_ = env_->set_timer(
+        cfg_.heartbeat_interval, [this, self_fn] { self_fn(self_fn); });
+  };
+  heartbeat_timer_ = env_->set_timer(cfg_.heartbeat_interval,
+                                     [this, beat] { beat(beat); });
+}
+
+void ZabNode::leader_activate_follower(NodeId f) {
+  FollowerState& fs = followers_.at(f);
+  send_to(f, UpToDateMsg{establishing_epoch_, commit_watermark_});
+  fs.stage = FollowerState::Stage::kActive;
+}
+
+// --- Broadcast phase ----------------------------------------------------------
+
+void ZabNode::on_ack(NodeId from, const AckMsg& m) {
+  if (role_ != Role::kLeading || !activated_ ||
+      m.epoch != establishing_epoch_) {
+    return;
+  }
+  auto it = followers_.find(from);
+  if (it == followers_.end()) return;
+  it->second.last_contact = env_->now();
+  if (m.zxid > it->second.last_zxid) it->second.last_zxid = m.zxid;
+
+  if (cfg_.is_voting(from)) leader_record_acks(from, m.zxid);
+}
+
+void ZabNode::leader_record_acks(NodeId from, Zxid upto) {
+  // ACKs are cumulative: followers log in order, so durability of `upto`
+  // implies durability of every earlier proposal. This also lets PONGs (which
+  // carry the follower's durable watermark) repair ACKs lost on the wire.
+  if (proposals_.empty() || upto.epoch != establishing_epoch_) return;
+  const std::uint32_t front = proposals_.front().txn.zxid.counter;
+  if (upto.counter < front) return;  // all already committed
+  const std::size_t end =
+      std::min<std::size_t>(upto.counter - front + 1, proposals_.size());
+  for (std::size_t i = 0; i < end; ++i) {
+    proposals_[i].acks.insert(from);
+  }
+  leader_try_commit();
+}
+
+void ZabNode::leader_try_commit() {
+  // Commit strictly in zxid order: only the head of the pipeline may
+  // commit, guaranteeing followers see a gap-free commit sequence.
+  while (!proposals_.empty()) {
+    Proposal& p = proposals_.front();
+    if (p.acks.size() < quorum()) break;  // self is inserted when durable
+    const Zxid z = p.txn.zxid;
+    proposals_.pop_front();
+    ++stats_.txns_committed;
+
+    const Bytes wire = encode_message(CommitMsg{establishing_epoch_, z});
+    for (const auto& [nid, fs] : followers_) {
+      if (fs.stage == FollowerState::Stage::kSyncing ||
+          fs.stage == FollowerState::Stage::kActive) {
+        ++stats_.sent[static_cast<std::size_t>(MsgType::kCommit)];
+        env_->send(nid, wire);
+      }
+    }
+    advance_watermark(z);
+  }
+}
+
+void ZabNode::on_pong(NodeId from, const PongMsg& m) {
+  if (role_ != Role::kLeading || m.epoch != establishing_epoch_) return;
+  auto it = followers_.find(from);
+  if (it == followers_.end()) return;
+  it->second.last_contact = env_->now();
+  if (m.last_durable > it->second.last_zxid) {
+    it->second.last_zxid = m.last_durable;
+  }
+  if (activated_ && cfg_.is_voting(from)) {
+    leader_record_acks(from, m.last_durable);
+  }
+}
+
+void ZabNode::on_request(NodeId from, RequestMsg m) {
+  (void)from;
+  if (!is_active_leader()) return;  // client retries via its own timeout
+  if (request_handler_) {
+    request_handler_(std::move(m.payload));
+    return;
+  }
+  auto res = broadcast(std::move(m.payload));
+  if (!res.is_ok()) {
+    ZAB_TRACE() << "node " << cfg_.id
+                << ": dropping forwarded request: " << res.status().to_string();
+  }
+}
+
+void ZabNode::leader_heartbeat() {
+  const Bytes wire =
+      encode_message(PingMsg{establishing_epoch_, commit_watermark_});
+  for (const auto& [nid, fs] : followers_) {
+    if (fs.stage == FollowerState::Stage::kActive) {
+      ++stats_.sent[static_cast<std::size_t>(MsgType::kPing)];
+      env_->send(nid, wire);
+    }
+  }
+}
+
+void ZabNode::leader_check_quorum_liveness() {
+  const TimePoint now = env_->now();
+  std::size_t live = 1;  // self
+  for (const auto& [nid, fs] : followers_) {
+    if (cfg_.is_voting(nid) && fs.stage == FollowerState::Stage::kActive &&
+        now - fs.last_contact <= cfg_.follower_timeout) {
+      ++live;
+    }
+  }
+  if (live >= quorum()) {
+    quorum_ok_since_ = now;
+    return;
+  }
+  if (now - quorum_ok_since_ > cfg_.leader_quorum_timeout) {
+    ZAB_DEBUG() << "node " << cfg_.id
+                << ": lost contact with a quorum; stepping down";
+    go_to_election();
+  }
+}
+
+bool ZabNode::leader_epoch_valid(Epoch e) const {
+  return e == establishing_epoch_ && establishing_epoch_ != kNoEpoch;
+}
+
+}  // namespace zab

@@ -1,0 +1,160 @@
+// Zab wire messages and their binary codec.
+//
+// Naming follows the paper (§4): CEPOCH, NEWEPOCH, ACKEPOCH, NEWLEADER,
+// ACK(NEWLEADER), PROPOSE, ACK, COMMIT — plus ZooKeeper's realization
+// details: Fast-Leader-Election notifications (VOTE), DIFF/TRUNC/SNAP
+// synchronization, UPTODATE activation, and PING/PONG heartbeats.
+//
+// Every post-election message carries the sender's epoch so stale messages
+// from deposed leaders are rejected by a single check.
+#pragma once
+
+#include <optional>
+#include <variant>
+
+#include "common/buffer.h"
+#include "common/txn.h"
+#include "common/types.h"
+#include "zab/config.h"
+
+namespace zab {
+
+enum class MsgType : std::uint8_t {
+  kVote = 1,
+  kCEpoch = 2,
+  kNewEpoch = 3,
+  kAckEpoch = 4,
+  kTrunc = 5,
+  kSnap = 6,
+  kNewLeader = 7,
+  kAckNewLeader = 8,
+  kUpToDate = 9,
+  kPropose = 10,
+  kAck = 11,
+  kCommit = 12,
+  kPing = 13,
+  kPong = 14,
+  kRequest = 15,
+};
+
+[[nodiscard]] const char* msg_type_name(MsgType t);
+inline constexpr int kNumMsgTypes = 16;
+
+/// Fast-Leader-Election notification. The vote (proposed leader + that
+/// leader's history position) is totally ordered by
+/// (peer_epoch, last_zxid, leader id); see election.cpp.
+struct VoteMsg {
+  NodeId proposed_leader = kNoNode;
+  Zxid proposed_zxid;     // last zxid of the proposed leader's history
+  Epoch proposed_epoch = kNoEpoch;  // currentEpoch of the proposed leader
+  ElectionEpoch round = 0;
+  Role sender_role = Role::kLooking;
+};
+
+/// Follower -> prospective leader: my acceptedEpoch (f.p) and history tail.
+struct CEpochMsg {
+  Epoch accepted_epoch = kNoEpoch;
+  Epoch current_epoch = kNoEpoch;
+  Zxid last_zxid;
+};
+
+/// Leader -> follower: the new epoch e' (> every acceptedEpoch in a quorum).
+struct NewEpochMsg {
+  Epoch epoch = kNoEpoch;
+};
+
+/// Follower -> leader: accepted e'; reports currentEpoch (f.a) and history
+/// tail so the leader can verify it has the most recent history.
+struct AckEpochMsg {
+  Epoch current_epoch = kNoEpoch;
+  Zxid last_zxid;
+};
+
+/// Leader -> follower (sync): drop log entries after truncate_to.
+struct TruncMsg {
+  Epoch epoch = kNoEpoch;
+  Zxid truncate_to;
+};
+
+/// Leader -> follower (sync): full state transfer.
+struct SnapMsg {
+  Epoch epoch = kNoEpoch;
+  Zxid last_included;
+  Bytes state;
+};
+
+/// Leader -> follower: end of sync stream for epoch e'. history_end is the
+/// last zxid of the stream; a mismatch at the follower means the stream had
+/// a hole (lost message) and forces a re-sync.
+struct NewLeaderMsg {
+  Epoch epoch = kNoEpoch;
+  Zxid history_end;
+};
+
+/// Follower -> leader: sync stream is durable; I accept you for e'.
+struct AckNewLeaderMsg {
+  Epoch epoch = kNoEpoch;
+};
+
+/// Leader -> follower: a quorum accepted e'; deliver up to commit_upto and
+/// start serving.
+struct UpToDateMsg {
+  Epoch epoch = kNoEpoch;
+  Zxid commit_upto;
+};
+
+/// Leader -> follower: a transaction. `sync` marks history entries replayed
+/// during synchronization (covered by ACK-NEWLEADER, not ACKed per entry).
+/// For sync entries, `prev` is the zxid preceding this one in the sync
+/// stream: the follower only accepts an entry that chains directly onto its
+/// log tail, so entries from a stale/holey stream can never create gaps.
+struct ProposeMsg {
+  Epoch epoch = kNoEpoch;
+  bool sync = false;
+  Zxid prev;
+  Txn txn;
+};
+
+/// Follower -> leader: txn is on my stable storage.
+struct AckMsg {
+  Epoch epoch = kNoEpoch;
+  Zxid zxid;
+};
+
+/// Leader -> follower: txn is committed; deliver in order.
+struct CommitMsg {
+  Epoch epoch = kNoEpoch;
+  Zxid zxid;
+};
+
+/// Leader heartbeat; carries the commit watermark so idle followers converge.
+struct PingMsg {
+  Epoch epoch = kNoEpoch;
+  Zxid last_committed;
+};
+
+/// Follower heartbeat reply; last_durable doubles as a cumulative ACK (the
+/// log is written in order, so durability of z implies durability of all
+/// zxids <= z) — this heals proposal ACKs lost on the wire.
+struct PongMsg {
+  Epoch epoch = kNoEpoch;
+  Zxid last_durable;
+};
+
+/// Client operation forwarded to the leader by a follower.
+struct RequestMsg {
+  Bytes payload;
+};
+
+using Message =
+    std::variant<VoteMsg, CEpochMsg, NewEpochMsg, AckEpochMsg, TruncMsg,
+                 SnapMsg, NewLeaderMsg, AckNewLeaderMsg, UpToDateMsg,
+                 ProposeMsg, AckMsg, CommitMsg, PingMsg, PongMsg, RequestMsg>;
+
+[[nodiscard]] MsgType message_type(const Message& m);
+[[nodiscard]] Bytes encode_message(const Message& m);
+/// Returns nullopt on malformed input (short, bad tag, trailing bytes).
+[[nodiscard]] std::optional<Message> decode_message(
+    std::span<const std::uint8_t> wire);
+
+}  // namespace zab

@@ -1,0 +1,531 @@
+#include "zab/zab_node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace zab {
+
+ZabNode::ZabNode(ZabConfig cfg, Env& env, storage::ZabStorage& storage)
+    : cfg_(std::move(cfg)), env_(&env), storage_(&storage) {
+  assert(cfg_.id != kNoNode);
+  assert(cfg_.is_voting(cfg_.id) || cfg_.is_observer(cfg_.id));
+}
+
+ZabNode::~ZabNode() = default;
+
+void ZabNode::start() {
+  assert(!started_);
+  started_ = true;
+
+  // Recover volatile state from stable storage. Entries found in the log
+  // are durable by definition. Nothing recovered is delivered yet: whether
+  // the logged tail survives is decided by the synchronization phase of the
+  // next established epoch (it may be truncated). Application state resumes
+  // from the last snapshot; committed txns beyond it are re-delivered, which
+  // is safe because Zab transactions are idempotent.
+  last_logged_ = storage_->last_zxid();
+  last_durable_ = last_logged_;
+  if (auto snap = storage_->snapshot()) {
+    last_delivered_ = snap->last_included;
+    commit_watermark_ = snap->last_included;
+    for (auto& inst : snapshot_installers_) {
+      inst(snap->last_included, snap->state);
+    }
+  }
+  const auto entries = storage_->entries_in(last_delivered_, last_logged_);
+  undelivered_.assign(entries.begin(), entries.end());
+
+  ZAB_INFO() << "node " << cfg_.id << " starting: last_logged="
+             << to_string(last_logged_)
+             << " acceptedEpoch=" << storage_->accepted_epoch()
+             << " currentEpoch=" << storage_->current_epoch();
+  start_election();
+}
+
+void ZabNode::shutdown() {
+  cancel_phase_timers();
+}
+
+// --- Message plumbing -----------------------------------------------------------
+
+void ZabNode::send_to(NodeId to, const Message& m) {
+  ++stats_.sent[static_cast<std::size_t>(message_type(m))];
+  env_->send(to, encode_message(m));
+}
+
+void ZabNode::broadcast_to_peers(const Message& m) {
+  const Bytes wire = encode_message(m);
+  const auto t = static_cast<std::size_t>(message_type(m));
+  for (NodeId p : cfg_.all_members()) {
+    if (p == cfg_.id) continue;
+    ++stats_.sent[t];
+    env_->send(p, wire);
+  }
+}
+
+void ZabNode::on_message(NodeId from, std::span<const std::uint8_t> wire) {
+  auto decoded = decode_message(wire);
+  if (!decoded) {
+    ZAB_WARN() << "node " << cfg_.id << ": malformed message from " << from;
+    return;
+  }
+  ++stats_.received[static_cast<std::size_t>(message_type(*decoded))];
+
+  std::visit(
+      [this, from](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, VoteMsg>) {
+          on_vote(from, m);
+        } else if constexpr (std::is_same_v<T, CEpochMsg>) {
+          on_cepoch(from, m);
+        } else if constexpr (std::is_same_v<T, NewEpochMsg>) {
+          on_new_epoch(from, m);
+        } else if constexpr (std::is_same_v<T, AckEpochMsg>) {
+          on_ack_epoch(from, m);
+        } else if constexpr (std::is_same_v<T, TruncMsg>) {
+          on_trunc(from, m);
+        } else if constexpr (std::is_same_v<T, SnapMsg>) {
+          on_snap(from, std::move(m));
+        } else if constexpr (std::is_same_v<T, NewLeaderMsg>) {
+          on_new_leader(from, m);
+        } else if constexpr (std::is_same_v<T, AckNewLeaderMsg>) {
+          on_ack_new_leader(from, m);
+        } else if constexpr (std::is_same_v<T, UpToDateMsg>) {
+          on_up_to_date(from, m);
+        } else if constexpr (std::is_same_v<T, ProposeMsg>) {
+          on_propose(from, std::move(m));
+        } else if constexpr (std::is_same_v<T, AckMsg>) {
+          on_ack(from, m);
+        } else if constexpr (std::is_same_v<T, CommitMsg>) {
+          on_commit(from, m);
+        } else if constexpr (std::is_same_v<T, PingMsg>) {
+          on_ping(from, m);
+        } else if constexpr (std::is_same_v<T, PongMsg>) {
+          on_pong(from, m);
+        } else if constexpr (std::is_same_v<T, RequestMsg>) {
+          on_request(from, std::move(m));
+        }
+      },
+      std::move(*decoded));
+}
+
+// --- Role / phase transitions ------------------------------------------------------
+
+void ZabNode::become(Role r, Phase p) {
+  role_ = r;
+  phase_ = p;
+  for (auto& h : state_handlers_) h(role_, storage_->current_epoch());
+}
+
+void ZabNode::cancel_phase_timers() {
+  for (TimerId* t : {&finalize_timer_, &rebroadcast_timer_,
+                     &follower_liveness_timer_, &discovery_timer_,
+                     &heartbeat_timer_}) {
+    if (*t != kNoTimer) {
+      env_->cancel_timer(*t);
+      *t = kNoTimer;
+    }
+  }
+}
+
+void ZabNode::go_to_election() {
+  cancel_phase_timers();
+  leader_ = kNoNode;
+  followers_.clear();
+  newleader_acks_.clear();
+  synced_observers_.clear();
+  proposals_.clear();
+  activated_ = false;
+  new_epoch_sent_ = false;
+  self_history_durable_ = false;
+  establishing_epoch_ = kNoEpoch;
+  new_leader_pending_ = false;
+  start_election();
+}
+
+// --- Delivery ----------------------------------------------------------------------
+
+void ZabNode::advance_watermark(Zxid z) {
+  if (z > commit_watermark_) commit_watermark_ = z;
+  try_deliver();
+}
+
+void ZabNode::try_deliver() {
+  // Delivery is gated on activation (phase 3): during synchronization a
+  // follower learns commit watermarks but must not deliver until UPTODATE
+  // fixes the initial history of the new epoch.
+  if (phase_ != Phase::kBroadcast) return;
+  bool delivered = false;
+  while (!undelivered_.empty() &&
+         undelivered_.front().zxid <= commit_watermark_) {
+    Txn& t = undelivered_.front();
+    assert(t.zxid > last_delivered_);
+    last_delivered_ = t.zxid;
+    ++stats_.txns_delivered;
+    ++delivered_since_snapshot_;
+    for (auto& h : deliver_handlers_) h(t);
+    undelivered_.pop_front();
+    delivered = true;
+  }
+  if (delivered) maybe_snapshot();
+}
+
+void ZabNode::maybe_snapshot() {
+  if (cfg_.snapshot_every == 0 || !snapshot_provider_) return;
+  if (delivered_since_snapshot_ < cfg_.snapshot_every) return;
+  storage::Snapshot snap{last_delivered_, snapshot_provider_()};
+  if (Status st = storage_->save_snapshot(snap); !st.is_ok()) {
+    ZAB_ERROR() << "node " << cfg_.id << ": snapshot failed: " << st.to_string();
+    return;
+  }
+  storage_->purge_log(cfg_.log_retain);
+  delivered_since_snapshot_ = 0;
+  ++stats_.snapshots_taken;
+}
+
+// --- Durability notifications ---------------------------------------------------------
+
+void ZabNode::note_append_durable(Zxid z) {
+  if (z > last_durable_) last_durable_ = z;
+
+  if (role_ == Role::kLeading) {
+    // The leader's own history counts toward the NEWLEADER quorum...
+    if (!self_history_durable_ && establishing_epoch_ != kNoEpoch &&
+        last_durable_ >= history_end_) {
+      self_history_durable_ = true;
+      newleader_acks_.insert(cfg_.id);
+      leader_try_activate();
+    }
+    // ...and its log write is its ACK for its own proposals.
+    if (activated_ && !proposals_.empty() &&
+        z.epoch == establishing_epoch_) {
+      const std::uint32_t front = proposals_.front().txn.zxid.counter;
+      if (z.counter >= front) {
+        const std::size_t idx = z.counter - front;
+        if (idx < proposals_.size()) {
+          proposals_[idx].acks.insert(cfg_.id);
+          leader_try_commit();
+        }
+      }
+    }
+    return;
+  }
+
+  if (role_ == Role::kFollowing && new_leader_pending_ &&
+      pending_appends_ == 0) {
+    follower_finish_sync();
+  }
+}
+
+// --- Client operations ------------------------------------------------------------------
+
+Result<Zxid> ZabNode::broadcast(Bytes op) {
+  if (!is_active_leader()) return Status::not_leader();
+  if (proposals_.size() >= cfg_.max_outstanding) {
+    return Status::not_ready("too many outstanding proposals");
+  }
+  const Zxid z{establishing_epoch_, ++next_counter_};
+  Txn txn{z, std::move(op)};
+
+  // Register the proposal BEFORE the append: with synchronous storage the
+  // durability callback (our own ACK) fires inside append().
+  last_logged_ = z;
+  undelivered_.push_back(txn);
+  proposals_.push_back(Proposal{txn, {}});
+  ++stats_.proposals_made;
+  ++pending_appends_;
+  storage_->append(txn, [this, z] {
+    --pending_appends_;
+    note_append_durable(z);
+  });
+
+  const Bytes wire = encode_message(
+      ProposeMsg{establishing_epoch_, /*sync=*/false, Zxid{}, std::move(txn)});
+  for (const auto& [nid, fs] : followers_) {
+    if (fs.stage == FollowerState::Stage::kSyncing ||
+        fs.stage == FollowerState::Stage::kActive) {
+      ++stats_.sent[static_cast<std::size_t>(MsgType::kPropose)];
+      env_->send(nid, wire);
+    }
+  }
+  return z;
+}
+
+Status ZabNode::submit(Bytes op) {
+  if (is_active_leader()) {
+    if (request_handler_) {
+      request_handler_(std::move(op));
+      return Status::ok();
+    }
+    return broadcast(std::move(op)).status();
+  }
+  if (role_ == Role::kFollowing && phase_ == Phase::kBroadcast &&
+      leader_ != kNoNode) {
+    send_to(leader_, RequestMsg{std::move(op)});
+    return Status::ok();
+  }
+  return Status::not_ready("no active leader known");
+}
+
+// --- Follower: discovery and synchronization ----------------------------------------------
+
+bool ZabNode::from_current_leader(NodeId from, Epoch epoch) const {
+  return role_ == Role::kFollowing && from == leader_ &&
+         epoch == storage_->current_epoch() && epoch != kNoEpoch;
+}
+
+void ZabNode::follower_begin_discovery(NodeId leader_id) {
+  leader_ = leader_id;
+  role_ = Role::kFollowing;
+  phase_ = Phase::kDiscovery;
+  send_to(leader_, CEpochMsg{storage_->accepted_epoch(),
+                             storage_->current_epoch(), last_logged_});
+  // Re-send CEPOCH while waiting: the prospective leader may not have
+  // concluded its own election yet (models ZooKeeper's connection retry).
+  if (discovery_timer_ != kNoTimer) env_->cancel_timer(discovery_timer_);
+  const TimePoint deadline = env_->now() + cfg_.discovery_timeout;
+  auto retry = [this, deadline](auto&& self_fn) -> void {
+    if (role_ != Role::kFollowing || phase_ != Phase::kDiscovery) return;
+    if (env_->now() >= deadline) {
+      ZAB_DEBUG() << "node " << cfg_.id << ": discovery timed out";
+      go_to_election();
+      return;
+    }
+    send_to(leader_, CEpochMsg{storage_->accepted_epoch(),
+                               storage_->current_epoch(), last_logged_});
+    discovery_timer_ = env_->set_timer(
+        cfg_.election_rebroadcast, [this, self_fn] { self_fn(self_fn); });
+  };
+  discovery_timer_ = env_->set_timer(cfg_.election_rebroadcast,
+                                     [this, retry] { retry(retry); });
+}
+
+void ZabNode::follower_resync() {
+  // The stream from the leader had a gap (models a broken TCP connection):
+  // rejoin the same leader through discovery.
+  ++stats_.resyncs;
+  ZAB_DEBUG() << "node " << cfg_.id << ": resync with leader " << leader_;
+  cancel_phase_timers();
+  new_leader_pending_ = false;
+  follower_begin_discovery(leader_);
+}
+
+void ZabNode::on_new_epoch(NodeId from, const NewEpochMsg& m) {
+  if (role_ != Role::kFollowing || phase_ != Phase::kDiscovery ||
+      from != leader_) {
+    return;
+  }
+  if (m.epoch < storage_->accepted_epoch()) {
+    // Paper: a NEWEPOCH older than our promise means this leader lost; we
+    // must not go backwards.
+    go_to_election();
+    return;
+  }
+  if (Status st = storage_->set_accepted_epoch(m.epoch); !st.is_ok()) {
+    ZAB_ERROR() << "persist acceptedEpoch failed: " << st.to_string();
+    return;
+  }
+  phase_ = Phase::kSynchronization;
+  send_to(leader_, AckEpochMsg{storage_->current_epoch(), last_logged_});
+
+  // Re-arm the phase deadline for synchronization.
+  if (discovery_timer_ != kNoTimer) env_->cancel_timer(discovery_timer_);
+  discovery_timer_ = env_->set_timer(cfg_.sync_timeout, [this] {
+    if (role_ == Role::kFollowing && phase_ == Phase::kSynchronization) {
+      ZAB_DEBUG() << "node " << cfg_.id << ": synchronization timed out";
+      go_to_election();
+    }
+  });
+}
+
+void ZabNode::on_trunc(NodeId from, const TruncMsg& m) {
+  if (role_ != Role::kFollowing || phase_ != Phase::kSynchronization ||
+      from != leader_ || m.epoch != storage_->accepted_epoch()) {
+    return;
+  }
+  assert(m.truncate_to >= commit_watermark_ &&
+         "protocol violation: committed txn truncated");
+  if (Status st = storage_->truncate_after(m.truncate_to); !st.is_ok()) {
+    ZAB_ERROR() << "truncate failed: " << st.to_string();
+    go_to_election();
+    return;
+  }
+  last_logged_ = storage_->last_zxid();
+  last_durable_ = std::min(last_durable_, last_logged_);
+  while (!undelivered_.empty() &&
+         undelivered_.back().zxid > m.truncate_to) {
+    undelivered_.pop_back();
+  }
+}
+
+void ZabNode::on_snap(NodeId from, SnapMsg m) {
+  if (role_ != Role::kFollowing || phase_ != Phase::kSynchronization ||
+      from != leader_ || m.epoch != storage_->accepted_epoch()) {
+    return;
+  }
+  storage::Snapshot snap{m.last_included, std::move(m.state)};
+  if (Status st = storage_->install_snapshot(snap); !st.is_ok()) {
+    ZAB_ERROR() << "snapshot install failed: " << st.to_string();
+    go_to_election();
+    return;
+  }
+  for (auto& inst : snapshot_installers_) {
+    inst(snap.last_included, snap.state);
+  }
+  undelivered_.clear();
+  last_logged_ = snap.last_included;
+  last_durable_ = snap.last_included;
+  last_delivered_ = snap.last_included;
+  delivered_since_snapshot_ = 0;
+  if (snap.last_included > commit_watermark_) {
+    commit_watermark_ = snap.last_included;
+  }
+}
+
+void ZabNode::on_new_leader(NodeId from, const NewLeaderMsg& m) {
+  if (role_ != Role::kFollowing || phase_ != Phase::kSynchronization ||
+      from != leader_) {
+    return;
+  }
+  if (m.epoch != storage_->accepted_epoch()) {
+    // We promised a different epoch in between; this leader is stale.
+    go_to_election();
+    return;
+  }
+  if (last_logged_ != m.history_end) {
+    // The sync stream had a hole (lost TRUNC/SNAP/entry): accepting the
+    // epoch now would let the leader count an incomplete history toward
+    // its quorum. Start the sync over.
+    follower_resync();
+    return;
+  }
+  new_leader_pending_ = true;
+  pending_new_leader_epoch_ = m.epoch;
+  if (pending_appends_ == 0) follower_finish_sync();
+}
+
+void ZabNode::follower_finish_sync() {
+  // All sync-stream entries are durable: accept the new epoch (sets f.a,
+  // the paper's currentEpoch) and ack NEWLEADER.
+  new_leader_pending_ = false;
+  if (Status st = storage_->set_current_epoch(pending_new_leader_epoch_);
+      !st.is_ok()) {
+    ZAB_ERROR() << "persist currentEpoch failed: " << st.to_string();
+    go_to_election();
+    return;
+  }
+  send_to(leader_, AckNewLeaderMsg{pending_new_leader_epoch_});
+}
+
+void ZabNode::on_up_to_date(NodeId from, const UpToDateMsg& m) {
+  if (!from_current_leader(from, m.epoch) ||
+      phase_ != Phase::kSynchronization) {
+    return;
+  }
+  if (discovery_timer_ != kNoTimer) {
+    env_->cancel_timer(discovery_timer_);
+    discovery_timer_ = kNoTimer;
+  }
+  last_leader_contact_ = env_->now();
+  become(Role::kFollowing, Phase::kBroadcast);
+
+  // Periodic leader-liveness check.
+  auto liveness = [this](auto&& self_fn) -> void {
+    if (role_ != Role::kFollowing || phase_ != Phase::kBroadcast) return;
+    if (env_->now() - last_leader_contact_ > cfg_.follower_timeout) {
+      ZAB_DEBUG() << "node " << cfg_.id << ": leader " << leader_
+                  << " timed out";
+      go_to_election();
+      return;
+    }
+    follower_liveness_timer_ = env_->set_timer(
+        cfg_.heartbeat_interval, [this, self_fn] { self_fn(self_fn); });
+  };
+  follower_liveness_timer_ = env_->set_timer(
+      cfg_.heartbeat_interval, [this, liveness] { liveness(liveness); });
+
+  advance_watermark(m.commit_upto);
+}
+
+// --- Follower: broadcast phase ------------------------------------------------------------
+
+void ZabNode::on_propose(NodeId from, ProposeMsg m) {
+  if (role_ != Role::kFollowing || from != leader_) return;
+
+  if (m.sync) {
+    // History replay during synchronization; covered by ACK-NEWLEADER.
+    if (phase_ != Phase::kSynchronization ||
+        m.epoch != storage_->accepted_epoch()) {
+      return;
+    }
+    // Only accept entries that chain directly onto our log tail: entries
+    // from a stale sync stream (a previous attempt that lost messages)
+    // cannot silently punch holes into the log.
+    if (m.prev != last_logged_) return;
+    append_follower_entry(std::move(m.txn), /*want_ack=*/false, m.epoch);
+    return;
+  }
+
+  // Live proposal: requires the epoch to be established on this follower.
+  if (m.epoch != storage_->current_epoch() ||
+      (phase_ != Phase::kBroadcast && phase_ != Phase::kSynchronization)) {
+    return;
+  }
+  last_leader_contact_ = env_->now();
+
+  // Gap detection: proposals arrive in strict zxid order; a hole means we
+  // lost a message (broken channel) and must re-sync with the leader.
+  const Zxid z = m.txn.zxid;
+  const bool contiguous =
+      (z.epoch == last_logged_.epoch && z.counter == last_logged_.counter + 1) ||
+      (z.epoch > last_logged_.epoch && z.counter == 1);
+  if (!contiguous) {
+    if (z <= last_logged_) return;  // duplicate
+    follower_resync();
+    return;
+  }
+  append_follower_entry(std::move(m.txn), /*want_ack=*/true, m.epoch);
+}
+
+void ZabNode::append_follower_entry(Txn txn, bool want_ack, Epoch epoch) {
+  const Zxid z = txn.zxid;
+  last_logged_ = z;
+  undelivered_.push_back(txn);
+  ++pending_appends_;
+  storage_->append(txn, [this, z, want_ack, epoch] {
+    --pending_appends_;
+    if (want_ack && role_ == Role::kFollowing && leader_ != kNoNode &&
+        storage_->current_epoch() == epoch) {
+      send_to(leader_, AckMsg{epoch, z});
+    }
+    note_append_durable(z);
+  });
+  try_deliver();  // commit may already cover it (watermark from PING)
+}
+
+void ZabNode::on_commit(NodeId from, const CommitMsg& m) {
+  if (!from_current_leader(from, m.epoch)) return;
+  last_leader_contact_ = env_->now();
+  if (m.zxid > last_logged_) {
+    // Channels are FIFO, so the leader's PROPOSE for a committed zxid must
+    // have arrived before its COMMIT — unless it was lost. Re-sync.
+    follower_resync();
+    return;
+  }
+  advance_watermark(m.zxid);
+}
+
+void ZabNode::on_ping(NodeId from, const PingMsg& m) {
+  if (!from_current_leader(from, m.epoch)) return;
+  last_leader_contact_ = env_->now();
+  if (phase_ == Phase::kBroadcast && m.last_committed > last_logged_) {
+    follower_resync();  // missed a proposal (see on_commit)
+    return;
+  }
+  send_to(leader_, PongMsg{m.epoch, last_durable_});
+  advance_watermark(m.last_committed);
+}
+
+}  // namespace zab

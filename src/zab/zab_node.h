@@ -1,0 +1,269 @@
+// ZabNode: one replica running the Zab protocol (the paper's contribution).
+//
+// A ZabNode is a passive, single-threaded state machine. Its owner wires it
+// to an Env (simulated or real) and feeds it messages via on_message(); the
+// node reacts by sending messages, setting timers, appending to storage, and
+// invoking the deliver handler. The same object implements all roles; it
+// moves through the paper's phases:
+//
+//   Phase 0 (election)        Fast Leader Election: vote for the peer with
+//                             the most recent history (currentEpoch, zxid, id).
+//   Phase 1 (discovery)       CEPOCH / NEWEPOCH / ACKEPOCH: establish an
+//                             epoch e' newer than any a quorum has promised,
+//                             and verify the leader's history is the latest.
+//   Phase 2 (synchronization) DIFF/TRUNC/SNAP + NEWLEADER/ACK + UPTODATE:
+//                             make a quorum's history identical to the
+//                             leader's before any new proposal.
+//   Phase 3 (broadcast)       PROPOSE/ACK/COMMIT two-phase pipeline, commits
+//                             strictly in zxid order.
+//
+// Correctness notes mirrored from the paper are inline where they matter.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "common/txn.h"
+#include "storage/zab_storage.h"
+#include "zab/config.h"
+#include "zab/messages.h"
+
+namespace zab {
+
+struct NodeStats {
+  std::array<std::uint64_t, kNumMsgTypes> sent{};
+  std::array<std::uint64_t, kNumMsgTypes> received{};
+  std::uint64_t proposals_made = 0;
+  std::uint64_t txns_committed = 0;
+  std::uint64_t txns_delivered = 0;
+  std::uint64_t elections_started = 0;
+  std::uint64_t times_elected_leader = 0;
+  std::uint64_t resyncs = 0;  // follower rejoined after gap/timeout
+  std::uint64_t snapshots_taken = 0;
+
+  [[nodiscard]] std::uint64_t total_sent() const {
+    std::uint64_t n = 0;
+    for (auto v : sent) n += v;
+    return n;
+  }
+};
+
+class ZabNode {
+ public:
+  /// Called exactly once, in zxid order, for every committed transaction.
+  using DeliverFn = std::function<void(const Txn&)>;
+  /// Role/epoch transitions (LOOKING <-> FOLLOWING/LEADING).
+  using StateFn = std::function<void(Role, Epoch)>;
+  /// Application state for snapshots (serialize current state).
+  using SnapshotProvider = std::function<Bytes()>;
+  /// Replace application state from a snapshot (full state transfer).
+  using SnapshotInstaller = std::function<void(Zxid, const Bytes&)>;
+  /// Leader-side request processor (the paper's "primary executes client
+  /// operations"): transforms an incoming request into zero or more
+  /// broadcast() calls with idempotent txn payloads. Without one, requests
+  /// are broadcast verbatim.
+  using RequestFn = std::function<void(Bytes)>;
+
+  ZabNode(ZabConfig cfg, Env& env, storage::ZabStorage& storage);
+  ~ZabNode();
+  ZabNode(const ZabNode&) = delete;
+  ZabNode& operator=(const ZabNode&) = delete;
+
+  /// Handlers are additive: several observers (application, invariant
+  /// checker, metrics) can subscribe; they run in registration order.
+  void add_deliver_handler(DeliverFn fn) {
+    deliver_handlers_.push_back(std::move(fn));
+  }
+  void add_state_handler(StateFn fn) {
+    state_handlers_.push_back(std::move(fn));
+  }
+  void add_snapshot_installer(SnapshotInstaller fn) {
+    snapshot_installers_.push_back(std::move(fn));
+  }
+  /// The snapshot provider is single (exactly one component owns the
+  /// application state); the last call wins.
+  void set_snapshot_provider(SnapshotProvider fn) {
+    snapshot_provider_ = std::move(fn);
+  }
+  void set_request_handler(RequestFn fn) { request_handler_ = std::move(fn); }
+
+  /// Recover local state from storage and start electing. Call once.
+  void start();
+
+  /// Cancel all timers; the node goes silent (used before destruction in
+  /// threaded runtimes; simulated crashes use Env teardown instead).
+  void shutdown();
+
+  /// Feed a raw message from the wire. Malformed input is dropped.
+  void on_message(NodeId from, std::span<const std::uint8_t> wire);
+
+  /// Leader-only: broadcast an operation. Returns its zxid, kNotLeader if
+  /// this node is not an active leader, kNotReady under back-pressure.
+  Result<Zxid> broadcast(Bytes op);
+
+  /// Any role: route an operation to the current leader (forwards when
+  /// following). kNotReady when no leader is known.
+  Status submit(Bytes op);
+
+  // --- Introspection ----------------------------------------------------------
+  [[nodiscard]] NodeId id() const { return cfg_.id; }
+  [[nodiscard]] Role role() const { return role_; }
+  [[nodiscard]] Phase phase() const { return phase_; }
+  [[nodiscard]] NodeId leader() const { return leader_; }
+  /// Epoch this node operates in (currentEpoch once established).
+  [[nodiscard]] Epoch epoch() const { return storage_->current_epoch(); }
+  [[nodiscard]] Zxid last_logged() const { return last_logged_; }
+  [[nodiscard]] Zxid last_committed() const { return commit_watermark_; }
+  [[nodiscard]] Zxid last_delivered() const { return last_delivered_; }
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  [[nodiscard]] bool is_active_leader() const {
+    return role_ == Role::kLeading && phase_ == Phase::kBroadcast;
+  }
+  [[nodiscard]] std::size_t outstanding_proposals() const {
+    return proposals_.size();
+  }
+  [[nodiscard]] const ZabConfig& config() const { return cfg_; }
+  [[nodiscard]] Env& env() { return *env_; }
+
+ private:
+  // --- Common helpers (zab_node.cpp) ---
+  void send_to(NodeId to, const Message& m);
+  void broadcast_to_peers(const Message& m);
+  void become(Role r, Phase p);
+  void go_to_election();
+  void cancel_phase_timers();
+  void advance_watermark(Zxid z);
+  void try_deliver();
+  void maybe_snapshot();
+  void note_append_durable(Zxid z);
+  [[nodiscard]] std::size_t quorum() const { return cfg_.quorum_size(); }
+
+  // --- Election / Phase 0 (election.cpp) ---
+  struct Vote {
+    NodeId leader = kNoNode;
+    Zxid zxid;
+    Epoch epoch = kNoEpoch;
+  };
+  [[nodiscard]] static bool vote_gt(const Vote& a, const Vote& b);
+  [[nodiscard]] Vote self_vote() const;
+  void start_election();
+  void broadcast_vote();
+  void on_vote(NodeId from, const VoteMsg& m);
+  void check_election_quorum();
+  void finalize_election();
+  void elected(NodeId leader_id);
+  [[nodiscard]] VoteMsg current_vote_msg() const;
+
+  // --- Follower side (zab_node.cpp) ---
+  void follower_begin_discovery(NodeId leader_id);
+  void follower_resync();
+  void on_new_epoch(NodeId from, const NewEpochMsg& m);
+  void on_trunc(NodeId from, const TruncMsg& m);
+  void on_snap(NodeId from, SnapMsg m);
+  void on_new_leader(NodeId from, const NewLeaderMsg& m);
+  void follower_finish_sync();
+  void on_up_to_date(NodeId from, const UpToDateMsg& m);
+  void on_propose(NodeId from, ProposeMsg m);
+  void append_follower_entry(Txn txn, bool want_ack, Epoch epoch);
+  void on_commit(NodeId from, const CommitMsg& m);
+  void on_ping(NodeId from, const PingMsg& m);
+  [[nodiscard]] bool from_current_leader(NodeId from, Epoch epoch) const;
+
+  // --- Leader side (leader.cpp) ---
+  struct FollowerState {
+    enum class Stage {
+      kDiscovered,   // CEPOCH received
+      kEpochAcked,   // ACKEPOCH received
+      kSyncing,      // sync stream + NEWLEADER sent; receives new proposals
+      kActive,       // ACKNEWLEADER received + UPTODATE sent
+    };
+    Stage stage = Stage::kDiscovered;
+    Epoch accepted_epoch = kNoEpoch;
+    Epoch current_epoch = kNoEpoch;
+    Zxid last_zxid;
+    TimePoint last_contact = 0;
+  };
+  struct Proposal {
+    Txn txn;
+    std::set<NodeId> acks;  // includes self once locally durable
+  };
+
+  void leader_begin_discovery();
+  void on_cepoch(NodeId from, const CEpochMsg& m);
+  void leader_try_new_epoch();
+  void on_ack_epoch(NodeId from, const AckEpochMsg& m);
+  void leader_sync_follower(NodeId f);
+  void on_ack_new_leader(NodeId from, const AckNewLeaderMsg& m);
+  void leader_try_activate();
+  void leader_activate_follower(NodeId f);
+  void on_ack(NodeId from, const AckMsg& m);
+  void leader_record_acks(NodeId from, Zxid upto);
+  void on_pong(NodeId from, const PongMsg& m);
+  void on_request(NodeId from, RequestMsg m);
+  void leader_try_commit();
+  void leader_heartbeat();
+  void leader_check_quorum_liveness();
+  [[nodiscard]] bool leader_epoch_valid(Epoch e) const;
+
+  // --- Immutable wiring ---
+  ZabConfig cfg_;
+  Env* env_;
+  storage::ZabStorage* storage_;
+  std::vector<DeliverFn> deliver_handlers_;
+  std::vector<StateFn> state_handlers_;
+  SnapshotProvider snapshot_provider_;
+  std::vector<SnapshotInstaller> snapshot_installers_;
+  RequestFn request_handler_;
+
+  // --- Common state ---
+  Role role_ = Role::kLooking;
+  Phase phase_ = Phase::kElection;
+  NodeId leader_ = kNoNode;
+  Zxid last_logged_;          // cache of storage_->last_zxid()
+  Zxid last_durable_;         // highest zxid whose append has synced
+  Zxid commit_watermark_;     // highest zxid known committed
+  Zxid last_delivered_;
+  std::deque<Txn> undelivered_;  // logged but not yet delivered, zxid order
+  std::size_t pending_appends_ = 0;
+  std::uint64_t delivered_since_snapshot_ = 0;
+  bool started_ = false;
+  NodeStats stats_;
+
+  // --- Election state ---
+  ElectionEpoch round_ = 0;
+  Vote my_vote_;
+  std::map<NodeId, Vote> election_votes_;  // LOOKING peers, current round
+  std::map<NodeId, Vote> established_votes_;  // peers already FOLLOWING/LEADING
+  TimerId finalize_timer_ = kNoTimer;
+  TimerId rebroadcast_timer_ = kNoTimer;
+
+  // --- Follower state ---
+  TimePoint last_leader_contact_ = 0;
+  TimerId follower_liveness_timer_ = kNoTimer;
+  TimerId discovery_timer_ = kNoTimer;  // also used while syncing
+  bool new_leader_pending_ = false;     // NEWLEADER seen, awaiting durability
+  Epoch pending_new_leader_epoch_ = kNoEpoch;
+
+  // --- Leader state ---
+  Epoch establishing_epoch_ = kNoEpoch;  // e' being established / established
+  bool new_epoch_sent_ = false;
+  Zxid history_end_;  // leader's last zxid at discovery completion
+  bool self_history_durable_ = false;
+  bool activated_ = false;
+  std::map<NodeId, FollowerState> followers_;
+  std::set<NodeId> newleader_acks_;   // voting members (incl. self)
+  std::set<NodeId> synced_observers_; // observers awaiting activation
+  std::deque<Proposal> proposals_;  // outstanding, zxid-contiguous
+  std::uint32_t next_counter_ = 0;
+  TimerId heartbeat_timer_ = kNoTimer;
+  TimePoint quorum_ok_since_ = 0;
+};
+
+}  // namespace zab

@@ -1,0 +1,241 @@
+// End-to-end tests for the external client path: RemoteClient over TCP to
+// the replicas' client service, through the replicated pipeline, and back.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "harness/runtime_cluster.h"
+#include "pb/remote_client.h"
+
+namespace zab::pb {
+namespace {
+
+struct ClientServerFixture {
+  harness::RuntimeCluster cluster;
+  std::vector<RemoteClient::Endpoint> endpoints;
+
+  ClientServerFixture()
+      : cluster([] {
+          harness::RuntimeClusterConfig cfg;
+          cfg.n = 3;
+          cfg.with_client_service = true;
+          return cfg;
+        }()) {}
+
+  bool up() {
+    if (!cluster.start().is_ok()) return false;
+    if (cluster.wait_for_leader(seconds(15)) == kNoNode) return false;
+    for (NodeId n = 1; n <= 3; ++n) {
+      endpoints.push_back({"127.0.0.1", cluster.client_port(n)});
+    }
+    return true;
+  }
+};
+
+TEST(ClientServer, CrudThroughAnyServer) {
+  ClientServerFixture f;
+  ASSERT_TRUE(f.up());
+  RemoteClient client(f.endpoints);
+
+  // Create via whichever server the client picked.
+  auto created = client.create("/app", to_bytes("hello"));
+  ASSERT_TRUE(created.is_ok()) << created.status().to_string();
+  EXPECT_EQ(created.value(), "/app");
+
+  // Read back — possibly from a follower; retry until replicated.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  Result<Bytes> got = Status::not_found("");
+  while (std::chrono::steady_clock::now() < deadline) {
+    got = client.get("/app");
+    if (got.is_ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), to_bytes("hello"));
+
+  // Conditional set + stat.
+  ASSERT_TRUE(client.set("/app", to_bytes("world"), 0).is_ok());
+  auto st = client.stat("/app");
+  ASSERT_TRUE(st.is_ok());
+  EXPECT_EQ(st.value().version, 1u);
+  EXPECT_EQ(client.set("/app", to_bytes("stale"), 0).code(),
+            Code::kBadVersion);
+
+  // exists / children / delete.
+  EXPECT_TRUE(client.exists("/app").value_or(false));
+  auto kids = client.get_children("/");
+  ASSERT_TRUE(kids.is_ok());
+  EXPECT_EQ(kids.value().size(), 1u);
+  ASSERT_TRUE(client.remove("/app").is_ok());
+  EXPECT_FALSE(client.exists("/app").value_or(true));
+
+  f.cluster.stop();
+}
+
+TEST(ClientServer, SequentialCreateReturnsFinalPath) {
+  ClientServerFixture f;
+  ASSERT_TRUE(f.up());
+  RemoteClient client(f.endpoints);
+  ASSERT_TRUE(client.create("/q", {}).is_ok());
+  auto a = client.create("/q/n-", to_bytes("1"), /*sequential=*/true);
+  auto b = client.create("/q/n-", to_bytes("2"), /*sequential=*/true);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_LT(a.value(), b.value());
+  f.cluster.stop();
+}
+
+TEST(ClientServer, MultiIsAtomicOverTheWire) {
+  ClientServerFixture f;
+  ASSERT_TRUE(f.up());
+  RemoteClient client(f.endpoints);
+  ASSERT_TRUE(client.create("/base", {}).is_ok());
+
+  std::vector<Op> good(2);
+  good[0].type = OpType::kCreate;
+  good[0].path = "/base/x";
+  good[1].type = OpType::kCreate;
+  good[1].path = "/base/y";
+  auto ok = client.multi(good);
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value().code, Code::kOk);
+
+  std::vector<Op> bad(2);
+  bad[0].type = OpType::kCreate;
+  bad[0].path = "/base/z";
+  bad[1].type = OpType::kCreate;
+  bad[1].path = "/base/x";  // exists
+  auto fail = client.multi(bad);
+  ASSERT_TRUE(fail.is_ok());
+  EXPECT_EQ(fail.value().code, Code::kExists);
+  EXPECT_EQ(fail.value().failed_index, 1);
+  EXPECT_FALSE(client.exists("/base/z").value_or(true));  // atomic: no /base/z
+  f.cluster.stop();
+}
+
+TEST(ClientServer, ClientRotatesAcrossServers) {
+  ClientServerFixture f;
+  ASSERT_TRUE(f.up());
+  // Point the client at each server individually: all must serve writes
+  // (followers forward to the primary).
+  for (NodeId n = 1; n <= 3; ++n) {
+    RemoteClient one({{"127.0.0.1", f.cluster.client_port(n)}});
+    auto r = one.create("/from-server-" + std::to_string(n), to_bytes("x"));
+    EXPECT_TRUE(r.is_ok()) << "server " << n << ": " << r.status().to_string();
+  }
+  // A bad endpoint first in the list: the client must rotate past it.
+  std::vector<RemoteClient::Endpoint> eps = {{"127.0.0.1", 1}};  // dead port
+  eps.insert(eps.end(), f.endpoints.begin(), f.endpoints.end());
+  RemoteClient rotating(eps, seconds(10));
+  EXPECT_TRUE(rotating.create("/via-rotation", to_bytes("x")).is_ok());
+  f.cluster.stop();
+}
+
+TEST(ClientServer, PingReportsLeadership) {
+  ClientServerFixture f;
+  ASSERT_TRUE(f.up());
+  int leaders = 0;
+  for (NodeId n = 1; n <= 3; ++n) {
+    RemoteClient one({{"127.0.0.1", f.cluster.client_port(n)}});
+    auto r = one.ping_is_leader();
+    ASSERT_TRUE(r.is_ok());
+    if (r.value()) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+  f.cluster.stop();
+}
+
+TEST(ClientServer, GarbageFrameDoesNotCrashServer) {
+  ClientServerFixture f;
+  ASSERT_TRUE(f.up());
+  // Hand-roll a connection and send junk.
+  RemoteClient probe({{"127.0.0.1", f.cluster.client_port(1)}});
+  ASSERT_TRUE(probe.create("/sane", to_bytes("ok")).is_ok());
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(f.cluster.client_port(1));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const char junk[] = "\x08\x00\x00\x00GARBAGE!";
+  ASSERT_GT(::send(fd, junk, sizeof(junk) - 1, MSG_NOSIGNAL), 0);
+  ::close(fd);
+
+  // Server still works.
+  EXPECT_TRUE(probe.exists("/sane").value_or(false));
+  f.cluster.stop();
+}
+
+TEST(ClientServer, DataWatchPushedOverTheWire) {
+  ClientServerFixture f;
+  ASSERT_TRUE(f.up());
+  RemoteClient watcher({{"127.0.0.1", f.cluster.client_port(1)}});
+  RemoteClient writer({{"127.0.0.1", f.cluster.client_port(2)}});
+
+  ASSERT_TRUE(writer.create("/watched", to_bytes("v0")).is_ok());
+  // Replicate to server 1 before registering the watch there.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline &&
+         !watcher.exists("/watched").value_or(false)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(watcher.get("/watched", /*watch=*/true).is_ok());
+
+  ASSERT_TRUE(writer.set("/watched", to_bytes("v1")).is_ok());
+  auto ev = watcher.wait_watch_event(seconds(5));
+  ASSERT_TRUE(ev.is_ok()) << ev.status().to_string();
+  EXPECT_EQ(ev.value().path, "/watched");
+  EXPECT_EQ(ev.value().event, WatchEvent::kDataChanged);
+  f.cluster.stop();
+}
+
+TEST(ClientServer, ExistsWatchFiresOnCreation) {
+  ClientServerFixture f;
+  ASSERT_TRUE(f.up());
+  RemoteClient watcher({{"127.0.0.1", f.cluster.client_port(1)}});
+  RemoteClient writer({{"127.0.0.1", f.cluster.client_port(1)}});
+
+  auto ex = watcher.exists("/future", /*watch=*/true);
+  ASSERT_TRUE(ex.is_ok());
+  EXPECT_FALSE(ex.value());
+
+  ASSERT_TRUE(writer.create("/future", to_bytes("now")).is_ok());
+  auto ev = watcher.wait_watch_event(seconds(5));
+  ASSERT_TRUE(ev.is_ok());
+  EXPECT_EQ(ev.value().event, WatchEvent::kNodeCreated);
+  EXPECT_EQ(ev.value().path, "/future");
+  f.cluster.stop();
+}
+
+TEST(ClientServer, ChildWatchFiresOnMembershipChange) {
+  ClientServerFixture f;
+  ASSERT_TRUE(f.up());
+  RemoteClient watcher({{"127.0.0.1", f.cluster.client_port(1)}});
+  RemoteClient writer({{"127.0.0.1", f.cluster.client_port(1)}});
+
+  ASSERT_TRUE(writer.create("/dir", {}).is_ok());
+  auto kids = watcher.get_children("/dir", /*watch=*/true);
+  ASSERT_TRUE(kids.is_ok());
+  EXPECT_TRUE(kids.value().empty());
+
+  ASSERT_TRUE(writer.create("/dir/kid", {}).is_ok());
+  auto ev = watcher.wait_watch_event(seconds(5));
+  ASSERT_TRUE(ev.is_ok());
+  EXPECT_EQ(ev.value().event, WatchEvent::kChildrenChanged);
+  EXPECT_EQ(ev.value().path, "/dir");
+
+  // One-shot: a second change does not fire again.
+  ASSERT_TRUE(writer.create("/dir/kid2", {}).is_ok());
+  EXPECT_FALSE(watcher.wait_watch_event(millis(300)).is_ok());
+  f.cluster.stop();
+}
+
+}  // namespace
+}  // namespace zab::pb

@@ -1,0 +1,341 @@
+// Unit tests for the common substrate: types, codec, CRC, RNG, metrics,
+// status/result, time.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "common/buffer.h"
+#include "common/crc32c.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "common/txn.h"
+#include "common/types.h"
+
+namespace zab {
+namespace {
+
+// --- Zxid -------------------------------------------------------------------
+
+TEST(Zxid, LexicographicOrdering) {
+  EXPECT_LT((Zxid{1, 5}), (Zxid{2, 0}));
+  EXPECT_LT((Zxid{1, 5}), (Zxid{1, 6}));
+  EXPECT_EQ((Zxid{3, 3}), (Zxid{3, 3}));
+  EXPECT_GT((Zxid{2, 0}), (Zxid{1, std::numeric_limits<std::uint32_t>::max()}));
+}
+
+TEST(Zxid, PackedRoundTrip) {
+  const Zxid z{0xdeadu, 0xbeefu};
+  EXPECT_EQ(Zxid::from_packed(z.packed()), z);
+  EXPECT_EQ(Zxid::zero().packed(), 0u);
+  // Packing preserves order.
+  EXPECT_LT((Zxid{1, 9}).packed(), (Zxid{2, 0}).packed());
+}
+
+TEST(Zxid, Successors) {
+  EXPECT_EQ((Zxid{2, 7}).next_in_epoch(), (Zxid{2, 8}));
+  EXPECT_EQ((Zxid{2, 7}).next_epoch_start(), (Zxid{3, 0}));
+}
+
+// --- BufWriter / BufReader ------------------------------------------------------
+
+TEST(Buffer, PrimitivesRoundTrip) {
+  BufWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i64(-42);
+  w.boolean(true);
+  w.zxid(Zxid{7, 9});
+  w.str("hello");
+  w.bytes(to_bytes("raw"));
+
+  BufReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.zxid(), (Zxid{7, 9}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes(), to_bytes("raw"));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Buffer, VarintBoundaries) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 0xffffffffull,
+                                 0xffffffffffffffffull};
+  for (std::uint64_t v : cases) {
+    BufWriter w;
+    w.varint(v);
+    BufReader r(w.data());
+    EXPECT_EQ(r.varint(), v) << v;
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(Buffer, ReaderFailsClosedOnShortInput) {
+  BufWriter w;
+  w.u64(12345);
+  Bytes data = w.data();
+  data.resize(4);  // truncate
+  BufReader r(data);
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads keep returning zero values, no UB.
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_EQ(r.str(), "");
+}
+
+TEST(Buffer, ReaderRejectsOversizedLengthPrefix) {
+  BufWriter w;
+  w.varint(1u << 30);  // claims a 1 GiB string follows
+  BufReader r(w.data());
+  EXPECT_EQ(r.bytes(), Bytes{});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Buffer, VarintOverflowDetected) {
+  // 11 bytes of 0xff can encode > 64 bits: must fail, not wrap.
+  Bytes evil(11, 0xff);
+  BufReader r(evil);
+  (void)r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Buffer, PatchU32) {
+  BufWriter w;
+  w.u32(0);
+  w.str("payload");
+  w.patch_u32(0, 77);
+  BufReader r(w.data());
+  EXPECT_EQ(r.u32(), 77u);
+}
+
+TEST(Buffer, TxnRoundTrip) {
+  Txn t{Zxid{3, 14}, to_bytes("state-change")};
+  BufWriter w;
+  encode_txn(w, t);
+  BufReader r(w.data());
+  EXPECT_EQ(decode_txn(r), t);
+  EXPECT_TRUE(r.ok());
+}
+
+// --- CRC32C ------------------------------------------------------------------------
+
+TEST(Crc32c, KnownVectors) {
+  // Standard CRC32C test vector (RFC 3720 appendix-like).
+  const std::string nums = "123456789";
+  EXPECT_EQ(crc32c(std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(nums.data()),
+                nums.size())),
+            0xE3069283u);
+  EXPECT_EQ(crc32c(std::span<const std::uint8_t>{}), 0u);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const Bytes data = to_bytes("hello, incremental world");
+  const std::uint32_t whole = crc32c(data);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t c = crc32c_extend(0, std::span(data).subspan(0, split));
+    c = crc32c_extend(c, std::span(data).subspan(split));
+    EXPECT_EQ(c, whole) << "split " << split;
+  }
+}
+
+TEST(Crc32c, MaskRoundTrip) {
+  for (std::uint32_t v : {0u, 1u, 0xdeadbeefu, 0xffffffffu}) {
+    EXPECT_EQ(crc32c_unmask(crc32c_mask(v)), v);
+    EXPECT_NE(crc32c_mask(v), v);
+  }
+}
+
+TEST(Crc32c, DetectsBitFlips) {
+  Bytes data = to_bytes("a log record that must not rot");
+  const std::uint32_t good = crc32c(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(crc32c(data), good) << "flip at " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+// --- Rng ------------------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(123), c2(124);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(7), 7u);
+  }
+  // All residues occur (sanity, not a statistical test).
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(5);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.range(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    lo |= (v == 3);
+    hi |= (v == 5);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(31);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(100.0);
+  EXPECT_NEAR(sum / kN, 100.0, 5.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(77);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+// --- Histogram --------------------------------------------------------------------------
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_NEAR(h.mean(), 50.5, 0.001);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 50, 3);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.99)), 99, 3);
+}
+
+TEST(Histogram, QuantileWithinRelativeError) {
+  Histogram h;
+  Rng r(42);
+  for (int i = 0; i < 100000; ++i) {
+    h.record(r.below(1'000'000));
+  }
+  // ~uniform: p50 ~ 500k, p90 ~ 900k, each within the bucketing error (~2%).
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 5e5, 5e5 * 0.05);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.9)), 9e5, 9e5 * 0.05);
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  Histogram a, b, both;
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(10000);
+    if (i % 2 == 0) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_EQ(a.quantile(0.5), both.quantile(0.5));
+}
+
+TEST(Histogram, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.record(std::numeric_limits<std::uint64_t>::max());
+  h.record(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), std::numeric_limits<std::uint64_t>::max());
+}
+
+// --- Status / Result ----------------------------------------------------------------------
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::ok().is_ok());
+  const Status s = Status::not_leader("try node 3");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), Code::kNotLeader);
+  EXPECT_EQ(s.to_string(), "NotLeader: try node 3");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_TRUE(ok.status().is_ok());
+
+  Result<int> err = Status::timeout("slow");
+  ASSERT_FALSE(err.is_ok());
+  EXPECT_EQ(err.status().code(), Code::kTimeout);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+// --- Time -------------------------------------------------------------------------------------
+
+TEST(Time, FormattingAndConversions) {
+  EXPECT_EQ(millis(3), 3'000'000);
+  EXPECT_EQ(seconds(2), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(5)), 5.0);
+  EXPECT_EQ(format_duration(500), "500ns");
+  EXPECT_EQ(format_duration(micros(15)), "15.0us");
+  EXPECT_EQ(format_duration(millis(2) + micros(500)), "2.5ms");
+  EXPECT_EQ(format_duration(seconds(3)), "3.0s");
+}
+
+TEST(Time, ManualClockAdvances) {
+  ManualClock c;
+  EXPECT_EQ(c.now(), 0);
+  c.advance(millis(5));
+  EXPECT_EQ(c.now(), millis(5));
+  c.set(seconds(1));
+  EXPECT_EQ(c.now(), seconds(1));
+}
+
+TEST(Time, SystemClockIsMonotonic) {
+  SystemClock c;
+  const TimePoint a = c.now();
+  const TimePoint b = c.now();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace zab

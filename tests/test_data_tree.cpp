@@ -1,0 +1,212 @@
+// Unit tests for the pb data tree (paths, versions, watches, snapshots,
+// idempotent re-apply).
+#include <gtest/gtest.h>
+
+#include "pb/data_tree.h"
+#include "pb/ops.h"
+
+namespace zab::pb {
+namespace {
+
+Bytes d(const char* s) { return to_bytes(s); }
+
+TEST(DataTree, PathValidation) {
+  EXPECT_TRUE(DataTree::valid_path("/"));
+  EXPECT_TRUE(DataTree::valid_path("/a"));
+  EXPECT_TRUE(DataTree::valid_path("/a/b/c"));
+  EXPECT_FALSE(DataTree::valid_path(""));
+  EXPECT_FALSE(DataTree::valid_path("a"));
+  EXPECT_FALSE(DataTree::valid_path("/a/"));
+  EXPECT_FALSE(DataTree::valid_path("/a//b"));
+}
+
+TEST(DataTree, ParentAndBasename) {
+  EXPECT_EQ(DataTree::parent_of("/a"), "/");
+  EXPECT_EQ(DataTree::parent_of("/a/b"), "/a");
+  EXPECT_EQ(DataTree::basename_of("/a/b"), "b");
+}
+
+TEST(DataTree, CreateGetSetDelete) {
+  DataTree t;
+  ASSERT_TRUE(t.apply_create("/a", d("v1"), Zxid{1, 1}).is_ok());
+  EXPECT_TRUE(t.exists("/a"));
+  EXPECT_EQ(t.get_data("/a").value(), d("v1"));
+
+  ASSERT_TRUE(t.apply_set_data("/a", d("v2"), 1, Zxid{1, 2}).is_ok());
+  EXPECT_EQ(t.get_data("/a").value(), d("v2"));
+  EXPECT_EQ(t.stat("/a").value().version, 1u);
+  EXPECT_EQ(t.stat("/a").value().mzxid, (Zxid{1, 2}));
+  EXPECT_EQ(t.stat("/a").value().czxid, (Zxid{1, 1}));
+
+  ASSERT_TRUE(t.apply_delete("/a").is_ok());
+  EXPECT_FALSE(t.exists("/a"));
+  EXPECT_EQ(t.get_data("/a").status().code(), Code::kNotFound);
+}
+
+TEST(DataTree, CreateRequiresParent) {
+  DataTree t;
+  EXPECT_EQ(t.apply_create("/a/b", d("x"), Zxid{1, 1}).code(),
+            Code::kNotFound);
+  ASSERT_TRUE(t.apply_create("/a", d(""), Zxid{1, 1}).is_ok());
+  EXPECT_TRUE(t.apply_create("/a/b", d("x"), Zxid{1, 2}).is_ok());
+  auto kids = t.get_children("/a");
+  ASSERT_TRUE(kids.is_ok());
+  ASSERT_EQ(kids.value().size(), 1u);
+  EXPECT_EQ(kids.value()[0], "b");
+}
+
+TEST(DataTree, DeleteRefusesNonEmptyNode) {
+  DataTree t;
+  ASSERT_TRUE(t.apply_create("/a", d(""), Zxid{1, 1}).is_ok());
+  ASSERT_TRUE(t.apply_create("/a/b", d(""), Zxid{1, 2}).is_ok());
+  EXPECT_FALSE(t.apply_delete("/a").is_ok());
+  ASSERT_TRUE(t.apply_delete("/a/b").is_ok());
+  EXPECT_TRUE(t.apply_delete("/a").is_ok());
+}
+
+TEST(DataTree, IdempotentReApply) {
+  DataTree t;
+  ASSERT_TRUE(t.apply_create("/a", d("v"), Zxid{1, 1}).is_ok());
+  ASSERT_TRUE(t.apply_set_data("/a", d("w"), 1, Zxid{1, 2}).is_ok());
+  // Replay the same txns (recovery over a fuzzy snapshot).
+  ASSERT_TRUE(t.apply_create("/a", d("v"), Zxid{1, 1}).is_ok());
+  ASSERT_TRUE(t.apply_set_data("/a", d("w"), 1, Zxid{1, 2}).is_ok());
+  EXPECT_EQ(t.get_data("/a").value(), d("w"));
+  EXPECT_EQ(t.stat("/a").value().version, 1u);
+  // Delete replay is a no-op.
+  ASSERT_TRUE(t.apply_delete("/missing").is_ok());
+}
+
+TEST(DataTree, CversionTracksMembershipChanges) {
+  DataTree t;
+  ASSERT_TRUE(t.apply_create("/a", d(""), Zxid{1, 1}).is_ok());
+  EXPECT_EQ(t.stat("/").value().cversion, 1u);
+  ASSERT_TRUE(t.apply_create("/b", d(""), Zxid{1, 2}).is_ok());
+  EXPECT_EQ(t.stat("/").value().cversion, 2u);
+  ASSERT_TRUE(t.apply_delete("/a").is_ok());
+  EXPECT_EQ(t.stat("/").value().cversion, 3u);
+}
+
+TEST(DataTree, DataWatchFiresOnceOnChange) {
+  DataTree t;
+  ASSERT_TRUE(t.apply_create("/a", d("v"), Zxid{1, 1}).is_ok());
+  int fired = 0;
+  WatchEvent last_ev{};
+  t.watch_data("/a", [&](WatchEvent ev, const std::string&) {
+    ++fired;
+    last_ev = ev;
+  });
+  ASSERT_TRUE(t.apply_set_data("/a", d("w"), 1, Zxid{1, 2}).is_ok());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(last_ev, WatchEvent::kDataChanged);
+  // One-shot: a second change does not re-fire.
+  ASSERT_TRUE(t.apply_set_data("/a", d("x"), 2, Zxid{1, 3}).is_ok());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(DataTree, DeleteFiresDataWatch) {
+  DataTree t;
+  ASSERT_TRUE(t.apply_create("/a", d("v"), Zxid{1, 1}).is_ok());
+  WatchEvent got{};
+  t.watch_data("/a", [&](WatchEvent ev, const std::string&) { got = ev; });
+  ASSERT_TRUE(t.apply_delete("/a").is_ok());
+  EXPECT_EQ(got, WatchEvent::kNodeDeleted);
+}
+
+TEST(DataTree, ChildAndExistsWatches) {
+  DataTree t;
+  int child_fired = 0;
+  int exists_fired = 0;
+  t.watch_children("/", [&](WatchEvent, const std::string&) { ++child_fired; });
+  t.watch_exists("/a", [&](WatchEvent, const std::string&) { ++exists_fired; });
+  ASSERT_TRUE(t.apply_create("/a", d(""), Zxid{1, 1}).is_ok());
+  EXPECT_EQ(child_fired, 1);
+  EXPECT_EQ(exists_fired, 1);
+}
+
+TEST(DataTree, SnapshotRoundTrip) {
+  DataTree t;
+  ASSERT_TRUE(t.apply_create("/app", d(""), Zxid{1, 1}).is_ok());
+  ASSERT_TRUE(t.apply_create("/app/lock", d("owner=1"), Zxid{1, 2}).is_ok());
+  ASSERT_TRUE(t.apply_set_data("/app/lock", d("owner=2"), 1, Zxid{1, 3}).is_ok());
+
+  const Bytes blob = t.serialize();
+  DataTree t2;
+  ASSERT_TRUE(t2.deserialize(blob).is_ok());
+  EXPECT_EQ(t2.node_count(), t.node_count());
+  EXPECT_EQ(t2.get_data("/app/lock").value(), d("owner=2"));
+  EXPECT_EQ(t2.stat("/app/lock").value().version, 1u);
+  auto kids = t2.get_children("/app");
+  ASSERT_TRUE(kids.is_ok());
+  EXPECT_EQ(kids.value().size(), 1u);
+}
+
+TEST(DataTree, SnapshotRejectsGarbage) {
+  DataTree t;
+  Bytes junk{1, 2, 3, 4, 5};
+  EXPECT_FALSE(t.deserialize(junk).is_ok());
+}
+
+TEST(DataTree, OpAndTxnCodecsRoundTrip) {
+  OpRequest r;
+  r.origin = 3;
+  r.req_id = 77;
+  Op op;
+  op.type = OpType::kSetData;
+  op.path = "/x/y";
+  op.data = d("payload");
+  op.expected_version = 9;
+  r.ops.push_back(op);
+  auto rr = decode_op_request(encode_op_request(r));
+  ASSERT_TRUE(rr.is_ok());
+  EXPECT_EQ(rr.value().origin, 3u);
+  EXPECT_EQ(rr.value().req_id, 77u);
+  ASSERT_EQ(rr.value().ops.size(), 1u);
+  EXPECT_EQ(rr.value().ops[0].path, "/x/y");
+  EXPECT_EQ(rr.value().ops[0].expected_version, 9);
+
+  TreeTxn t;
+  t.kind = TxnKind::kCreate;
+  t.origin = 2;
+  t.req_id = 5;
+  t.path = "/seq0000000001";
+  t.data = d("v");
+  auto tt = decode_tree_txn(encode_tree_txn(t));
+  ASSERT_TRUE(tt.is_ok());
+  EXPECT_EQ(tt.value().path, t.path);
+  EXPECT_EQ(tt.value().kind, TxnKind::kCreate);
+}
+
+TEST(DataTree, MultiRequestAndSubTxnCodecs) {
+  OpRequest r;
+  r.origin = 1;
+  r.req_id = 8;
+  for (int i = 0; i < 3; ++i) {
+    Op op;
+    op.type = OpType::kCreate;
+    op.path = "/m" + std::to_string(i);
+    r.ops.push_back(op);
+  }
+  auto rr = decode_op_request(encode_op_request(r));
+  ASSERT_TRUE(rr.is_ok());
+  EXPECT_EQ(rr.value().ops.size(), 3u);
+
+  std::vector<TreeTxn> subs(2);
+  subs[0].kind = TxnKind::kCreate;
+  subs[0].path = "/a";
+  subs[1].kind = TxnKind::kSetData;
+  subs[1].path = "/b";
+  subs[1].new_version = 4;
+  auto back = decode_sub_txns(encode_sub_txns(subs));
+  ASSERT_TRUE(back.is_ok());
+  ASSERT_EQ(back.value().size(), 2u);
+  EXPECT_EQ(back.value()[1].new_version, 4u);
+
+  // Empty request is rejected.
+  OpRequest empty;
+  empty.origin = 1;
+  EXPECT_FALSE(decode_op_request(encode_op_request(empty)).is_ok());
+}
+
+}  // namespace
+}  // namespace zab::pb

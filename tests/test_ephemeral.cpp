@@ -1,0 +1,219 @@
+// Ephemeral znodes and connection-scoped sessions: lifetime, replication,
+// cleanup on disconnect, and the ephemeral-based membership recipe.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/runtime_cluster.h"
+#include "harness/sim_cluster.h"
+#include "pb/remote_client.h"
+
+namespace zab::pb {
+namespace {
+
+using harness::RuntimeCluster;
+using harness::RuntimeClusterConfig;
+
+template <typename Pred>
+bool eventually(Pred p, int budget_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (p()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  return p();
+}
+
+struct Fixture {
+  RuntimeCluster cluster;
+  std::vector<RemoteClient::Endpoint> eps;
+  Fixture()
+      : cluster([] {
+          RuntimeClusterConfig cfg;
+          cfg.n = 3;
+          cfg.with_client_service = true;
+          return cfg;
+        }()) {}
+  bool up() {
+    if (!cluster.start().is_ok()) return false;
+    if (cluster.wait_for_leader(seconds(15)) == kNoNode) return false;
+    for (NodeId n = 1; n <= 3; ++n) {
+      eps.push_back({"127.0.0.1", cluster.client_port(n)});
+    }
+    return true;
+  }
+  bool visible_everywhere(const std::string& path, bool want) {
+    return eventually([&] {
+      for (NodeId n = 1; n <= 3; ++n) {
+        bool has = false;
+        cluster.with_tree(n, [&](ReplicatedTree& t) { has = t.exists(path); });
+        if (has != want) return false;
+      }
+      return true;
+    });
+  }
+};
+
+TEST(Ephemeral, TreeLevelOwnershipAndCloseSession) {
+  DataTree t;
+  ASSERT_TRUE(t.apply_create("/parent", {}, Zxid{1, 1}).is_ok());
+  ASSERT_TRUE(t.apply_create("/parent/e1", {}, Zxid{1, 2}, 77).is_ok());
+  ASSERT_TRUE(t.apply_create("/parent/e2", {}, Zxid{1, 3}, 77).is_ok());
+  ASSERT_TRUE(t.apply_create("/parent/p", {}, Zxid{1, 4}).is_ok());
+
+  EXPECT_EQ(t.stat("/parent/e1").value().ephemeral_owner, 77u);
+  EXPECT_EQ(t.stat("/parent/p").value().ephemeral_owner, 0u);
+  EXPECT_EQ(t.ephemerals_of(77).size(), 2u);
+
+  // Ephemerals cannot have children.
+  EXPECT_FALSE(t.apply_create("/parent/e1/kid", {}, Zxid{1, 5}).is_ok());
+
+  // Deleting one updates the index; the snapshot round-trips ownership.
+  ASSERT_TRUE(t.apply_delete("/parent/e1").is_ok());
+  EXPECT_EQ(t.ephemerals_of(77).size(), 1u);
+  DataTree t2;
+  ASSERT_TRUE(t2.deserialize(t.serialize()).is_ok());
+  EXPECT_EQ(t2.ephemerals_of(77).size(), 1u);
+  EXPECT_EQ(t2.stat("/parent/e2").value().ephemeral_owner, 77u);
+}
+
+TEST(Ephemeral, RequiresASession) {
+  // Via the in-process API with no session: must fail.
+  harness::ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.enable_checker = false;
+  std::map<NodeId, std::unique_ptr<ReplicatedTree>> trees;
+  cfg.boot_hook = [&trees](NodeId id, ZabNode& node) {
+    trees[id] = std::make_unique<ReplicatedTree>(node);
+  };
+  harness::SimCluster c(cfg);
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+
+  Op op;
+  op.type = OpType::kCreate;
+  op.path = "/e";
+  op.ephemeral = true;
+  OpResult out;
+  bool done = false;
+  trees[l]->submit(std::move(op), [&](const OpResult& r) {
+    out = r;
+    done = true;
+  });
+  const TimePoint deadline = c.sim().now() + seconds(10);
+  while (!done && c.sim().now() < deadline) c.run_for(millis(2));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(out.status.code(), Code::kInvalidArgument);
+
+  // With a session id it works, and close_session reaps it.
+  Op op2;
+  op2.type = OpType::kCreate;
+  op2.path = "/e";
+  op2.ephemeral = true;
+  done = false;
+  trees[l]->submit(std::move(op2), [&](const OpResult& r) {
+    out = r;
+    done = true;
+  }, /*session=*/42);
+  while (!done && c.sim().now() < deadline) c.run_for(millis(2));
+  ASSERT_TRUE(out.status.is_ok());
+  c.run_for(millis(100));
+  EXPECT_EQ(trees[l]->stat("/e").value().ephemeral_owner, 42u);
+
+  done = false;
+  trees[l]->close_session(42, [&](const OpResult& r) {
+    out = r;
+    done = true;
+  });
+  while (!done && c.sim().now() < deadline) c.run_for(millis(2));
+  ASSERT_TRUE(out.status.is_ok());
+  c.run_for(millis(100));
+  for (NodeId n = 1; n <= 3; ++n) {
+    EXPECT_FALSE(trees[n]->exists("/e")) << n;
+  }
+}
+
+TEST(Ephemeral, DisconnectReapsEphemeralsEverywhere) {
+  Fixture f;
+  ASSERT_TRUE(f.up());
+  {
+    RemoteClient session(f.eps);
+    auto r = session.create("/lease", to_bytes("mine"), false,
+                            /*ephemeral=*/true);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    ASSERT_TRUE(f.visible_everywhere("/lease", true));
+    // Persistent sibling for contrast.
+    ASSERT_TRUE(session.create("/durable", to_bytes("keep")).is_ok());
+  }  // session destroyed -> connection closes -> CloseSession txn
+
+  EXPECT_TRUE(f.visible_everywhere("/lease", false));
+  EXPECT_TRUE(f.visible_everywhere("/durable", true));
+  f.cluster.stop();
+}
+
+TEST(Ephemeral, SurvivesWhileConnectedAcrossOtherClients) {
+  Fixture f;
+  ASSERT_TRUE(f.up());
+  RemoteClient holder(f.eps);
+  ASSERT_TRUE(holder.create("/held", {}, false, true).is_ok());
+  {
+    RemoteClient other(f.eps);
+    ASSERT_TRUE(other.create("/noise", {}).is_ok());
+  }  // other's session closing must NOT touch holder's ephemeral
+  ASSERT_TRUE(f.visible_everywhere("/noise", true));
+  EXPECT_TRUE(f.visible_everywhere("/held", true));
+  f.cluster.stop();
+}
+
+TEST(Ephemeral, MembershipRecipe) {
+  // The canonical use: each member registers an ephemeral child; the
+  // member list is exactly the set of live sessions.
+  Fixture f;
+  ASSERT_TRUE(f.up());
+  RemoteClient admin(f.eps);
+  ASSERT_TRUE(admin.create("/members", {}).is_ok());
+
+  auto m1 = std::make_unique<RemoteClient>(f.eps);
+  auto m2 = std::make_unique<RemoteClient>(f.eps);
+  ASSERT_TRUE(m1->create("/members/m1", {}, false, true).is_ok());
+  ASSERT_TRUE(m2->create("/members/m2", {}, false, true).is_ok());
+
+  ASSERT_TRUE(eventually([&] {
+    auto kids = admin.get_children("/members");
+    return kids.is_ok() && kids.value().size() == 2;
+  }));
+
+  // A member "crashes" (drops its connection): it leaves the group.
+  m1.reset();
+  ASSERT_TRUE(eventually([&] {
+    auto kids = admin.get_children("/members");
+    return kids.is_ok() && kids.value().size() == 1 &&
+           kids.value()[0] == "m2";
+  }));
+  f.cluster.stop();
+}
+
+TEST(Ephemeral, WatchFiresWhenSessionDies) {
+  Fixture f;
+  ASSERT_TRUE(f.up());
+  RemoteClient observer(f.eps);
+  auto holder = std::make_unique<RemoteClient>(f.eps);
+  ASSERT_TRUE(holder->create("/leader-slot", {}, false, true).is_ok());
+
+  // Observer watches the ephemeral; when the holder dies, the deletion
+  // event announces the vacancy (leader-election recipe).
+  ASSERT_TRUE(eventually([&] {
+    return observer.exists("/leader-slot").value_or(false);
+  }));
+  ASSERT_TRUE(observer.get("/leader-slot", /*watch=*/true).is_ok());
+  holder.reset();
+  auto ev = observer.wait_watch_event(seconds(5));
+  ASSERT_TRUE(ev.is_ok()) << ev.status().to_string();
+  EXPECT_EQ(ev.value().event, WatchEvent::kNodeDeleted);
+  EXPECT_EQ(ev.value().path, "/leader-slot");
+  f.cluster.stop();
+}
+
+}  // namespace
+}  // namespace zab::pb

@@ -1,0 +1,261 @@
+// Tests for the real-runtime layer: event-loop env, in-process transport,
+// TCP transport, and full threaded ensembles over both.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "harness/runtime_cluster.h"
+#include "net/inproc.h"
+#include "net/runtime_env.h"
+#include "net/tcp_transport.h"
+
+namespace zab::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+template <typename Pred>
+bool eventually(Pred p, std::chrono::milliseconds budget = 5000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (p()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return p();
+}
+
+TEST(RuntimeEnv, RunsPostedTasksInOrder) {
+  InprocHub hub;
+  InprocTransport t(hub, 1);
+  RuntimeEnv env(1, 7, t);
+  std::vector<int> order;
+  env.start(nullptr);
+  for (int i = 0; i < 10; ++i) {
+    env.post([&order, i] { order.push_back(i); });
+  }
+  env.run_sync([] {});
+  env.stop();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(RuntimeEnv, TimersFireAndCancel) {
+  InprocHub hub;
+  InprocTransport t(hub, 1);
+  RuntimeEnv env(1, 7, t);
+  std::atomic<int> fired{0};
+  env.start(nullptr);
+  env.run_sync([&] {
+    env.set_timer(millis(10), [&fired] { fired += 1; });
+    const TimerId cancelled =
+        env.set_timer(millis(10), [&fired] { fired += 100; });
+    env.cancel_timer(cancelled);
+  });
+  ASSERT_TRUE(eventually([&] { return fired.load() == 1; }));
+  std::this_thread::sleep_for(30ms);
+  EXPECT_EQ(fired.load(), 1);
+  env.stop();
+}
+
+TEST(Inproc, DeliversBetweenEndpoints) {
+  InprocHub hub;
+  InprocTransport a(hub, 1);
+  InprocTransport b(hub, 2);
+  std::atomic<int> got{0};
+  b.set_handler([&](NodeId from, Bytes payload) {
+    EXPECT_EQ(from, 1u);
+    EXPECT_EQ(payload, to_bytes("hello"));
+    ++got;
+  });
+  a.set_handler([](NodeId, Bytes) {});
+  a.send(2, to_bytes("hello"));
+  EXPECT_EQ(got.load(), 1);
+  // Sends to an unregistered node are dropped silently.
+  a.send(9, to_bytes("void"));
+}
+
+TEST(Tcp, ConnectsAndExchangesFrames) {
+  TcpConfig c1;
+  c1.id = 1;
+  c1.ports[1] = 0;
+  auto t1r = TcpTransport::create(c1);
+  ASSERT_TRUE(t1r.is_ok()) << t1r.status().to_string();
+  auto t1 = std::move(t1r).take();
+
+  TcpConfig c2;
+  c2.id = 2;
+  c2.ports[2] = 0;
+  auto t2r = TcpTransport::create(c2);
+  ASSERT_TRUE(t2r.is_ok());
+  auto t2 = std::move(t2r).take();
+
+  std::map<NodeId, std::uint16_t> ports{{1, t1->listen_port()},
+                                        {2, t2->listen_port()}};
+  t1->set_peer_ports(ports);
+  t2->set_peer_ports(ports);
+
+  std::atomic<int> got1{0}, got2{0};
+  t1->set_handler([&](NodeId from, Bytes p) {
+    if (from == 2 && p == to_bytes("pong")) ++got1;
+  });
+  t2->set_handler([&](NodeId from, Bytes p) {
+    if (from == 1 && p == to_bytes("ping")) {
+      ++got2;
+    }
+  });
+
+  t1->send(2, to_bytes("ping"));
+  ASSERT_TRUE(eventually([&] { return got2.load() == 1; }));
+  t2->send(1, to_bytes("pong"));
+  ASSERT_TRUE(eventually([&] { return got1.load() == 1; }));
+}
+
+TEST(Tcp, ManyFramesArriveInOrder) {
+  TcpConfig c1;
+  c1.id = 1;
+  c1.ports[1] = 0;
+  auto t1 = std::move(TcpTransport::create(c1)).take();
+  TcpConfig c2;
+  c2.id = 2;
+  c2.ports[2] = 0;
+  auto t2 = std::move(TcpTransport::create(c2)).take();
+  std::map<NodeId, std::uint16_t> ports{{1, t1->listen_port()},
+                                        {2, t2->listen_port()}};
+  t1->set_peer_ports(ports);
+  t2->set_peer_ports(ports);
+
+  std::mutex mu;
+  std::vector<std::uint64_t> received;
+  t2->set_handler([&](NodeId, Bytes p) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, p.data(), 8);
+    std::lock_guard<std::mutex> lk(mu);
+    received.push_back(v);
+  });
+  t1->set_handler([](NodeId, Bytes) {});
+
+  constexpr int kN = 2000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    Bytes b(64);
+    std::memcpy(b.data(), &i, 8);
+    t1->send(2, std::move(b));
+  }
+  ASSERT_TRUE(eventually([&] {
+    std::lock_guard<std::mutex> lk(mu);
+    return received.size() == kN;
+  }));
+  std::lock_guard<std::mutex> lk(mu);
+  for (std::uint64_t i = 0; i < kN; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(RuntimeCluster, InprocEnsembleElectsAndReplicates) {
+  harness::RuntimeClusterConfig cfg;
+  cfg.n = 3;
+  harness::RuntimeCluster c(cfg);
+  ASSERT_TRUE(c.start().is_ok());
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> ok{false};
+  c.with_tree(l, [&](pb::ReplicatedTree& tree) {
+    tree.create("/rt", to_bytes("v"), [&](const pb::OpResult& r) {
+      ok = r.status.is_ok();
+      done = true;
+    });
+  });
+  ASSERT_TRUE(eventually([&] { return done.load(); }));
+  EXPECT_TRUE(ok.load());
+
+  // The write reaches every replica.
+  for (NodeId n = 1; n <= 3; ++n) {
+    ASSERT_TRUE(eventually([&] {
+      bool has = false;
+      c.with_tree(n, [&](pb::ReplicatedTree& tree) { has = tree.exists("/rt"); });
+      return has;
+    })) << "node " << n;
+  }
+  c.stop();
+}
+
+TEST(RuntimeCluster, TcpEnsembleElectsAndReplicates) {
+  harness::RuntimeClusterConfig cfg;
+  cfg.n = 3;
+  cfg.use_tcp = true;
+  harness::RuntimeCluster c(cfg);
+  ASSERT_TRUE(c.start().is_ok());
+  const NodeId l = c.wait_for_leader(seconds(20));
+  ASSERT_NE(l, kNoNode);
+
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 20; ++i) {
+    c.with_tree(l, [&, i](pb::ReplicatedTree& tree) {
+      tree.create("/tcp" + std::to_string(i), to_bytes("x"),
+                  [&](const pb::OpResult& r) {
+                    if (r.status.is_ok()) ++completed;
+                  });
+    });
+  }
+  ASSERT_TRUE(eventually([&] { return completed.load() == 20; }));
+
+  for (NodeId n = 1; n <= 3; ++n) {
+    ASSERT_TRUE(eventually([&] {
+      bool has = false;
+      c.with_tree(n, [&](pb::ReplicatedTree& t) { has = t.exists("/tcp19"); });
+      return has;
+    })) << "node " << n;
+  }
+  c.stop();
+}
+
+TEST(RuntimeCluster, FileBackedStateSurvivesRestart) {
+  const std::string dir = ::testing::TempDir() + "/zab_rt_restart";
+  (void)storage::remove_dir_recursive(dir);
+  Zxid frontier;
+  {
+    harness::RuntimeClusterConfig cfg;
+    cfg.n = 3;
+    cfg.storage_dir = dir;
+    harness::RuntimeCluster c(cfg);
+    ASSERT_TRUE(c.start().is_ok());
+    const NodeId l = c.wait_for_leader();
+    ASSERT_NE(l, kNoNode);
+    std::atomic<bool> done{false};
+    c.with_tree(l, [&](pb::ReplicatedTree& tree) {
+      tree.create("/durable", to_bytes("gold"), [&](const pb::OpResult& r) {
+        ASSERT_TRUE(r.status.is_ok());
+        done = true;
+      });
+    });
+    ASSERT_TRUE(eventually([&] { return done.load(); }));
+    frontier = c.view(l).last_delivered;
+    c.stop();
+  }
+  {
+    harness::RuntimeClusterConfig cfg;
+    cfg.n = 3;
+    cfg.storage_dir = dir;
+    harness::RuntimeCluster c(cfg);
+    ASSERT_TRUE(c.start().is_ok());
+    const NodeId l = c.wait_for_leader();
+    ASSERT_NE(l, kNoNode);
+    // The recovered ensemble still has the znode.
+    ASSERT_TRUE(eventually([&] {
+      bool has = false;
+      c.with_tree(l, [&](pb::ReplicatedTree& t) { has = t.exists("/durable"); });
+      return has;
+    }));
+    bool value_ok = false;
+    c.with_tree(l, [&](pb::ReplicatedTree& t) {
+      auto v = t.get("/durable");
+      value_ok = v.is_ok() && v.value() == to_bytes("gold");
+    });
+    EXPECT_TRUE(value_ok);
+    c.stop();
+  }
+}
+
+}  // namespace
+}  // namespace zab::net

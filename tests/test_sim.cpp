@@ -1,0 +1,291 @@
+// Unit tests for the discrete-event simulator: event queue, virtual time,
+// network model (FIFO, egress bandwidth, loss, partitions), disk model
+// (sync policies, group commit, crash semantics).
+#include <gtest/gtest.h>
+
+#include "sim/disk.h"
+#include "sim/network.h"
+#include "sim/node_env.h"
+#include "sim/simulator.h"
+
+namespace zab::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTimeThenInsertion) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(5, [&] { order.push_back(2); });
+  q.schedule(10, [&] { order.push_back(3); });  // same time: after #1
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(EventQueue, CancelledEventsDoNotRun) {
+  EventQueue q;
+  int ran = 0;
+  const EventId a = q.schedule(1, [&] { ++ran; });
+  q.schedule(2, [&] { ++ran; });
+  q.cancel(a);
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    fn();
+  }
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Simulator, VirtualTimeAdvancesWithEvents) {
+  Simulator sim(1);
+  TimePoint seen = -1;
+  sim.after(millis(10), [&] { seen = sim.now(); });
+  sim.run_until(millis(5));
+  EXPECT_EQ(seen, -1);
+  EXPECT_EQ(sim.now(), millis(5));
+  sim.run_until(millis(20));
+  EXPECT_EQ(seen, millis(10));
+  EXPECT_EQ(sim.now(), millis(20));
+}
+
+TEST(Simulator, NestedSchedulingAndIdle) {
+  Simulator sim(1);
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.after(millis(1), recurse);
+  };
+  sim.after(0, recurse);
+  EXPECT_TRUE(sim.run_until_idle());
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), millis(4));
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<std::uint64_t> vals;
+    for (int i = 0; i < 10; ++i) vals.push_back(sim.rng().next());
+    return vals;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(Network, DeliversWithLatency) {
+  Simulator sim(1);
+  NetworkConfig nc;
+  nc.base_latency = millis(1);
+  nc.jitter_mean = 0;
+  Network net(sim, nc);
+  TimePoint arrival = -1;
+  net.attach(2, [&](NodeId from, Bytes b) {
+    EXPECT_EQ(from, 1u);
+    EXPECT_EQ(b.size(), 100u);
+    arrival = sim.now();
+  });
+  net.attach(1, [](NodeId, Bytes) {});
+  net.send(1, 2, Bytes(100));
+  sim.run_until_idle();
+  EXPECT_GE(arrival, millis(1));
+  EXPECT_LT(arrival, millis(2));
+}
+
+TEST(Network, FifoPerPair) {
+  Simulator sim(3);
+  NetworkConfig nc;
+  nc.jitter_mean = millis(5);  // heavy jitter tries to reorder
+  Network net(sim, nc);
+  std::vector<std::uint8_t> order;
+  net.attach(2, [&](NodeId, Bytes b) { order.push_back(b[0]); });
+  net.attach(1, [](NodeId, Bytes) {});
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    net.send(1, 2, Bytes{i});
+  }
+  sim.run_until_idle();
+  ASSERT_EQ(order.size(), 50u);
+  for (std::uint8_t i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Network, EgressBandwidthSerializesFanout) {
+  // 1 Gbit/s NIC, 1 MiB messages to 4 receivers: the 4th copy leaves the
+  // NIC ~4x later than the 1st. This is the resource that makes broadcast
+  // throughput fall with ensemble size (paper's Figure).
+  Simulator sim(1);
+  NetworkConfig nc;
+  nc.base_latency = 0;
+  nc.jitter_mean = 0;
+  nc.egress_bytes_per_sec = 125e6;
+  nc.overhead_bytes = 0;
+  Network net(sim, nc);
+  std::map<NodeId, TimePoint> arrivals;
+  for (NodeId r = 2; r <= 5; ++r) {
+    net.attach(r, [&, r](NodeId, Bytes) { arrivals[r] = sim.now(); });
+  }
+  net.attach(1, [](NodeId, Bytes) {});
+  const std::size_t mib = 1u << 20;
+  for (NodeId r = 2; r <= 5; ++r) net.send(1, r, Bytes(mib));
+  sim.run_until_idle();
+  const double tx = static_cast<double>(mib) / 125e6 * 1e9;  // ns per copy
+  EXPECT_NEAR(static_cast<double>(arrivals[2]), tx, tx * 0.01);
+  EXPECT_NEAR(static_cast<double>(arrivals[5]), 4 * tx, tx * 0.01);
+}
+
+TEST(Network, LossDropsApproximatelyAtConfiguredRate) {
+  Simulator sim(11);
+  NetworkConfig nc;
+  nc.loss_probability = 0.2;
+  Network net(sim, nc);
+  int delivered = 0;
+  net.attach(2, [&](NodeId, Bytes) { ++delivered; });
+  net.attach(1, [](NodeId, Bytes) {});
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) net.send(1, 2, Bytes(8));
+  sim.run_until_idle();
+  EXPECT_NEAR(delivered, kN * 0.8, kN * 0.03);
+  EXPECT_EQ(net.stats().messages_sent, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(net.stats().messages_delivered + net.stats().messages_dropped,
+            static_cast<std::uint64_t>(kN));
+}
+
+TEST(Network, PartitionBlocksAcrossGroupsOnly) {
+  Simulator sim(1);
+  Network net(sim, {});
+  std::map<NodeId, int> got;
+  for (NodeId n = 1; n <= 4; ++n) {
+    net.attach(n, [&, n](NodeId, Bytes) { ++got[n]; });
+  }
+  net.set_partition({{1, 2}, {3, 4}});
+  net.send(1, 2, Bytes(1));  // same group: delivered
+  net.send(1, 3, Bytes(1));  // cross group: dropped
+  net.send(3, 4, Bytes(1));  // same group: delivered
+  sim.run_until_idle();
+  EXPECT_EQ(got[2], 1);
+  EXPECT_EQ(got[3], 0);
+  EXPECT_EQ(got[4], 1);
+  net.heal();
+  net.send(1, 3, Bytes(1));
+  sim.run_until_idle();
+  EXPECT_EQ(got[3], 1);
+}
+
+TEST(Network, BlockedPairAndDeadReceiver) {
+  Simulator sim(1);
+  Network net(sim, {});
+  int got2 = 0;
+  net.attach(2, [&](NodeId, Bytes) { ++got2; });
+  net.block_pair(1, 2);
+  net.send(1, 2, Bytes(1));
+  sim.run_until_idle();
+  EXPECT_EQ(got2, 0);
+  net.unblock_pair(1, 2);
+  net.send(1, 2, Bytes(1));
+  // Receiver dies while the message is in flight.
+  net.detach(2);
+  sim.run_until_idle();
+  EXPECT_EQ(got2, 0);
+  EXPECT_EQ(net.stats().messages_dropped, 2u);
+}
+
+TEST(Disk, SyncEachAppendSerializes) {
+  Simulator sim(1);
+  DiskConfig dc;
+  dc.sync_latency = millis(1);
+  dc.write_bytes_per_sec = 1e12;  // negligible transfer time
+  dc.policy = SyncPolicy::kSyncEachAppend;
+  DiskModel disk(sim, dc);
+  std::vector<TimePoint> done;
+  for (int i = 0; i < 3; ++i) {
+    disk.submit(100, [&] { done.push_back(sim.now()); });
+  }
+  sim.run_until_idle();
+  ASSERT_EQ(done.size(), 3u);
+  // Each sync pays the full latency, serialized: ~1ms, ~2ms, ~3ms.
+  EXPECT_NEAR(static_cast<double>(done[0]), millis(1), micros(10));
+  EXPECT_NEAR(static_cast<double>(done[1]), millis(2), micros(20));
+  EXPECT_NEAR(static_cast<double>(done[2]), millis(3), micros(30));
+  EXPECT_EQ(disk.syncs_performed(), 3u);
+}
+
+TEST(Disk, GroupCommitBatchesConcurrentWrites) {
+  Simulator sim(1);
+  DiskConfig dc;
+  dc.sync_latency = millis(1);
+  dc.write_bytes_per_sec = 1e12;
+  dc.policy = SyncPolicy::kGroupCommit;
+  DiskModel disk(sim, dc);
+  std::vector<TimePoint> done;
+  for (int i = 0; i < 10; ++i) {
+    disk.submit(100, [&] { done.push_back(sim.now()); });
+  }
+  sim.run_until_idle();
+  ASSERT_EQ(done.size(), 10u);
+  // First write starts a sync; the other 9 batch into ONE second sync.
+  EXPECT_LE(disk.syncs_performed(), 2u);
+  EXPECT_LE(done.back(), millis(2) + micros(10));
+}
+
+TEST(Disk, NoSyncIsImmediateButAsynchronous) {
+  Simulator sim(1);
+  DiskConfig dc;
+  dc.policy = SyncPolicy::kNoSync;
+  DiskModel disk(sim, dc);
+  bool done = false;
+  disk.submit(100, [&] { done = true; });
+  EXPECT_FALSE(done);  // never re-entrant
+  sim.run_until_idle();
+  EXPECT_TRUE(done);
+}
+
+TEST(Disk, CrashDropsPendingWrites) {
+  Simulator sim(1);
+  DiskConfig dc;
+  dc.sync_latency = millis(1);
+  DiskModel disk(sim, dc);
+  int completed = 0;
+  disk.submit(100, [&] { ++completed; });
+  disk.submit(100, [&] { ++completed; });
+  disk.crash();
+  sim.run_until_idle();
+  EXPECT_EQ(completed, 0);
+  // The disk keeps working after the crash (node restart).
+  disk.submit(100, [&] { ++completed; });
+  sim.run_until_idle();
+  EXPECT_EQ(completed, 1);
+}
+
+TEST(NodeEnv, TimersDieWithCrash) {
+  Simulator sim(1);
+  Network net(sim, {});
+  NodeEnv env(sim, net, 1);
+  env.attach([](NodeId, Bytes) {});
+  int fired = 0;
+  env.set_timer(millis(5), [&] { ++fired; });
+  const TimerId cancelled = env.set_timer(millis(5), [&] { fired += 100; });
+  env.cancel_timer(cancelled);
+  env.crash();
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 0);
+
+  // After restart, new timers work.
+  env.restart([](NodeId, Bytes) {});
+  env.set_timer(millis(1), [&] { ++fired; });
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(NodeEnv, SendsNothingWhileDown) {
+  Simulator sim(1);
+  Network net(sim, {});
+  NodeEnv env1(sim, net, 1);
+  int got = 0;
+  net.attach(2, [&](NodeId, Bytes) { ++got; });
+  env1.attach([](NodeId, Bytes) {});
+  env1.crash();
+  env1.send(2, Bytes(1));
+  sim.run_until_idle();
+  EXPECT_EQ(got, 0);
+}
+
+}  // namespace
+}  // namespace zab::sim

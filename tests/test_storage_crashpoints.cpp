@@ -1,0 +1,128 @@
+// Crash-point property tests for FileStorage: whatever byte prefix of the
+// newest log segment survives a crash (torn write), recovery must produce a
+// clean *prefix* of the appended entries — never garbage, never a gap —
+// and appends must continue correctly afterwards.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/file_storage.h"
+
+namespace zab::storage {
+namespace {
+
+class StorageCrashPoints : public ::testing::TestWithParam<std::uint64_t> {};
+
+Txn txn_of(Epoch e, std::uint32_t c, Rng& rng) {
+  Bytes data(rng.below(200));
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  return Txn{Zxid{e, c}, std::move(data)};
+}
+
+TEST_P(StorageCrashPoints, TornTailAlwaysRecoversToCleanPrefix) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::string dir =
+      ::testing::TempDir() + "/zab_crashpt_" + std::to_string(seed);
+  (void)remove_dir_recursive(dir);
+
+  // Write a known sequence.
+  std::vector<Txn> written;
+  {
+    FileStorageOptions opts;
+    opts.dir = dir;
+    opts.fsync = false;
+    opts.segment_bytes = 512;  // several segments
+    auto fs = std::move(FileStorage::open(opts)).take();
+    const int n = static_cast<int>(20 + rng.below(60));
+    for (int c = 1; c <= n; ++c) {
+      Txn t = txn_of(1, static_cast<std::uint32_t>(c), rng);
+      written.push_back(t);
+      fs->append(t, nullptr);
+    }
+  }
+
+  // "Crash": chop the newest segment at a random byte offset.
+  std::string newest;
+  {
+    auto names = list_dir(dir);
+    ASSERT_TRUE(names.is_ok());
+    for (const auto& nm : names.value()) {
+      if (nm.rfind("log.", 0) == 0 && (newest.empty() || nm > newest)) {
+        newest = nm;
+      }
+    }
+  }
+  ASSERT_FALSE(newest.empty());
+  const std::string path = dir + "/" + newest;
+  auto data = read_file(path);
+  ASSERT_TRUE(data.is_ok());
+  const std::size_t cut = rng.below(data.value().size() + 1);
+  ASSERT_TRUE(truncate_file(path, cut).is_ok());
+
+  // Recover: entries must be an exact prefix of what was written.
+  {
+    FileStorageOptions opts;
+    opts.dir = dir;
+    opts.fsync = false;
+    opts.segment_bytes = 512;
+    auto res = FileStorage::open(opts);
+    ASSERT_TRUE(res.is_ok()) << res.status().to_string();
+    auto fs = std::move(res).take();
+    const auto entries = fs->entries_in(Zxid::zero(), Zxid::max());
+    ASSERT_LE(entries.size(), written.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      EXPECT_EQ(entries[i].zxid, written[i].zxid) << "seed " << seed;
+      EXPECT_EQ(entries[i].data, written[i].data) << "seed " << seed;
+    }
+
+    // Appending after recovery continues the sequence cleanly.
+    const std::uint32_t next =
+        entries.empty() ? 1 : entries.back().zxid.counter + 1;
+    fs->append(Txn{Zxid{1, next}, to_bytes("post-crash")}, nullptr);
+    EXPECT_EQ(fs->last_zxid(), (Zxid{1, next}));
+  }
+  // And a second recovery sees the post-crash append too.
+  {
+    FileStorageOptions opts;
+    opts.dir = dir;
+    opts.fsync = false;
+    opts.segment_bytes = 512;
+    auto fs = std::move(FileStorage::open(opts)).take();
+    const auto entries = fs->entries_in(Zxid::zero(), Zxid::max());
+    ASSERT_FALSE(entries.empty());
+    EXPECT_EQ(entries.back().data, to_bytes("post-crash"));
+  }
+  (void)remove_dir_recursive(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StorageCrashPoints,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(StorageCrashPoints, EpochFileCrashLeavesOldValueOrNewValue) {
+  // The epoch file is written via temp+rename: a crash may lose the rename
+  // but must never yield a half-written file. Simulate by leaving a stale
+  // .tmp next to a valid file.
+  const std::string dir = ::testing::TempDir() + "/zab_epochcrash";
+  (void)remove_dir_recursive(dir);
+  {
+    FileStorageOptions opts;
+    opts.dir = dir;
+    auto fs = std::move(FileStorage::open(opts)).take();
+    ASSERT_TRUE(fs->set_accepted_epoch(7).is_ok());
+  }
+  // A torn tmp from a crashed update attempt.
+  ASSERT_TRUE(
+      atomic_write_file(dir + "/epoch.tmp.garbage", to_bytes("junk"), false)
+          .is_ok());
+  {
+    FileStorageOptions opts;
+    opts.dir = dir;
+    auto res = FileStorage::open(opts);
+    ASSERT_TRUE(res.is_ok());
+    EXPECT_EQ(res.value()->accepted_epoch(), 7u);
+  }
+  (void)remove_dir_recursive(dir);
+}
+
+}  // namespace
+}  // namespace zab::storage

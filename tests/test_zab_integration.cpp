@@ -1,0 +1,214 @@
+// Integration tests: full ensembles on the simulator.
+#include <gtest/gtest.h>
+
+#include "harness/sim_cluster.h"
+
+namespace zab::harness {
+namespace {
+
+ClusterConfig base_config(std::size_t n, std::uint64_t seed = 7) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void expect_no_violations(SimCluster& c) {
+  const auto v = c.checker().check();
+  for (const auto& s : v) ADD_FAILURE() << s;
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(ZabIntegration, ElectsALeaderFromColdStart) {
+  SimCluster c(base_config(3));
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+  EXPECT_TRUE(c.node(l).is_active_leader());
+  EXPECT_EQ(c.node(l).epoch(), 1u);
+}
+
+TEST(ZabIntegration, FiveNodeColdStart) {
+  SimCluster c(base_config(5));
+  ASSERT_NE(c.wait_for_leader(), kNoNode);
+}
+
+TEST(ZabIntegration, SingleNodeEnsembleWorks) {
+  SimCluster c(base_config(1));
+  ASSERT_NE(c.wait_for_leader(), kNoNode);
+  ASSERT_TRUE(c.replicate_ops(10).is_ok());
+  expect_no_violations(c);
+}
+
+TEST(ZabIntegration, ReplicatesToAllNodes) {
+  SimCluster c(base_config(3));
+  ASSERT_NE(c.wait_for_leader(), kNoNode);
+  ASSERT_TRUE(c.replicate_ops(100).is_ok());
+
+  // All nodes delivered the same 100 txns in the same order.
+  expect_no_violations(c);
+  const auto ag = c.checker().check_agreement(c.up_nodes());
+  for (const auto& s : ag) ADD_FAILURE() << s;
+  EXPECT_EQ(c.node(1).last_delivered().counter, 100u);
+}
+
+TEST(ZabIntegration, FollowersDeliverInLeaderOrder) {
+  SimCluster c(base_config(5));
+  ASSERT_NE(c.wait_for_leader(), kNoNode);
+  ASSERT_TRUE(c.replicate_ops(500, 64).is_ok());
+  expect_no_violations(c);
+  for (NodeId n : c.up_nodes()) {
+    EXPECT_EQ(c.node(n).last_delivered(), c.node(1).last_delivered());
+  }
+}
+
+TEST(ZabIntegration, FollowerCrashDoesNotStopProgress) {
+  SimCluster c(base_config(3));
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+  ASSERT_TRUE(c.replicate_ops(50).is_ok());
+
+  // Crash one follower; the remaining majority keeps committing.
+  const NodeId f = (l == 1) ? 2 : 1;
+  c.crash(f);
+  ASSERT_TRUE(c.replicate_ops(50).is_ok());
+  expect_no_violations(c);
+}
+
+TEST(ZabIntegration, LeaderCrashTriggersReElectionAndNoLoss) {
+  SimCluster c(base_config(3));
+  NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+  ASSERT_TRUE(c.replicate_ops(100).is_ok());
+  const Zxid committed = c.node(l).last_committed();
+
+  c.crash(l);
+  const NodeId l2 = c.wait_for_leader();
+  ASSERT_NE(l2, kNoNode);
+  ASSERT_NE(l2, l);
+
+  // Everything committed before the crash survives the new epoch.
+  EXPECT_GE(c.node(l2).last_delivered(), committed);
+  ASSERT_TRUE(c.replicate_ops(100).is_ok());
+  expect_no_violations(c);
+  EXPECT_GT(c.node(l2).epoch(), 1u);
+}
+
+TEST(ZabIntegration, CrashedFollowerRejoinsAndCatchesUp) {
+  SimCluster c(base_config(3));
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+  const NodeId f = (l == 1) ? 2 : 1;
+
+  ASSERT_TRUE(c.replicate_ops(30).is_ok());
+  c.crash(f);
+  ASSERT_TRUE(c.replicate_ops(70).is_ok());
+
+  c.restart(f);
+  const Zxid target = c.node(l).last_committed();
+  ASSERT_TRUE(c.wait_delivered(target));
+  EXPECT_EQ(c.node(f).last_delivered(), target);
+  expect_no_violations(c);
+}
+
+TEST(ZabIntegration, LeaderCrashAndRejoinAsFollower) {
+  SimCluster c(base_config(3));
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+  ASSERT_TRUE(c.replicate_ops(40).is_ok());
+
+  c.crash(l);
+  ASSERT_NE(c.wait_for_leader(), kNoNode);
+  ASSERT_TRUE(c.replicate_ops(40).is_ok());
+
+  c.restart(l);
+  const NodeId l2 = c.leader_id();
+  ASSERT_NE(l2, kNoNode);
+  const Zxid target = c.node(l2).last_committed();
+  ASSERT_TRUE(c.wait_delivered(target));
+  EXPECT_EQ(c.node(l).role(), Role::kFollowing);
+  expect_no_violations(c);
+}
+
+TEST(ZabIntegration, MinorityPartitionCannotCommit) {
+  SimCluster c(base_config(5));
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+  ASSERT_TRUE(c.replicate_ops(20).is_ok());
+
+  // Isolate the leader with one follower (minority side).
+  const NodeId buddy = (l % 5) + 1;
+  std::set<NodeId> minority{l, buddy};
+  std::set<NodeId> majority;
+  for (NodeId n = 1; n <= 5; ++n) {
+    if (minority.count(n) == 0) majority.insert(n);
+  }
+  c.network().set_partition({minority, majority});
+
+  // The minority leader must step down; the majority elects a new leader.
+  c.run_for(seconds(2));
+  NodeId l2 = c.leader_id();
+  ASSERT_NE(l2, kNoNode);
+  EXPECT_TRUE(majority.count(l2) != 0) << "leader " << l2 << " in minority";
+
+  // The majority side commits while the minority is cut off.
+  Zxid last;
+  for (int i = 0; i < 20; ++i) {
+    auto res = c.submit(make_op(1000 + static_cast<std::uint64_t>(i), 16));
+    ASSERT_TRUE(res.is_ok());
+    last = res.value();
+  }
+  ASSERT_TRUE(c.wait_delivered_on(
+      std::vector<NodeId>(majority.begin(), majority.end()), last));
+
+  // Heal: minority rejoins, everyone converges.
+  c.network().heal();
+  const Zxid target = c.node(l2).last_committed();
+  ASSERT_TRUE(c.wait_delivered(target));
+  expect_no_violations(c);
+  const auto ag = c.checker().check_agreement(c.up_nodes());
+  for (const auto& s : ag) ADD_FAILURE() << s;
+}
+
+TEST(ZabIntegration, SurvivesMessageLoss) {
+  ClusterConfig cfg = base_config(3);
+  cfg.net.loss_probability = 0.01;
+  SimCluster c(cfg);
+  ASSERT_NE(c.wait_for_leader(), kNoNode);
+  ASSERT_TRUE(c.replicate_ops(200, 16, seconds(120)).is_ok());
+  expect_no_violations(c);
+}
+
+TEST(ZabIntegration, RepeatedLeaderCrashes) {
+  SimCluster c(base_config(5));
+  ASSERT_NE(c.wait_for_leader(), kNoNode);
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(c.replicate_ops(30).is_ok()) << "round " << round;
+    const NodeId l = c.leader_id();
+    c.crash(l);
+    ASSERT_NE(c.wait_for_leader(), kNoNode) << "round " << round;
+    c.restart(l);
+  }
+  ASSERT_TRUE(c.replicate_ops(30).is_ok());
+  expect_no_violations(c);
+}
+
+TEST(ZabIntegration, SnapshotSyncForFarBehindFollower) {
+  ClusterConfig cfg = base_config(3);
+  cfg.node.snapshot_every = 50;
+  cfg.node.log_retain = 10;  // force SNAP for long gaps
+  SimCluster c(cfg);
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+  const NodeId f = (l == 1) ? 2 : 1;
+
+  c.crash(f);
+  ASSERT_TRUE(c.replicate_ops(300).is_ok());
+  c.restart(f);
+  const Zxid target = c.node(l).last_committed();
+  ASSERT_TRUE(c.wait_delivered(target));
+  EXPECT_EQ(c.node(f).last_delivered(), target);
+  expect_no_violations(c);
+}
+
+}  // namespace
+}  // namespace zab::harness
