@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failover_ablation.dir/bench_failover_ablation.cpp.o"
+  "CMakeFiles/bench_failover_ablation.dir/bench_failover_ablation.cpp.o.d"
+  "bench_failover_ablation"
+  "bench_failover_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failover_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failures_timeline.dir/bench_failures_timeline.cpp.o"
+  "CMakeFiles/bench_failures_timeline.dir/bench_failures_timeline.cpp.o.d"
+  "bench_failures_timeline"
+  "bench_failures_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failures_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

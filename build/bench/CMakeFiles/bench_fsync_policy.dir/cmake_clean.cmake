@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fsync_policy.dir/bench_fsync_policy.cpp.o"
+  "CMakeFiles/bench_fsync_policy.dir/bench_fsync_policy.cpp.o.d"
+  "bench_fsync_policy"
+  "bench_fsync_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fsync_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

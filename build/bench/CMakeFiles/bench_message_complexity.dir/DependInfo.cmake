@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_message_complexity.cpp" "bench/CMakeFiles/bench_message_complexity.dir/bench_message_complexity.cpp.o" "gcc" "bench/CMakeFiles/bench_message_complexity.dir/bench_message_complexity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/zab_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/pb/CMakeFiles/zab_pb.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/zab_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/zab/CMakeFiles/zab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/zab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/zab_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

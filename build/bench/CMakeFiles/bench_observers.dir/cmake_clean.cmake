@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_observers.dir/bench_observers.cpp.o"
+  "CMakeFiles/bench_observers.dir/bench_observers.cpp.o.d"
+  "bench_observers"
+  "bench_observers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_observers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sync_strategies.dir/bench_sync_strategies.cpp.o"
+  "CMakeFiles/bench_sync_strategies.dir/bench_sync_strategies.cpp.o.d"
+  "bench_sync_strategies"
+  "bench_sync_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sync_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

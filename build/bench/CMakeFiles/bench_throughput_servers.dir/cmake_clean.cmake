@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throughput_servers.dir/bench_throughput_servers.cpp.o"
+  "CMakeFiles/bench_throughput_servers.dir/bench_throughput_servers.cpp.o.d"
+  "bench_throughput_servers"
+  "bench_throughput_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zab_vs_paxos.dir/bench_zab_vs_paxos.cpp.o"
+  "CMakeFiles/bench_zab_vs_paxos.dir/bench_zab_vs_paxos.cpp.o.d"
+  "bench_zab_vs_paxos"
+  "bench_zab_vs_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zab_vs_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

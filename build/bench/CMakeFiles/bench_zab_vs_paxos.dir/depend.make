@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_zab_vs_paxos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_demo.dir/failure_demo.cpp.o"
+  "CMakeFiles/failure_demo.dir/failure_demo.cpp.o.d"
+  "failure_demo"
+  "failure_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_cluster_tcp.dir/kv_cluster_tcp.cpp.o"
+  "CMakeFiles/kv_cluster_tcp.dir/kv_cluster_tcp.cpp.o.d"
+  "kv_cluster_tcp"
+  "kv_cluster_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_cluster_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_explorer.dir/sync_explorer.cpp.o"
+  "CMakeFiles/sync_explorer.dir/sync_explorer.cpp.o.d"
+  "sync_explorer"
+  "sync_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zab_cli.dir/zab_cli.cpp.o"
+  "CMakeFiles/zab_cli.dir/zab_cli.cpp.o.d"
+  "zab_cli"
+  "zab_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zab_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

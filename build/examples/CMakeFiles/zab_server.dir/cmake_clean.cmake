@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zab_server.dir/zab_server.cpp.o"
+  "CMakeFiles/zab_server.dir/zab_server.cpp.o.d"
+  "zab_server"
+  "zab_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zab_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

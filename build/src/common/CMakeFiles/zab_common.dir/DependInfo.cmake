@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/crc32c.cpp" "src/common/CMakeFiles/zab_common.dir/crc32c.cpp.o" "gcc" "src/common/CMakeFiles/zab_common.dir/crc32c.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/zab_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/zab_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/metrics.cpp" "src/common/CMakeFiles/zab_common.dir/metrics.cpp.o" "gcc" "src/common/CMakeFiles/zab_common.dir/metrics.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/zab_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/zab_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/common/CMakeFiles/zab_common.dir/status.cpp.o" "gcc" "src/common/CMakeFiles/zab_common.dir/status.cpp.o.d"
+  "/root/repo/src/common/time.cpp" "src/common/CMakeFiles/zab_common.dir/time.cpp.o" "gcc" "src/common/CMakeFiles/zab_common.dir/time.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/common/CMakeFiles/zab_common.dir/types.cpp.o" "gcc" "src/common/CMakeFiles/zab_common.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

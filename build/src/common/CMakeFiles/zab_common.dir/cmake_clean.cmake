@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zab_common.dir/crc32c.cpp.o"
+  "CMakeFiles/zab_common.dir/crc32c.cpp.o.d"
+  "CMakeFiles/zab_common.dir/logging.cpp.o"
+  "CMakeFiles/zab_common.dir/logging.cpp.o.d"
+  "CMakeFiles/zab_common.dir/metrics.cpp.o"
+  "CMakeFiles/zab_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/zab_common.dir/rng.cpp.o"
+  "CMakeFiles/zab_common.dir/rng.cpp.o.d"
+  "CMakeFiles/zab_common.dir/status.cpp.o"
+  "CMakeFiles/zab_common.dir/status.cpp.o.d"
+  "CMakeFiles/zab_common.dir/time.cpp.o"
+  "CMakeFiles/zab_common.dir/time.cpp.o.d"
+  "CMakeFiles/zab_common.dir/types.cpp.o"
+  "CMakeFiles/zab_common.dir/types.cpp.o.d"
+  "libzab_common.a"
+  "libzab_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zab_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

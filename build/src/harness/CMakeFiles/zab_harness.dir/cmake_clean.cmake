@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zab_harness.dir/invariants.cpp.o"
+  "CMakeFiles/zab_harness.dir/invariants.cpp.o.d"
+  "CMakeFiles/zab_harness.dir/paxos_cluster.cpp.o"
+  "CMakeFiles/zab_harness.dir/paxos_cluster.cpp.o.d"
+  "CMakeFiles/zab_harness.dir/runtime_cluster.cpp.o"
+  "CMakeFiles/zab_harness.dir/runtime_cluster.cpp.o.d"
+  "CMakeFiles/zab_harness.dir/sim_cluster.cpp.o"
+  "CMakeFiles/zab_harness.dir/sim_cluster.cpp.o.d"
+  "CMakeFiles/zab_harness.dir/workload.cpp.o"
+  "CMakeFiles/zab_harness.dir/workload.cpp.o.d"
+  "libzab_harness.a"
+  "libzab_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zab_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

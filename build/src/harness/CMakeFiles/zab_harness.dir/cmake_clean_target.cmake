@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzab_harness.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zab_net.dir/inproc.cpp.o"
+  "CMakeFiles/zab_net.dir/inproc.cpp.o.d"
+  "CMakeFiles/zab_net.dir/runtime_env.cpp.o"
+  "CMakeFiles/zab_net.dir/runtime_env.cpp.o.d"
+  "CMakeFiles/zab_net.dir/tcp_transport.cpp.o"
+  "CMakeFiles/zab_net.dir/tcp_transport.cpp.o.d"
+  "libzab_net.a"
+  "libzab_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zab_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zab_paxos.dir/messages.cpp.o"
+  "CMakeFiles/zab_paxos.dir/messages.cpp.o.d"
+  "CMakeFiles/zab_paxos.dir/replica.cpp.o"
+  "CMakeFiles/zab_paxos.dir/replica.cpp.o.d"
+  "libzab_paxos.a"
+  "libzab_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zab_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pb/client_protocol.cpp" "src/pb/CMakeFiles/zab_pb.dir/client_protocol.cpp.o" "gcc" "src/pb/CMakeFiles/zab_pb.dir/client_protocol.cpp.o.d"
+  "/root/repo/src/pb/client_service.cpp" "src/pb/CMakeFiles/zab_pb.dir/client_service.cpp.o" "gcc" "src/pb/CMakeFiles/zab_pb.dir/client_service.cpp.o.d"
+  "/root/repo/src/pb/data_tree.cpp" "src/pb/CMakeFiles/zab_pb.dir/data_tree.cpp.o" "gcc" "src/pb/CMakeFiles/zab_pb.dir/data_tree.cpp.o.d"
+  "/root/repo/src/pb/ops.cpp" "src/pb/CMakeFiles/zab_pb.dir/ops.cpp.o" "gcc" "src/pb/CMakeFiles/zab_pb.dir/ops.cpp.o.d"
+  "/root/repo/src/pb/remote_client.cpp" "src/pb/CMakeFiles/zab_pb.dir/remote_client.cpp.o" "gcc" "src/pb/CMakeFiles/zab_pb.dir/remote_client.cpp.o.d"
+  "/root/repo/src/pb/replicated_tree.cpp" "src/pb/CMakeFiles/zab_pb.dir/replicated_tree.cpp.o" "gcc" "src/pb/CMakeFiles/zab_pb.dir/replicated_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zab/CMakeFiles/zab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/zab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/zab_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zab_pb.dir/client_protocol.cpp.o"
+  "CMakeFiles/zab_pb.dir/client_protocol.cpp.o.d"
+  "CMakeFiles/zab_pb.dir/client_service.cpp.o"
+  "CMakeFiles/zab_pb.dir/client_service.cpp.o.d"
+  "CMakeFiles/zab_pb.dir/data_tree.cpp.o"
+  "CMakeFiles/zab_pb.dir/data_tree.cpp.o.d"
+  "CMakeFiles/zab_pb.dir/ops.cpp.o"
+  "CMakeFiles/zab_pb.dir/ops.cpp.o.d"
+  "CMakeFiles/zab_pb.dir/remote_client.cpp.o"
+  "CMakeFiles/zab_pb.dir/remote_client.cpp.o.d"
+  "CMakeFiles/zab_pb.dir/replicated_tree.cpp.o"
+  "CMakeFiles/zab_pb.dir/replicated_tree.cpp.o.d"
+  "libzab_pb.a"
+  "libzab_pb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zab_pb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zab_sim.dir/disk.cpp.o"
+  "CMakeFiles/zab_sim.dir/disk.cpp.o.d"
+  "CMakeFiles/zab_sim.dir/network.cpp.o"
+  "CMakeFiles/zab_sim.dir/network.cpp.o.d"
+  "libzab_sim.a"
+  "libzab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zab_storage.dir/file_storage.cpp.o"
+  "CMakeFiles/zab_storage.dir/file_storage.cpp.o.d"
+  "CMakeFiles/zab_storage.dir/fs_util.cpp.o"
+  "CMakeFiles/zab_storage.dir/fs_util.cpp.o.d"
+  "CMakeFiles/zab_storage.dir/mem_storage.cpp.o"
+  "CMakeFiles/zab_storage.dir/mem_storage.cpp.o.d"
+  "libzab_storage.a"
+  "libzab_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zab_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

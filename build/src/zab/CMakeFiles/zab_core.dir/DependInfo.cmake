@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zab/election.cpp" "src/zab/CMakeFiles/zab_core.dir/election.cpp.o" "gcc" "src/zab/CMakeFiles/zab_core.dir/election.cpp.o.d"
+  "/root/repo/src/zab/leader.cpp" "src/zab/CMakeFiles/zab_core.dir/leader.cpp.o" "gcc" "src/zab/CMakeFiles/zab_core.dir/leader.cpp.o.d"
+  "/root/repo/src/zab/messages.cpp" "src/zab/CMakeFiles/zab_core.dir/messages.cpp.o" "gcc" "src/zab/CMakeFiles/zab_core.dir/messages.cpp.o.d"
+  "/root/repo/src/zab/zab_node.cpp" "src/zab/CMakeFiles/zab_core.dir/zab_node.cpp.o" "gcc" "src/zab/CMakeFiles/zab_core.dir/zab_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/zab_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

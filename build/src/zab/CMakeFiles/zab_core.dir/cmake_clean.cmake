@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zab_core.dir/election.cpp.o"
+  "CMakeFiles/zab_core.dir/election.cpp.o.d"
+  "CMakeFiles/zab_core.dir/leader.cpp.o"
+  "CMakeFiles/zab_core.dir/leader.cpp.o.d"
+  "CMakeFiles/zab_core.dir/messages.cpp.o"
+  "CMakeFiles/zab_core.dir/messages.cpp.o.d"
+  "CMakeFiles/zab_core.dir/zab_node.cpp.o"
+  "CMakeFiles/zab_core.dir/zab_node.cpp.o.d"
+  "libzab_core.a"
+  "libzab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_client_server.dir/test_client_server.cpp.o"
+  "CMakeFiles/test_client_server.dir/test_client_server.cpp.o.d"
+  "test_client_server"
+  "test_client_server.pdb"
+  "test_client_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_client_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

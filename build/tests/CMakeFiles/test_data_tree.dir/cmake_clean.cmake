@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_tree.dir/test_data_tree.cpp.o"
+  "CMakeFiles/test_data_tree.dir/test_data_tree.cpp.o.d"
+  "test_data_tree"
+  "test_data_tree.pdb"
+  "test_data_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

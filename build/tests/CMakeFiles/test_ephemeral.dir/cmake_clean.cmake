@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ephemeral.dir/test_ephemeral.cpp.o"
+  "CMakeFiles/test_ephemeral.dir/test_ephemeral.cpp.o.d"
+  "test_ephemeral"
+  "test_ephemeral.pdb"
+  "test_ephemeral[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ephemeral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_observer_unit.dir/test_observer_unit.cpp.o"
+  "CMakeFiles/test_observer_unit.dir/test_observer_unit.cpp.o.d"
+  "test_observer_unit"
+  "test_observer_unit.pdb"
+  "test_observer_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_observer_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

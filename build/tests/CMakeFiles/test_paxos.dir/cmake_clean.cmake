@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paxos.dir/test_paxos.cpp.o"
+  "CMakeFiles/test_paxos.dir/test_paxos.cpp.o.d"
+  "test_paxos"
+  "test_paxos.pdb"
+  "test_paxos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

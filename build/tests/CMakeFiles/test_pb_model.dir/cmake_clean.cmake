@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pb_model.dir/test_pb_model.cpp.o"
+  "CMakeFiles/test_pb_model.dir/test_pb_model.cpp.o.d"
+  "test_pb_model"
+  "test_pb_model.pdb"
+  "test_pb_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replicated_tree.dir/test_replicated_tree.cpp.o"
+  "CMakeFiles/test_replicated_tree.dir/test_replicated_tree.cpp.o.d"
+  "test_replicated_tree"
+  "test_replicated_tree.pdb"
+  "test_replicated_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replicated_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_crashpoints.dir/test_storage_crashpoints.cpp.o"
+  "CMakeFiles/test_storage_crashpoints.dir/test_storage_crashpoints.cpp.o.d"
+  "test_storage_crashpoints"
+  "test_storage_crashpoints.pdb"
+  "test_storage_crashpoints[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_crashpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zab_integration.dir/test_zab_integration.cpp.o"
+  "CMakeFiles/test_zab_integration.dir/test_zab_integration.cpp.o.d"
+  "test_zab_integration"
+  "test_zab_integration.pdb"
+  "test_zab_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zab_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

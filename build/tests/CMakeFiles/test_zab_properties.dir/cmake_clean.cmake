@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zab_properties.dir/test_zab_properties.cpp.o"
+  "CMakeFiles/test_zab_properties.dir/test_zab_properties.cpp.o.d"
+  "test_zab_properties"
+  "test_zab_properties.pdb"
+  "test_zab_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zab_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zab_unit.dir/test_zab_unit.cpp.o"
+  "CMakeFiles/test_zab_unit.dir/test_zab_unit.cpp.o.d"
+  "test_zab_unit"
+  "test_zab_unit.pdb"
+  "test_zab_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zab_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

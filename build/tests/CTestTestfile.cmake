@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_zab_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_zab_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_paxos[1]_include.cmake")
+include("/root/repo/build/tests/test_data_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_replicated_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_messages[1]_include.cmake")
+include("/root/repo/build/tests/test_election[1]_include.cmake")
+include("/root/repo/build/tests/test_zab_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_observers[1]_include.cmake")
+include("/root/repo/build/tests/test_pb_model[1]_include.cmake")
+include("/root/repo/build/tests/test_storage_crashpoints[1]_include.cmake")
+include("/root/repo/build/tests/test_client_server[1]_include.cmake")
+include("/root/repo/build/tests/test_ephemeral[1]_include.cmake")
+include("/root/repo/build/tests/test_observer_unit[1]_include.cmake")
