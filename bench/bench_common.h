@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 
 namespace zab::bench {
 
@@ -61,6 +62,25 @@ inline std::string fmt(double v, int prec = 1) {
 }
 inline std::string fmt_int(std::uint64_t v) { return std::to_string(v); }
 
-inline void quiet_logs() { logging::set_level(LogLevel::kError); }
+inline void quiet_logs() { logging::set_default_level(LogLevel::kError); }
+
+/// One-line-per-stage breakdown of the protocol pipeline from a node's
+/// metrics snapshot: every zab.stage.* histogram as count/mean/p99 (µs).
+/// Prints nothing for stages with no samples.
+inline void print_stage_breakdown(const MetricsSnapshot& snap,
+                                  const char* label) {
+  Table t({"stage (" + std::string(label) + ")", "count", "mean_us", "p50_us",
+           "p99_us", "max_us"});
+  bool any = false;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.rfind("zab.stage.", 0) != 0 || h.count() == 0) continue;
+    any = true;
+    t.row({name.substr(sizeof("zab.stage.") - 1), fmt_int(h.count()),
+           fmt(h.mean() / 1e3), fmt(static_cast<double>(h.quantile(0.5)) / 1e3),
+           fmt(static_cast<double>(h.quantile(0.99)) / 1e3),
+           fmt(static_cast<double>(h.max()) / 1e3)});
+  }
+  if (any) t.print();
+}
 
 }  // namespace zab::bench

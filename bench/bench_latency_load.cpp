@@ -37,6 +37,17 @@ int main() {
              fmt(res.latency.mean() / 1e6, 3),
              fmt(static_cast<double>(res.latency.quantile(0.5)) / 1e6, 3),
              fmt(static_cast<double>(res.latency.quantile(0.99)) / 1e6, 3)});
+      // Per-stage breakdown at the knee: where in the pipeline
+      // (propose->quorum-ack->commit->deliver) does queueing delay build?
+      if (frac == 0.85) {
+        const NodeId lead = c.leader_id();
+        if (lead != kNoNode) {
+          std::printf("\nstage breakdown at %.0f%% of saturation (leader):\n",
+                      frac * 100);
+          print_stage_breakdown(c.node(lead).metrics().snapshot(), "sim us");
+          std::printf("\n");
+        }
+      }
     }
     t.print();
   }

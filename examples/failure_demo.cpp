@@ -36,7 +36,7 @@ void show(SimCluster& c, const char* moment) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  logging::set_level(LogLevel::kWarn);
+  logging::set_default_level(LogLevel::kWarn);
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2026;
   std::printf("== Zab failure walkthrough (seed %llu) ==\n",

@@ -72,7 +72,7 @@ void report(RuntimeCluster& cluster, std::size_t n) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  logging::set_level(LogLevel::kWarn);
+  logging::set_default_level(LogLevel::kWarn);
   const std::string workdir =
       argc > 1 ? argv[1] : "/tmp/zab_kv_cluster_example";
   (void)storage::remove_dir_recursive(workdir);

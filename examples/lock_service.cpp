@@ -125,7 +125,7 @@ void release(RuntimeCluster& cluster, NodeId id, const std::string& path) {
 }  // namespace
 
 int main() {
-  logging::set_level(LogLevel::kWarn);
+  logging::set_default_level(LogLevel::kWarn);
   std::printf("== distributed lock recipe (%d contenders x %d increments) ==\n\n",
               kContenders, kIncrementsEach);
 

@@ -49,7 +49,7 @@ pb::OpResult write(RuntimeCluster& cluster, NodeId id,
 }  // namespace
 
 int main() {
-  logging::set_level(LogLevel::kWarn);
+  logging::set_default_level(LogLevel::kWarn);
   std::printf("== Zab quickstart: 3 replicas, in-process transport ==\n\n");
 
   RuntimeClusterConfig cfg;

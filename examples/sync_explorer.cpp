@@ -35,7 +35,7 @@ void print_decision(SimCluster& c, NodeId f, const char* scenario) {
 }  // namespace
 
 int main() {
-  logging::set_level(LogLevel::kWarn);
+  logging::set_default_level(LogLevel::kWarn);
   std::printf("== synchronization strategies explorer ==\n\n");
 
   // ---------- 1. Short lag: DIFF -------------------------------------------

@@ -8,6 +8,7 @@
 //   zab_cli --servers ...            stat <path>
 //   zab_cli --servers ...            watch <path>  (block until it changes)
 //   zab_cli --servers ...            leader      (which server leads?)
+//   zab_cli --servers ...            mntr        (per-server stats dump)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,7 +51,7 @@ int fail(const Status& st) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  logging::set_level(LogLevel::kError);
+  logging::set_default_level(LogLevel::kError);
   std::vector<RemoteClient::Endpoint> servers;
   std::vector<std::string> args;
   bool sequential = false;
@@ -67,7 +68,7 @@ int main(int argc, char** argv) {
   if (servers.empty() || args.empty()) {
     std::fprintf(stderr,
                  "usage: %s --servers p1,p2,... "
-                 "<create|get|set|rm|ls|stat|leader> [args]\n",
+                 "<create|get|set|rm|ls|stat|leader|mntr> [args]\n",
                  argv[0]);
     return 2;
   }
@@ -148,6 +149,24 @@ int main(int argc, char** argv) {
                                     : "follower");
     }
     return 0;
+  }
+
+  if (cmd == "mntr") {
+    // ZooKeeper-style monitoring dump, one section per reachable server.
+    int rc = 0;
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      RemoteClient one({servers[i]}, seconds(2));
+      std::printf("--- %s:%u ---\n", servers[i].host.c_str(),
+                  servers[i].port);
+      auto r = one.mntr();
+      if (!r.is_ok()) {
+        std::printf("unreachable: %s\n", r.status().to_string().c_str());
+        rc = 1;
+        continue;
+      }
+      std::fputs(r.value().c_str(), stdout);
+    }
+    return rc;
   }
 
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "net/runtime_env.h"
 #include "net/tcp_transport.h"
 #include "pb/client_service.h"
@@ -64,7 +65,8 @@ int main(int argc, char** argv) {
   std::uint16_t client_port = 0;
   std::string data_dir;
   bool fsync = false;
-  logging::set_level(LogLevel::kInfo);
+  // kInfo unless ZAB_LOG_LEVEL overrides (see README: observability).
+  logging::set_default_level(LogLevel::kInfo);
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -95,8 +97,13 @@ int main(int argc, char** argv) {
   }
 
   // --- Assemble the replica ------------------------------------------------
+  // One registry per process, shared by transport, storage and node; the
+  // `mntr` client command dumps it (see docs/PROTOCOL.md, Observability).
+  MetricsRegistry metrics;
+
   net::TcpConfig tc;
   tc.id = id;
+  tc.metrics = &metrics;
   for (std::size_t i = 0; i < peer_ports.size(); ++i) {
     tc.ports[static_cast<NodeId>(i + 1)] = peer_ports[i];
   }
@@ -111,6 +118,7 @@ int main(int argc, char** argv) {
   storage::FileStorageOptions so;
   so.dir = data_dir;
   so.fsync = fsync;
+  so.metrics = &metrics;
   auto storage_res = storage::FileStorage::open(so);
   if (!storage_res.is_ok()) {
     std::fprintf(stderr, "storage: %s\n",
@@ -136,7 +144,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<ZabNode> node;
   std::unique_ptr<pb::ReplicatedTree> tree;
   env.start([&] {
-    node = std::make_unique<ZabNode>(zc, env, *storage);
+    node = std::make_unique<ZabNode>(zc, env, *storage, &metrics);
     tree = std::make_unique<pb::ReplicatedTree>(*node);
     node->add_state_handler([&](Role r, Epoch e) {
       std::printf("[node %u] %s epoch=%u\n", id, role_name(r), e);
@@ -153,6 +161,14 @@ int main(int argc, char** argv) {
   pb::ClientService service(env, *tree);
   if (Status st = service.start("127.0.0.1", client_port); !st.is_ok()) {
     std::fprintf(stderr, "client service: %s\n", st.to_string().c_str());
+    // Orderly teardown: the loop thread and transport are already live and
+    // hold references to node/tree; returning without stopping them races
+    // their destructors against in-flight callbacks.
+    env.run_sync([&] {
+      if (node) node->shutdown();
+    });
+    transport->shutdown();
+    env.stop();
     return 1;
   }
 
@@ -170,9 +186,14 @@ int main(int argc, char** argv) {
   }
   std::printf("\nzab_server: shutting down node %u\n", id);
   service.stop();
+  std::string final_report;
   env.run_sync([&] {
-    if (node) node->shutdown();
+    if (node) {
+      final_report = node->mntr_report();
+      node->shutdown();
+    }
   });
+  std::printf("--- final stats (mntr) ---\n%s", final_report.c_str());
   transport->shutdown();
   env.stop();
   return 0;

@@ -1,13 +1,50 @@
 #include "common/logging.h"
 
+#include <cctype>
 #include <cstdio>
 #include <ctime>
 #include <mutex>
 
+#include "common/env.h"
+
 namespace zab::logging {
 
+std::optional<LogLevel> parse_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "trace" || lower == "0") return LogLevel::kTrace;
+  if (lower == "debug" || lower == "1") return LogLevel::kDebug;
+  if (lower == "info" || lower == "2") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "3") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error" || lower == "4") return LogLevel::kError;
+  if (lower == "off" || lower == "none" || lower == "5") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+namespace {
+
+std::optional<LogLevel> env_level() {
+  const char* v = env_var("ZAB_LOG_LEVEL");
+  if (!v) return std::nullopt;
+  return parse_level(v);
+}
+
+}  // namespace
+
+bool level_set_from_env() {
+  static const bool set = env_level().has_value();
+  return set;
+}
+
 std::atomic<int>& global_level() {
-  static std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+  static std::atomic<int> level{
+      static_cast<int>(env_level().value_or(LogLevel::kWarn))};
   return level;
 }
 

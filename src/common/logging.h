@@ -6,6 +6,7 @@
 #pragma once
 
 #include <atomic>
+#include <optional>
 #include <sstream>
 #include <string_view>
 
@@ -30,6 +31,21 @@ inline bool enabled(LogLevel lvl) {
 
 inline void set_level(LogLevel lvl) {
   global_level().store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+/// Parse "trace|debug|info|warn|error|off" (case-insensitive) or a numeric
+/// level "0".."5"; nullopt for anything else.
+std::optional<LogLevel> parse_level(std::string_view name);
+
+/// True when ZAB_LOG_LEVEL is set to a parsable level in the process
+/// environment. global_level() initializes from it, so the variable works
+/// with zero per-binary code; binaries that want their own default (quiet
+/// benches, verbose servers) should guard their set_level() with this.
+bool level_set_from_env();
+
+/// set_level() unless ZAB_LOG_LEVEL already chose a level.
+inline void set_default_level(LogLevel lvl) {
+  if (!level_set_from_env()) set_level(lvl);
 }
 
 void emit(LogLevel lvl, std::string_view file, int line, std::string_view msg);

@@ -1,0 +1,75 @@
+#include "common/metrics_registry.h"
+
+#include <cstdio>
+
+namespace zab {
+
+AtomicCounter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return histograms_[name];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) out.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) out.histograms[name] = h;
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) histograms[name].merge(h);
+}
+
+std::string MetricsSnapshot::to_text(const std::string& prefix) const {
+  std::string out;
+  auto u64_line = [&out, &prefix](const std::string& key, std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    out += prefix;
+    out += key;
+    out += '\t';
+    out += buf;
+    out += '\n';
+  };
+  for (const auto& [name, v] : counters) u64_line(name, v);
+  for (const auto& [name, v] : gauges) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += prefix;
+    out += name;
+    out += '\t';
+    out += buf;
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    u64_line(name + "_count", h.count());
+    u64_line(name + "_mean", static_cast<std::uint64_t>(h.mean()));
+    u64_line(name + "_p50", h.quantile(0.5));
+    u64_line(name + "_p99", h.quantile(0.99));
+    u64_line(name + "_max", h.max());
+  }
+  return out;
+}
+
+}  // namespace zab

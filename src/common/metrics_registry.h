@@ -1,0 +1,101 @@
+// Node-wide metrics registry: named counters, gauges, and histograms under
+// hierarchical dot-separated keys ("zab.leader.proposals",
+// "net.tcp.bytes_out").
+//
+// Threading model: registration (the counter()/gauge()/histogram() lookups)
+// is guarded by a mutex and may happen from any thread. Counters and gauges
+// use relaxed atomics, so hot paths on IO threads (transport, storage) can
+// bump them concurrently with a reader. Histograms keep the non-thread-safe
+// Histogram primitive: a histogram must only be recorded into and snapshot
+// from its owning thread (the node's event loop) — the same single-threaded-
+// core discipline as the protocol itself.
+//
+// Hot paths should resolve a metric once and cache the reference; returned
+// references stay valid for the registry's lifetime (std::map nodes are
+// stable).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/metrics.h"
+
+namespace zab {
+
+/// Monotonic event count, safe to bump from any thread.
+class AtomicCounter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous level (queue depth, outstanding proposals); any thread.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Point-in-time copy of a registry's contents. Mergeable across nodes
+/// (counters/gauges add, histograms merge bucket-wise) so a cluster-wide
+/// view is just the per-node snapshots folded together.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  void merge(const MetricsSnapshot& other);
+
+  /// mntr-style text exposition: one "key<TAB>value" line per metric, keys
+  /// sorted. Histograms expand to key_count/_mean/_p50/_p99/_max rows
+  /// (values in the recorded unit, i.e. nanoseconds for latency metrics).
+  [[nodiscard]] std::string to_text(const std::string& prefix = "") const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  AtomicCounter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Copy out every metric. See the threading note above: histogram copies
+  /// are only coherent when taken from the recording thread.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every registered metric (keeps registrations, so cached
+  /// references stay valid). Used between bench measurement windows.
+  void reset();
+
+  [[nodiscard]] std::string to_text(const std::string& prefix = "") const {
+    return snapshot().to_text(prefix);
+  }
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, not the metric values
+  std::map<std::string, AtomicCounter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace zab

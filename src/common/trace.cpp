@@ -1,0 +1,78 @@
+#include "common/trace.h"
+
+#include <cstdio>
+
+namespace zab::trace {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kPropose: return "PROPOSE";
+    case Stage::kLogFsync: return "LOG_FSYNC";
+    case Stage::kAck: return "ACK";
+    case Stage::kCommit: return "COMMIT";
+    case Stage::kDeliver: return "DELIVER";
+    case Stage::kElectionStart: return "ELECTION_START";
+    case Stage::kElected: return "ELECTED";
+    case Stage::kLeaderActive: return "LEADER_ACTIVE";
+    case Stage::kFollowerActive: return "FOLLOWER_ACTIVE";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRing::clear() {
+  head_ = 0;
+  size_ = 0;
+}
+
+std::vector<Event> TraceRing::events() const {
+  std::vector<Event> out;
+  out.reserve(size_);
+  const std::size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<Event> TraceRing::events_for(Zxid z) const {
+  std::vector<Event> out;
+  const std::size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Event& e = ring_[(start + i) % ring_.size()];
+    if (e.zxid == z) out.push_back(e);
+  }
+  return out;
+}
+
+TraceRing::StageTimes TraceRing::stage_times(Zxid z) const {
+  StageTimes st;
+  const std::size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Event& e = ring_[(start + i) % ring_.size()];
+    if (e.zxid != z) continue;
+    auto& slot = st.t[static_cast<std::size_t>(e.stage)];
+    if (slot < 0) slot = e.t;
+  }
+  return st;
+}
+
+std::string TraceRing::to_text(std::size_t max_events) const {
+  std::string out;
+  auto evs = events();
+  const std::size_t skip =
+      evs.size() > max_events ? evs.size() - max_events : 0;
+  for (std::size_t i = skip; i < evs.size(); ++i) {
+    const Event& e = evs[i];
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s\t%s\tnode=%u\tt=%lld\n",
+                  to_string(e.zxid).c_str(), stage_name(e.stage), e.node,
+                  static_cast<long long>(e.t));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace zab::trace

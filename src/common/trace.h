@@ -1,0 +1,100 @@
+// zxid-scoped stage tracing: a fixed-capacity ring buffer of lifecycle
+// events, stamped with (zxid, stage, node, monotonic ns).
+//
+// Every transaction moving through the broadcast pipeline leaves a trail —
+// PROPOSE when it enters, LOG_FSYNC when its append is durable, ACK when a
+// quorum has it, COMMIT when it is decided, DELIVER when the application
+// sees it — and protocol transitions (election start, elected, phase
+// changes) stamp events under the zero zxid. A run's ring can then be
+// replayed into a per-zxid latency breakdown or a leader-election timeline.
+//
+// The recorder is deliberately dumb and cheap: one array write per event,
+// no allocation after construction, old events overwritten when the ring
+// wraps. Not thread-safe — each node owns its ring and records from its
+// event loop, same as the protocol state machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+
+namespace zab::trace {
+
+enum class Stage : std::uint8_t {
+  kPropose = 0,    // txn entered the pipeline (leader: created; follower: received)
+  kLogFsync = 1,   // local append reported durable
+  kAck = 2,        // leader: quorum of acks reached for this zxid
+  kCommit = 3,     // decided (leader: quorum; follower: COMMIT/watermark)
+  kDeliver = 4,    // handed to the application, zxid order
+  kElectionStart = 5,  // node went LOOKING (zxid = zero)
+  kElected = 6,        // election concluded; node = chosen leader (zxid = zero)
+  kLeaderActive = 7,   // leader finished phase 2 and activated (zxid = zero)
+  kFollowerActive = 8, // follower received UPTODATE (zxid = zero)
+};
+inline constexpr std::size_t kNumStages = 9;
+
+[[nodiscard]] const char* stage_name(Stage s);
+
+struct Event {
+  Zxid zxid;            // zero for protocol-level (non-txn) events
+  Stage stage = Stage::kPropose;
+  NodeId node = kNoNode;  // the peer the event concerns (self unless noted)
+  TimePoint t = 0;        // monotonic ns (sim time under the simulator)
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 8192);
+
+  void record(Zxid zxid, Stage stage, NodeId node, TimePoint t) {
+    if (!enabled_) return;
+    Event& e = ring_[head_];
+    e.zxid = zxid;
+    e.stage = stage;
+    e.node = node;
+    e.t = t;
+    head_ = (head_ + 1) % ring_.size();
+    if (size_ < ring_.size()) ++size_;
+  }
+
+  /// Recording toggle; disabled rings cost one branch per record().
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  void clear();
+
+  /// Events oldest-first (copies out; the ring keeps recording).
+  [[nodiscard]] std::vector<Event> events() const;
+  /// Events for one transaction, oldest-first.
+  [[nodiscard]] std::vector<Event> events_for(Zxid z) const;
+
+  /// First (earliest surviving) timestamp per stage for a zxid; entries for
+  /// stages never recorded (or already overwritten) are -1.
+  struct StageTimes {
+    std::int64_t t[kNumStages];
+    StageTimes() {
+      for (auto& v : t) v = -1;
+    }
+    [[nodiscard]] std::int64_t at(Stage s) const {
+      return t[static_cast<std::size_t>(s)];
+    }
+  };
+  [[nodiscard]] StageTimes stage_times(Zxid z) const;
+
+  /// Human-readable dump (debugging / the mntr "trace" extension):
+  /// "zxid stage node t_ns" per line, oldest-first.
+  [[nodiscard]] std::string to_text(std::size_t max_events = 256) const;
+
+ private:
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  // next write position
+  std::size_t size_ = 0;
+  bool enabled_ = true;
+};
+
+}  // namespace zab::trace

@@ -13,6 +13,14 @@ RuntimeCluster::~RuntimeCluster() { stop(); }
 Status RuntimeCluster::start() {
   if (started_) return Status::ok();
 
+  // One registry per node, shared by its transport, storage and ZabNode.
+  // Created up front because the TCP transports (below) are built before
+  // their slots.
+  std::vector<std::unique_ptr<MetricsRegistry>> regs;
+  for (std::size_t i = 0; i < cfg_.n; ++i) {
+    regs.push_back(std::make_unique<MetricsRegistry>());
+  }
+
   // Bind every TCP listener first (ephemeral ports supported), then share
   // the complete port map with every transport before any node dials out.
   std::vector<std::unique_ptr<net::TcpTransport>> tcp;
@@ -22,6 +30,7 @@ Status RuntimeCluster::start() {
       const NodeId id = static_cast<NodeId>(i + 1);
       net::TcpConfig tc;
       tc.id = id;
+      tc.metrics = regs[i].get();
       tc.ports[id] =
           cfg_.base_port == 0
               ? 0
@@ -38,6 +47,7 @@ Status RuntimeCluster::start() {
     const NodeId id = static_cast<NodeId>(i + 1);
     auto slot = std::make_unique<Slot>();
     slot->id = id;
+    slot->metrics = std::move(regs[i]);
 
     if (cfg_.use_tcp) {
       slot->transport = std::move(tcp[i]);
@@ -49,6 +59,7 @@ Status RuntimeCluster::start() {
       storage::FileStorageOptions opts;
       opts.dir = cfg_.storage_dir + "/node" + std::to_string(id);
       opts.fsync = cfg_.fsync;
+      opts.metrics = slot->metrics.get();
       auto fs = storage::FileStorage::open(opts);
       if (!fs.is_ok()) return fs.status();
       slot->storage = std::move(fs).take();
@@ -70,8 +81,8 @@ Status RuntimeCluster::start() {
       for (std::size_t i = 0; i < cfg_.n; ++i) {
         nc.peers.push_back(static_cast<NodeId>(i + 1));
       }
-      slot->node =
-          std::make_unique<ZabNode>(nc, *slot->env, *slot->storage);
+      slot->node = std::make_unique<ZabNode>(nc, *slot->env, *slot->storage,
+                                             slot->metrics.get());
       if (cfg_.with_trees) {
         slot->tree = std::make_unique<pb::ReplicatedTree>(*slot->node);
       }
@@ -144,6 +155,19 @@ void RuntimeCluster::with_tree(
     NodeId id, const std::function<void(pb::ReplicatedTree&)>& fn) {
   Slot& s = *slots_.at(id - 1);
   s.env->run_sync([&] { fn(*s.tree); });
+}
+
+std::string RuntimeCluster::mntr(NodeId id) {
+  std::string out;
+  with_node(id, [&out](ZabNode& n) { out = n.mntr_report(); });
+  return out;
+}
+
+MetricsSnapshot RuntimeCluster::metrics_snapshot(NodeId id) {
+  // Snapshot on the loop thread: histograms are loop-owned.
+  MetricsSnapshot snap;
+  with_node(id, [&snap](ZabNode& n) { snap = n.metrics().snapshot(); });
+  return snap;
 }
 
 RuntimeCluster::NodeView RuntimeCluster::view(NodeId id) {

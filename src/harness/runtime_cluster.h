@@ -70,9 +70,17 @@ class RuntimeCluster {
   };
   [[nodiscard]] NodeView view(NodeId id);
 
+  /// mntr-style stats dump of one node (runs on its loop thread).
+  [[nodiscard]] std::string mntr(NodeId id);
+
+  /// Thread-safe snapshot of a node's full metrics registry.
+  [[nodiscard]] MetricsSnapshot metrics_snapshot(NodeId id);
+
  private:
   struct Slot {
     NodeId id = kNoNode;
+    // Created before transport/storage/node so all three can share it.
+    std::unique_ptr<MetricsRegistry> metrics;
     std::unique_ptr<net::Transport> transport;
     std::unique_ptr<net::RuntimeEnv> env;
     std::unique_ptr<storage::ZabStorage> storage;

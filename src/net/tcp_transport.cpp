@@ -57,6 +57,15 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::create(TcpConfig cfg) {
 }
 
 Status TcpTransport::init() {
+  if (cfg_.metrics) {
+    c_msgs_out_ = &cfg_.metrics->counter("net.tcp.msgs_out");
+    c_bytes_out_ = &cfg_.metrics->counter("net.tcp.bytes_out");
+    c_msgs_in_ = &cfg_.metrics->counter("net.tcp.msgs_in");
+    c_bytes_in_ = &cfg_.metrics->counter("net.tcp.bytes_in");
+    c_send_drops_ = &cfg_.metrics->counter("net.tcp.send_drops");
+    c_connects_ = &cfg_.metrics->counter("net.tcp.connects");
+    c_conn_breaks_ = &cfg_.metrics->counter("net.tcp.conn_breaks");
+  }
   if (::pipe(wake_pipe_) != 0) return Status::io_error("pipe");
   ZAB_RETURN_IF_ERROR(set_nonblocking(wake_pipe_[0]));
   ZAB_RETURN_IF_ERROR(set_nonblocking(wake_pipe_[1]));
@@ -134,7 +143,12 @@ void TcpTransport::send(NodeId to, Bytes payload) {
     if (!running_) return;
     Outgoing& out = outgoing_[to];
     if (out.outbuf.size() + payload.size() + 4 > cfg_.max_outbuf_bytes) {
+      if (c_send_drops_) c_send_drops_->add();
       return;  // back-pressure overflow: drop (protocol-level loss)
+    }
+    if (c_msgs_out_) {
+      c_msgs_out_->add();
+      c_bytes_out_->add(payload.size() + 4);
     }
     append_u32(out.outbuf, static_cast<std::uint32_t>(payload.size()));
     out.outbuf.insert(out.outbuf.end(), payload.begin(), payload.end());
@@ -162,6 +176,7 @@ void TcpTransport::start_connect(NodeId peer, Outgoing& out,
   const int rc =
       ::connect(out.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (rc == 0 || errno == EINPROGRESS) {
+    if (c_connects_) c_connects_->add();
     out.connecting = (rc != 0);
     out.hello_sent = false;
     // Prepend the hello frame ahead of whatever is queued.
@@ -176,6 +191,7 @@ void TcpTransport::start_connect(NodeId peer, Outgoing& out,
 }
 
 void TcpTransport::close_outgoing(Outgoing& out, std::int64_t now) {
+  if (out.fd >= 0 && c_conn_breaks_) c_conn_breaks_->add();
   close_fd(out.fd);
   out.connecting = false;
   out.hello_sent = false;
@@ -242,6 +258,10 @@ bool TcpTransport::parse_inbound(Inbound& in) {
                   in.inbuf.begin() + static_cast<std::ptrdiff_t>(pos) + 4 +
                       static_cast<std::ptrdiff_t>(len));
     pos += 4 + len;
+    if (c_msgs_in_) {
+      c_msgs_in_->add();
+      c_bytes_in_->add(4 + static_cast<std::uint64_t>(len));
+    }
     Handler h;
     {
       std::lock_guard<std::mutex> lk(mu_);

@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/status.h"
 #include "net/transport.h"
 
@@ -41,6 +42,10 @@ struct TcpConfig {
   /// Per-peer output buffer cap; sends beyond it are dropped (the protocol
   /// treats that as message loss and re-syncs).
   std::size_t max_outbuf_bytes = 8u << 20;
+  /// Optional shared registry; when set, traffic is counted under net.tcp.*
+  /// (atomic counters only — safe from the IO thread). Must outlive the
+  /// transport.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class TcpTransport final : public Transport {
@@ -96,6 +101,16 @@ class TcpTransport final : public Transport {
 
   std::vector<Inbound> inbound_;  // IO-thread local
   std::thread io_thread_;
+
+  // Cached registry handles (resolved once in init(); relaxed atomics, so
+  // both the caller of send() and the IO thread may bump them).
+  AtomicCounter* c_msgs_out_ = nullptr;
+  AtomicCounter* c_bytes_out_ = nullptr;
+  AtomicCounter* c_msgs_in_ = nullptr;
+  AtomicCounter* c_bytes_in_ = nullptr;
+  AtomicCounter* c_send_drops_ = nullptr;
+  AtomicCounter* c_connects_ = nullptr;
+  AtomicCounter* c_conn_breaks_ = nullptr;
 };
 
 }  // namespace zab::net

@@ -25,6 +25,7 @@ enum class ClientOpKind : std::uint8_t {
   kGetChildren = 4,
   kStat = 5,
   kPing = 6,         // liveness + leader hint
+  kMntr = 7,         // monitoring dump: response.data carries mntr text
 };
 
 struct ClientRequest {

@@ -203,6 +203,14 @@ void ClientService::execute(std::uint64_t conn_id, const ClientRequest& req) {
       resp.is_leader = tree_->node().is_active_leader();
       break;
     }
+    case ClientOpKind::kMntr: {
+      // Runs on the replica loop (env->post), so reading the node's
+      // histograms here is safe.
+      const std::string text = tree_->node().mntr_report();
+      resp.data.assign(text.begin(), text.end());
+      resp.is_leader = tree_->node().is_active_leader();
+      break;
+    }
     case ClientOpKind::kWrite: {
       if (req.ops.empty()) {
         resp.code = Code::kInvalidArgument;

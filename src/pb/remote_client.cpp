@@ -302,4 +302,13 @@ Result<bool> RemoteClient::ping_is_leader() {
   return resp.value().is_leader;
 }
 
+Result<std::string> RemoteClient::mntr() {
+  ClientRequest req;
+  req.kind = ClientOpKind::kMntr;
+  auto resp = call(std::move(req));
+  if (!resp.is_ok()) return resp.status();
+  const Bytes& d = resp.value().data;
+  return std::string(d.begin(), d.end());
+}
+
 }  // namespace zab::pb

@@ -55,6 +55,9 @@ class RemoteClient {
   Result<ClientResponse> multi(const std::vector<Op>& ops);
   /// Liveness probe of the currently connected server.
   Result<bool> ping_is_leader();
+  /// Monitoring dump (ZooKeeper `mntr` style) of the contacted server:
+  /// `key<TAB>value` lines with node state and its metrics registry.
+  Result<std::string> mntr();
 
   /// Raw request with endpoint rotation + retry.
   Result<ClientResponse> call(ClientRequest req);

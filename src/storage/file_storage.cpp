@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/crc32c.h"
@@ -13,6 +14,13 @@
 namespace zab::storage {
 
 namespace {
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 constexpr std::uint32_t kEpochMagic = 0x4f50455au;  // "ZEPO"
 constexpr std::uint32_t kSnapMagic = 0x504e535au;   // "ZSNP"
@@ -252,10 +260,12 @@ Status FileStorage::write_record(const Txn& txn) {
     return Status::io_error("fsync segment");
   }
   segments_.back().bytes += rec.size();
+  if (c_append_bytes_) c_append_bytes_->add(rec.size());
   return Status::ok();
 }
 
 void FileStorage::append(const Txn& txn, std::function<void()> on_durable) {
+  const std::uint64_t t0 = h_append_ns_ ? mono_ns() : 0;
   Status st;
   if (segments_.empty() || segments_.back().bytes >= opts_.segment_bytes) {
     st = start_segment(txn.zxid);
@@ -264,6 +274,8 @@ void FileStorage::append(const Txn& txn, std::function<void()> on_durable) {
   if (st.is_ok()) {
     segments_.back().entries.push_back(txn);
     last_io_status_ = Status::ok();
+    if (c_append_ops_) c_append_ops_->add();
+    if (h_append_ns_) h_append_ns_->record(mono_ns() - t0);
     if (on_durable) on_durable();
   } else {
     // The durability callback never fires; the caller's ACK is withheld,
@@ -288,6 +300,7 @@ Status FileStorage::rewrite_segment(Segment& seg) {
 }
 
 Status FileStorage::truncate_after(Zxid last_keep) {
+  if (c_truncates_) c_truncates_->add();
   active_fd_.reset();
   while (!segments_.empty() && segments_.back().start > last_keep) {
     ZAB_RETURN_IF_ERROR(remove_file(segments_.back().path));
@@ -378,6 +391,7 @@ Status FileStorage::save_snapshot(const Snapshot& snap) {
   ZAB_RETURN_IF_ERROR(
       atomic_write_file(snap_path(snap.last_included), w.data(), opts_.fsync));
   snap_ = snap;
+  if (c_snapshots_) c_snapshots_->add();
   return Status::ok();
 }
 

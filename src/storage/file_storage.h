@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics_registry.h"
 #include "storage/fs_util.h"
 #include "storage/zab_storage.h"
 
@@ -35,6 +36,11 @@ struct FileStorageOptions {
   bool fsync = true;
   /// Roll to a new segment when the active one exceeds this many bytes.
   std::size_t segment_bytes = 4u << 20;
+  /// Optional shared registry; when set, appends/snapshots/truncates are
+  /// counted under storage.* and append latency feeds storage.append_ns.
+  /// Must outlive the FileStorage. Storage runs on the owner's loop thread,
+  /// so the histogram follows the registry's owning-thread rule.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class FileStorage final : public ZabStorage {
@@ -73,7 +79,15 @@ class FileStorage final : public ZabStorage {
   [[nodiscard]] Status last_io_status() const { return last_io_status_; }
 
  private:
-  explicit FileStorage(FileStorageOptions opts) : opts_(std::move(opts)) {}
+  explicit FileStorage(FileStorageOptions opts) : opts_(std::move(opts)) {
+    if (opts_.metrics) {
+      c_append_ops_ = &opts_.metrics->counter("storage.append_ops");
+      c_append_bytes_ = &opts_.metrics->counter("storage.append_bytes");
+      c_snapshots_ = &opts_.metrics->counter("storage.snapshots_saved");
+      c_truncates_ = &opts_.metrics->counter("storage.truncates");
+      h_append_ns_ = &opts_.metrics->histogram("storage.append_ns");
+    }
+  }
 
   struct Segment {
     Zxid start;  // zxid of first record
@@ -101,6 +115,11 @@ class FileStorage final : public ZabStorage {
   Epoch accepted_epoch_ = kNoEpoch;
   Epoch current_epoch_ = kNoEpoch;
   Status last_io_status_;
+  AtomicCounter* c_append_ops_ = nullptr;
+  AtomicCounter* c_append_bytes_ = nullptr;
+  AtomicCounter* c_snapshots_ = nullptr;
+  AtomicCounter* c_truncates_ = nullptr;
+  Histogram* h_append_ns_ = nullptr;
 };
 
 }  // namespace zab::storage

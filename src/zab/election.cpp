@@ -48,6 +48,9 @@ VoteMsg ZabNode::current_vote_msg() const {
 void ZabNode::start_election() {
   ++round_;
   ++stats_.elections_started;
+  c_elections_->add();
+  election_started_ = env_->now();
+  trace_stage(Zxid::zero(), trace::Stage::kElectionStart, cfg_.id);
   become(Role::kLooking, Phase::kElection);
   my_vote_ = self_vote();
   election_votes_.clear();
@@ -171,6 +174,11 @@ void ZabNode::elected(NodeId leader_id) {
   }
   ZAB_DEBUG() << "node " << cfg_.id << ": elected " << leader_id << " in round "
               << round_;
+  trace_.record(Zxid::zero(), trace::Stage::kElected, leader_id, env_->now());
+  if (election_started_ >= 0) {
+    h_election_->record(static_cast<std::uint64_t>(env_->now() - election_started_));
+    election_started_ = -1;
+  }
   if (leader_id == cfg_.id) {
     ++stats_.times_elected_leader;
     leader_ = cfg_.id;

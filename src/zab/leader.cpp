@@ -212,6 +212,7 @@ void ZabNode::leader_try_activate() {
              << ", history up to " << to_string(history_end_);
 
   become(Role::kLeading, Phase::kBroadcast);
+  trace_stage(Zxid{}, trace::Stage::kLeaderActive, cfg_.id);
   advance_watermark(history_end_);
 
   for (auto& [nid, fs] : followers_) {
@@ -267,9 +268,23 @@ void ZabNode::leader_record_acks(NodeId from, Zxid upto) {
   const std::size_t end =
       std::min<std::size_t>(upto.counter - front + 1, proposals_.size());
   for (std::size_t i = 0; i < end; ++i) {
-    proposals_[i].acks.insert(from);
+    note_proposal_ack(proposals_[i], from);
   }
   leader_try_commit();
+}
+
+void ZabNode::note_proposal_ack(Proposal& p, NodeId from) {
+  p.acks.insert(from);
+  // Trace ACK at the moment the proposal reaches quorum: that is the
+  // protocol-relevant event, and it keeps PROPOSE <= ACK <= COMMIT
+  // monotone per zxid on the leader's timeline.
+  if (p.acks.size() != quorum()) return;
+  const Zxid z = p.txn.zxid;
+  const TimePoint now = env_->now();
+  trace_.record(z, trace::Stage::kAck, from, now);
+  if (auto it = propose_time_.find(z.packed()); it != propose_time_.end()) {
+    h_propose_quorum_->record(static_cast<std::uint64_t>(now - it->second));
+  }
 }
 
 void ZabNode::leader_try_commit() {
@@ -281,6 +296,9 @@ void ZabNode::leader_try_commit() {
     const Zxid z = p.txn.zxid;
     proposals_.pop_front();
     ++stats_.txns_committed;
+    note_committed(z, env_->now());
+    c_commits_->add();
+    g_outstanding_->set(static_cast<std::int64_t>(proposals_.size()));
 
     const Bytes wire = encode_message(CommitMsg{establishing_epoch_, z});
     for (const auto& [nid, fs] : followers_) {

@@ -2,15 +2,46 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "common/logging.h"
 
 namespace zab {
 
-ZabNode::ZabNode(ZabConfig cfg, Env& env, storage::ZabStorage& storage)
-    : cfg_(std::move(cfg)), env_(&env), storage_(&storage) {
+namespace {
+
+std::size_t trace_capacity_from_env() {
+  const std::string v = env_var_or("ZAB_TRACE_CAPACITY", "");
+  if (v.empty()) return 8192;
+  const auto n = std::strtoull(v.c_str(), nullptr, 10);
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+ZabNode::ZabNode(ZabConfig cfg, Env& env, storage::ZabStorage& storage,
+                 MetricsRegistry* metrics)
+    : cfg_(std::move(cfg)),
+      env_(&env),
+      storage_(&storage),
+      owned_metrics_(metrics ? nullptr : std::make_unique<MetricsRegistry>()),
+      metrics_(metrics ? metrics : owned_metrics_.get()),
+      trace_(trace_capacity_from_env()) {
   assert(cfg_.id != kNoNode);
   assert(cfg_.is_voting(cfg_.id) || cfg_.is_observer(cfg_.id));
+
+  // Resolve every hot-path metric once; references are stable for the
+  // registry's lifetime.
+  c_proposals_ = &metrics_->counter("zab.leader.proposals");
+  c_commits_ = &metrics_->counter("zab.leader.commits");
+  c_delivered_ = &metrics_->counter("zab.node.delivered");
+  c_elections_ = &metrics_->counter("zab.election.rounds");
+  g_outstanding_ = &metrics_->gauge("zab.leader.outstanding");
+  h_propose_quorum_ = &metrics_->histogram("zab.stage.propose_to_quorum_ack");
+  h_propose_commit_ = &metrics_->histogram("zab.stage.propose_to_commit");
+  h_commit_deliver_ = &metrics_->histogram("zab.stage.commit_to_deliver");
+  h_propose_deliver_ = &metrics_->histogram("zab.stage.propose_to_deliver");
+  h_election_ = &metrics_->histogram("zab.election.duration_ns");
 }
 
 ZabNode::~ZabNode() = default;
@@ -46,6 +77,60 @@ void ZabNode::start() {
 
 void ZabNode::shutdown() {
   cancel_phase_timers();
+}
+
+// --- Observability -----------------------------------------------------------
+
+void ZabNode::trace_stage(Zxid z, trace::Stage s, NodeId who) {
+  trace_.record(z, s, who, env_->now());
+}
+
+/// The zxid is decided: stamp COMMIT, remember the decision time for the
+/// commit->deliver stage, and (when this node saw the PROPOSE) record the
+/// propose->commit latency.
+void ZabNode::note_committed(Zxid z, TimePoint now) {
+  trace_.record(z, trace::Stage::kCommit, cfg_.id, now);
+  commit_time_.emplace(z.packed(), now);
+  if (auto it = propose_time_.find(z.packed()); it != propose_time_.end()) {
+    h_propose_commit_->record(static_cast<std::uint64_t>(now - it->second));
+  }
+}
+
+void ZabNode::drop_txn_timings_after(Zxid keep) {
+  std::erase_if(propose_time_, [keep](const auto& kv) {
+    return Zxid::from_packed(kv.first) > keep;
+  });
+  std::erase_if(commit_time_, [keep](const auto& kv) {
+    return Zxid::from_packed(kv.first) > keep;
+  });
+}
+
+std::string ZabNode::mntr_report() const {
+  std::string out;
+  auto kv = [&out](const char* key, const std::string& value) {
+    out += key;
+    out += '\t';
+    out += value;
+    out += '\n';
+  };
+  kv("zab_node_id", std::to_string(cfg_.id));
+  kv("zab_role", role_name(role_));
+  kv("zab_phase", phase_name(phase_));
+  kv("zab_leader", std::to_string(leader_));
+  kv("zab_epoch", std::to_string(storage_->current_epoch()));
+  kv("zab_last_logged", to_string(last_logged_));
+  kv("zab_last_committed", to_string(commit_watermark_));
+  kv("zab_last_delivered", to_string(last_delivered_));
+  kv("zab_outstanding_proposals", std::to_string(proposals_.size()));
+  kv("zab_pending_appends", std::to_string(pending_appends_));
+  kv("zab_msgs_sent", std::to_string(stats_.total_sent()));
+  kv("zab_txns_committed", std::to_string(stats_.txns_committed));
+  kv("zab_txns_delivered", std::to_string(stats_.txns_delivered));
+  kv("zab_elections_started", std::to_string(stats_.elections_started));
+  kv("zab_resyncs", std::to_string(stats_.resyncs));
+  kv("zab_snapshots_taken", std::to_string(stats_.snapshots_taken));
+  out += metrics_->to_text();
+  return out;
 }
 
 // --- Message plumbing -----------------------------------------------------------
@@ -142,6 +227,10 @@ void ZabNode::go_to_election() {
   self_history_durable_ = false;
   establishing_epoch_ = kNoEpoch;
   new_leader_pending_ = false;
+  // In-flight stage timings refer to proposals whose fate the next epoch
+  // decides; drop them rather than let abandoned zxids accumulate.
+  propose_time_.clear();
+  commit_time_.clear();
   start_election();
 }
 
@@ -165,6 +254,18 @@ void ZabNode::try_deliver() {
     last_delivered_ = t.zxid;
     ++stats_.txns_delivered;
     ++delivered_since_snapshot_;
+    const TimePoint now = env_->now();
+    trace_.record(t.zxid, trace::Stage::kDeliver, cfg_.id, now);
+    c_delivered_->add();
+    const std::uint64_t key = t.zxid.packed();
+    if (auto it = commit_time_.find(key); it != commit_time_.end()) {
+      h_commit_deliver_->record(static_cast<std::uint64_t>(now - it->second));
+      commit_time_.erase(it);
+    }
+    if (auto it = propose_time_.find(key); it != propose_time_.end()) {
+      h_propose_deliver_->record(static_cast<std::uint64_t>(now - it->second));
+      propose_time_.erase(it);
+    }
     for (auto& h : deliver_handlers_) h(t);
     undelivered_.pop_front();
     delivered = true;
@@ -189,6 +290,7 @@ void ZabNode::maybe_snapshot() {
 
 void ZabNode::note_append_durable(Zxid z) {
   if (z > last_durable_) last_durable_ = z;
+  trace_stage(z, trace::Stage::kLogFsync, cfg_.id);
 
   if (role_ == Role::kLeading) {
     // The leader's own history counts toward the NEWLEADER quorum...
@@ -205,7 +307,7 @@ void ZabNode::note_append_durable(Zxid z) {
       if (z.counter >= front) {
         const std::size_t idx = z.counter - front;
         if (idx < proposals_.size()) {
-          proposals_[idx].acks.insert(cfg_.id);
+          note_proposal_ack(proposals_[idx], cfg_.id);
           leader_try_commit();
         }
       }
@@ -229,11 +331,17 @@ Result<Zxid> ZabNode::broadcast(Bytes op) {
   const Zxid z{establishing_epoch_, ++next_counter_};
   Txn txn{z, std::move(op)};
 
+  const TimePoint now = env_->now();
+  trace_.record(z, trace::Stage::kPropose, cfg_.id, now);
+  propose_time_.emplace(z.packed(), now);
+  c_proposals_->add();
+
   // Register the proposal BEFORE the append: with synchronous storage the
   // durability callback (our own ACK) fires inside append().
   last_logged_ = z;
   undelivered_.push_back(txn);
   proposals_.push_back(Proposal{txn, {}});
+  g_outstanding_->set(static_cast<std::int64_t>(proposals_.size()));
   ++stats_.proposals_made;
   ++pending_appends_;
   storage_->append(txn, [this, z] {
@@ -358,6 +466,7 @@ void ZabNode::on_trunc(NodeId from, const TruncMsg& m) {
          undelivered_.back().zxid > m.truncate_to) {
     undelivered_.pop_back();
   }
+  drop_txn_timings_after(m.truncate_to);
 }
 
 void ZabNode::on_snap(NodeId from, SnapMsg m) {
@@ -375,6 +484,8 @@ void ZabNode::on_snap(NodeId from, SnapMsg m) {
     inst(snap.last_included, snap.state);
   }
   undelivered_.clear();
+  propose_time_.clear();
+  commit_time_.clear();
   last_logged_ = snap.last_included;
   last_durable_ = snap.last_included;
   last_delivered_ = snap.last_included;
@@ -430,6 +541,7 @@ void ZabNode::on_up_to_date(NodeId from, const UpToDateMsg& m) {
   }
   last_leader_contact_ = env_->now();
   become(Role::kFollowing, Phase::kBroadcast);
+  trace_stage(Zxid{}, trace::Stage::kFollowerActive, cfg_.id);
 
   // Periodic leader-liveness check.
   auto liveness = [this](auto&& self_fn) -> void {
@@ -491,6 +603,13 @@ void ZabNode::on_propose(NodeId from, ProposeMsg m) {
 
 void ZabNode::append_follower_entry(Txn txn, bool want_ack, Epoch epoch) {
   const Zxid z = txn.zxid;
+  if (want_ack) {
+    // Live proposal: start this txn's stage clock on the follower too.
+    const TimePoint now = env_->now();
+    trace_.record(z, trace::Stage::kPropose, cfg_.id, now);
+    propose_time_.emplace(z.packed(), now);
+    c_proposals_->add();
+  }
   last_logged_ = z;
   undelivered_.push_back(txn);
   ++pending_appends_;
@@ -514,6 +633,7 @@ void ZabNode::on_commit(NodeId from, const CommitMsg& m) {
     follower_resync();
     return;
   }
+  if (m.zxid > commit_watermark_) note_committed(m.zxid, env_->now());
   advance_watermark(m.zxid);
 }
 

@@ -29,7 +29,9 @@
 #include <unordered_map>
 
 #include "common/env.h"
+#include "common/metrics_registry.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "common/txn.h"
 #include "storage/zab_storage.h"
 #include "zab/config.h"
@@ -71,7 +73,12 @@ class ZabNode {
   /// are broadcast verbatim.
   using RequestFn = std::function<void(Bytes)>;
 
-  ZabNode(ZabConfig cfg, Env& env, storage::ZabStorage& storage);
+  /// `metrics` is the node-wide registry the protocol publishes into; when
+  /// null the node owns a private one (metrics() works either way). Sharing
+  /// one registry with the transport and storage of the same node yields a
+  /// single "zab.* / net.* / storage.*" namespace per replica.
+  ZabNode(ZabConfig cfg, Env& env, storage::ZabStorage& storage,
+          MetricsRegistry* metrics = nullptr);
   ~ZabNode();
   ZabNode(const ZabNode&) = delete;
   ZabNode& operator=(const ZabNode&) = delete;
@@ -131,6 +138,15 @@ class ZabNode {
   }
   [[nodiscard]] const ZabConfig& config() const { return cfg_; }
   [[nodiscard]] Env& env() { return *env_; }
+
+  // --- Observability ----------------------------------------------------------
+  [[nodiscard]] MetricsRegistry& metrics() const { return *metrics_; }
+  [[nodiscard]] trace::TraceRing& trace() { return trace_; }
+  [[nodiscard]] const trace::TraceRing& trace() const { return trace_; }
+  /// mntr-style text report: node state lines ("zab_role\tleading") followed
+  /// by the full registry exposition. Served to admin clients and dumped by
+  /// the example server; call from the node's event-loop thread.
+  [[nodiscard]] std::string mntr_report() const;
 
  private:
   // --- Common helpers (zab_node.cpp) ---
@@ -204,6 +220,7 @@ class ZabNode {
   void leader_try_activate();
   void leader_activate_follower(NodeId f);
   void on_ack(NodeId from, const AckMsg& m);
+  void note_proposal_ack(Proposal& p, NodeId from);
   void leader_record_acks(NodeId from, Zxid upto);
   void on_pong(NodeId from, const PongMsg& m);
   void on_request(NodeId from, RequestMsg m);
@@ -221,6 +238,30 @@ class ZabNode {
   SnapshotProvider snapshot_provider_;
   std::vector<SnapshotInstaller> snapshot_installers_;
   RequestFn request_handler_;
+
+  // --- Observability (see docs/PROTOCOL.md "Observability") ---
+  void trace_stage(Zxid z, trace::Stage s, NodeId who);
+  void note_committed(Zxid z, TimePoint now);
+  void drop_txn_timings_after(Zxid keep);
+
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // when none injected
+  MetricsRegistry* metrics_;
+  trace::TraceRing trace_;
+  AtomicCounter* c_proposals_ = nullptr;
+  AtomicCounter* c_commits_ = nullptr;
+  AtomicCounter* c_delivered_ = nullptr;
+  AtomicCounter* c_elections_ = nullptr;
+  Gauge* g_outstanding_ = nullptr;
+  Histogram* h_propose_quorum_ = nullptr;
+  Histogram* h_propose_commit_ = nullptr;
+  Histogram* h_commit_deliver_ = nullptr;
+  Histogram* h_propose_deliver_ = nullptr;
+  Histogram* h_election_ = nullptr;
+  /// First-seen stage timestamps for in-flight txns (packed zxid -> ns);
+  /// entries die at delivery, truncation, snapshot install, or re-election.
+  std::unordered_map<std::uint64_t, TimePoint> propose_time_;
+  std::unordered_map<std::uint64_t, TimePoint> commit_time_;
+  TimePoint election_started_ = -1;  // -1: no election in flight (t=0 is valid)
 
   // --- Common state ---
   Role role_ = Role::kLooking;

@@ -8,7 +8,9 @@
 #include "common/buffer.h"
 #include "common/crc32c.h"
 #include "common/metrics.h"
+#include "common/metrics_registry.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "common/txn.h"
@@ -285,6 +287,198 @@ TEST(Histogram, LargeValuesDoNotOverflowBuckets) {
   h.record(0);
   EXPECT_EQ(h.count(), 2u);
   EXPECT_EQ(h.max(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Histogram, EmptyHistogramIsAllZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(Histogram, SingleSampleQuantilesCollapse) {
+  Histogram h;
+  h.record(777);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 777u);
+  EXPECT_EQ(h.max(), 777u);
+  EXPECT_DOUBLE_EQ(h.mean(), 777.0);
+  // Every quantile of a one-sample distribution is that sample (within
+  // the ~1.5% bucketing error).
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_NEAR(static_cast<double>(h.quantile(q)), 777.0, 777.0 * 0.02)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeIntoEmpty) {
+  Histogram src, dst;
+  for (std::uint64_t v = 1; v <= 50; ++v) src.record(v);
+  dst.merge(src);
+  EXPECT_EQ(dst.count(), src.count());
+  EXPECT_EQ(dst.min(), src.min());
+  EXPECT_EQ(dst.max(), src.max());
+  EXPECT_DOUBLE_EQ(dst.mean(), src.mean());
+  EXPECT_EQ(dst.quantile(0.5), src.quantile(0.5));
+}
+
+TEST(Histogram, MergeEmptyIsNoop) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  const Histogram empty;
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 20u);
+  EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+}
+
+TEST(Histogram, ExtremeQuantilesTrackMinMax) {
+  Histogram h;
+  for (std::uint64_t v : {5u, 100u, 10000u}) h.record(v);
+  // q=0 lands in the min's bucket, q=1 in the max's (bucket error applies).
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.0)), 5.0, 5.0 * 0.02);
+  EXPECT_NEAR(static_cast<double>(h.quantile(1.0)), 10000.0, 10000.0 * 0.02);
+}
+
+// --- MetricsRegistry --------------------------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesHistogramsByName) {
+  MetricsRegistry reg;
+  AtomicCounter& c = reg.counter("zab.leader.proposals");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(reg.counter("zab.leader.proposals").value(), 5u);
+  EXPECT_EQ(&reg.counter("zab.leader.proposals"), &c);  // stable reference
+
+  Gauge& g = reg.gauge("zab.leader.outstanding");
+  g.set(7);
+  g.sub(2);
+  EXPECT_EQ(reg.gauge("zab.leader.outstanding").value(), 5);
+
+  Histogram& h = reg.histogram("zab.stage.propose_to_commit");
+  h.record(100);
+  h.record(300);
+  EXPECT_EQ(reg.histogram("zab.stage.propose_to_commit").count(), 2u);
+}
+
+TEST(MetricsRegistry, SnapshotCopiesAndResetZeroes) {
+  MetricsRegistry reg;
+  reg.counter("a.ops").add(3);
+  reg.gauge("a.depth").set(-2);
+  reg.histogram("a.lat").record(50);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("a.ops"), 3u);
+  EXPECT_EQ(snap.gauges.at("a.depth"), -2);
+  EXPECT_EQ(snap.histograms.at("a.lat").count(), 1u);
+
+  reg.reset();
+  EXPECT_EQ(reg.counter("a.ops").value(), 0u);
+  EXPECT_EQ(reg.gauge("a.depth").value(), 0);
+  EXPECT_EQ(reg.histogram("a.lat").count(), 0u);
+  // The snapshot is an independent copy.
+  EXPECT_EQ(snap.counters.at("a.ops"), 3u);
+}
+
+TEST(MetricsRegistry, SnapshotMergeFoldsNodes) {
+  MetricsRegistry a, b;
+  a.counter("x").add(2);
+  b.counter("x").add(5);
+  b.counter("only_b").add(1);
+  a.gauge("g").set(3);
+  b.gauge("g").set(4);
+  a.histogram("h").record(10);
+  b.histogram("h").record(30);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counters.at("x"), 7u);
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  EXPECT_EQ(merged.gauges.at("g"), 7);
+  EXPECT_EQ(merged.histograms.at("h").count(), 2u);
+  EXPECT_EQ(merged.histograms.at("h").min(), 10u);
+  EXPECT_EQ(merged.histograms.at("h").max(), 30u);
+}
+
+TEST(MetricsRegistry, TextExpositionFormat) {
+  MetricsRegistry reg;
+  reg.counter("net.msgs").add(12);
+  reg.gauge("queue").set(3);
+  reg.histogram("lat").record(1000);
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("net.msgs\t12\n"), std::string::npos);
+  EXPECT_NE(text.find("queue\t3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count\t1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_p99\t"), std::string::npos);
+
+  const std::string prefixed = reg.to_text("zab_");
+  EXPECT_NE(prefixed.find("zab_net.msgs\t12\n"), std::string::npos);
+}
+
+// --- TraceRing --------------------------------------------------------------------------
+
+TEST(TraceRing, RecordsAndFiltersByZxid) {
+  trace::TraceRing ring(16);
+  const Zxid z1{1, 1};
+  const Zxid z2{1, 2};
+  ring.record(z1, trace::Stage::kPropose, 1, 100);
+  ring.record(z2, trace::Stage::kPropose, 1, 110);
+  ring.record(z1, trace::Stage::kCommit, 1, 200);
+  EXPECT_EQ(ring.size(), 3u);
+
+  const auto evs = ring.events_for(z1);
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].stage, trace::Stage::kPropose);
+  EXPECT_EQ(evs[0].t, 100);
+  EXPECT_EQ(evs[1].stage, trace::Stage::kCommit);
+  EXPECT_EQ(evs[1].t, 200);
+}
+
+TEST(TraceRing, WrapsOverwritingOldest) {
+  trace::TraceRing ring(4);
+  for (std::uint32_t i = 1; i <= 6; ++i) {
+    ring.record(Zxid{1, i}, trace::Stage::kPropose, 1, i * 10);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  const auto evs = ring.events();
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(evs.front().zxid.counter, 3u);  // 1 and 2 overwritten
+  EXPECT_EQ(evs.back().zxid.counter, 6u);
+}
+
+TEST(TraceRing, StageTimesOrderedPipeline) {
+  trace::TraceRing ring(64);
+  const Zxid z{2, 9};
+  ring.record(z, trace::Stage::kPropose, 1, 1000);
+  ring.record(z, trace::Stage::kLogFsync, 1, 1500);
+  ring.record(z, trace::Stage::kAck, 2, 2000);
+  ring.record(z, trace::Stage::kCommit, 1, 2500);
+  ring.record(z, trace::Stage::kDeliver, 1, 3000);
+
+  const auto st = ring.stage_times(z);
+  EXPECT_EQ(st.at(trace::Stage::kPropose), 1000);
+  EXPECT_EQ(st.at(trace::Stage::kAck), 2000);
+  EXPECT_EQ(st.at(trace::Stage::kDeliver), 3000);
+  EXPECT_EQ(st.at(trace::Stage::kElected), -1);  // never recorded
+  EXPECT_LE(st.at(trace::Stage::kPropose), st.at(trace::Stage::kAck));
+  EXPECT_LE(st.at(trace::Stage::kAck), st.at(trace::Stage::kCommit));
+  EXPECT_LE(st.at(trace::Stage::kCommit), st.at(trace::Stage::kDeliver));
+}
+
+TEST(TraceRing, DisabledRingRecordsNothing) {
+  trace::TraceRing ring(8);
+  ring.set_enabled(false);
+  ring.record(Zxid{1, 1}, trace::Stage::kPropose, 1, 5);
+  EXPECT_EQ(ring.size(), 0u);
+  ring.set_enabled(true);
+  ring.record(Zxid{1, 1}, trace::Stage::kPropose, 1, 5);
+  EXPECT_EQ(ring.size(), 1u);
 }
 
 // --- Status / Result ----------------------------------------------------------------------

@@ -1,0 +1,137 @@
+// Observability integration: stage traces and registry histograms recorded
+// by a live ensemble on the simulator.
+//
+// The core invariant: for every transaction the leader delivered, its
+// surviving trace events are causally ordered —
+//   PROPOSE <= LOG_FSYNC <= ACK <= COMMIT <= DELIVER
+// — and the per-stage histograms (zab.stage.*) carry one sample per txn.
+#include <gtest/gtest.h>
+
+#include "harness/sim_cluster.h"
+
+namespace zab::harness {
+namespace {
+
+ClusterConfig base_config(std::size_t n, std::uint64_t seed = 7) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(MetricsTrace, LeaderStagesAreOrderedPerDeliveredZxid) {
+  SimCluster c(base_config(3));
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+  constexpr std::uint32_t kOps = 50;
+  ASSERT_TRUE(c.replicate_ops(kOps).is_ok());
+
+  ZabNode& leader = c.node(l);
+  const Zxid last = leader.last_delivered();
+  ASSERT_EQ(last.counter, kOps);
+
+  std::size_t checked = 0;
+  for (std::uint32_t i = 1; i <= kOps; ++i) {
+    const Zxid z{last.epoch, i};
+    const auto st = leader.trace().stage_times(z);
+    const std::int64_t propose = st.at(trace::Stage::kPropose);
+    const std::int64_t fsync = st.at(trace::Stage::kLogFsync);
+    const std::int64_t ack = st.at(trace::Stage::kAck);
+    const std::int64_t commit = st.at(trace::Stage::kCommit);
+    const std::int64_t deliver = st.at(trace::Stage::kDeliver);
+    ASSERT_GE(propose, 0) << "zxid " << to_string(z);
+    ASSERT_GE(fsync, 0) << "zxid " << to_string(z);
+    ASSERT_GE(ack, 0) << "zxid " << to_string(z);
+    ASSERT_GE(commit, 0) << "zxid " << to_string(z);
+    ASSERT_GE(deliver, 0) << "zxid " << to_string(z);
+    EXPECT_LE(propose, fsync) << "zxid " << to_string(z);
+    EXPECT_LE(propose, ack) << "zxid " << to_string(z);
+    EXPECT_LE(ack, commit) << "zxid " << to_string(z);
+    EXPECT_LE(commit, deliver) << "zxid " << to_string(z);
+    ++checked;
+  }
+  EXPECT_EQ(checked, kOps);
+}
+
+TEST(MetricsTrace, StageHistogramsCountDeliveredTxns) {
+  SimCluster c(base_config(3));
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+  constexpr std::uint64_t kOps = 40;
+  ASSERT_TRUE(c.replicate_ops(kOps).is_ok());
+
+  MetricsRegistry& reg = c.node(l).metrics();
+  EXPECT_EQ(reg.counter("zab.leader.proposals").value(), kOps);
+  EXPECT_EQ(reg.counter("zab.leader.commits").value(), kOps);
+  EXPECT_EQ(reg.counter("zab.node.delivered").value(), kOps);
+  EXPECT_EQ(reg.gauge("zab.leader.outstanding").value(), 0);
+
+  const Histogram& quorum = reg.histogram("zab.stage.propose_to_quorum_ack");
+  const Histogram& commit = reg.histogram("zab.stage.propose_to_commit");
+  const Histogram& deliver = reg.histogram("zab.stage.commit_to_deliver");
+  const Histogram& e2e = reg.histogram("zab.stage.propose_to_deliver");
+  EXPECT_EQ(quorum.count(), kOps);
+  EXPECT_EQ(commit.count(), kOps);
+  EXPECT_EQ(deliver.count(), kOps);
+  EXPECT_EQ(e2e.count(), kOps);
+  // Sub-stages never exceed the end-to-end pipeline.
+  EXPECT_LE(quorum.max(), e2e.max());
+  EXPECT_LE(commit.max(), e2e.max());
+  EXPECT_LE(deliver.max(), e2e.max());
+}
+
+TEST(MetricsTrace, FollowerRecordsCommitAndDeliver) {
+  SimCluster c(base_config(3));
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+  ASSERT_TRUE(c.replicate_ops(30).is_ok());
+  c.run_for(seconds(2));  // let heartbeats push the final watermark
+
+  const NodeId f = (l == 1) ? 2 : 1;
+  MetricsRegistry& reg = c.node(f).metrics();
+  EXPECT_GE(reg.counter("zab.node.delivered").value(), 29u);
+  EXPECT_GT(reg.histogram("zab.stage.propose_to_deliver").count(), 0u);
+  // The follower's trace shows the same per-zxid ordering for live txns.
+  const Zxid z{c.node(l).last_delivered().epoch, 5};
+  const auto st = c.node(f).trace().stage_times(z);
+  ASSERT_GE(st.at(trace::Stage::kPropose), 0);
+  ASSERT_GE(st.at(trace::Stage::kDeliver), 0);
+  EXPECT_LE(st.at(trace::Stage::kPropose), st.at(trace::Stage::kDeliver));
+}
+
+TEST(MetricsTrace, ElectionEventsTraced) {
+  SimCluster c(base_config(3));
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+
+  MetricsRegistry& reg = c.node(l).metrics();
+  EXPECT_GE(reg.counter("zab.election.rounds").value(), 1u);
+  EXPECT_GE(reg.histogram("zab.election.duration_ns").count(), 1u);
+
+  const auto st = c.node(l).trace().stage_times(Zxid::zero());
+  ASSERT_GE(st.at(trace::Stage::kElectionStart), 0);
+  ASSERT_GE(st.at(trace::Stage::kElected), 0);
+  ASSERT_GE(st.at(trace::Stage::kLeaderActive), 0);
+  EXPECT_LE(st.at(trace::Stage::kElectionStart),
+            st.at(trace::Stage::kElected));
+  EXPECT_LE(st.at(trace::Stage::kElected),
+            st.at(trace::Stage::kLeaderActive));
+}
+
+TEST(MetricsTrace, MntrReportHasNodeStateAndStageHistograms) {
+  SimCluster c(base_config(3));
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+  ASSERT_TRUE(c.replicate_ops(20).is_ok());
+
+  const std::string report = c.node(l).mntr_report();
+  EXPECT_NE(report.find("zab_role\tLEADING\n"), std::string::npos);
+  EXPECT_NE(report.find("zab_txns_committed\t20\n"), std::string::npos);
+  EXPECT_NE(report.find("zab.stage.propose_to_commit_count\t20\n"),
+            std::string::npos);
+  EXPECT_NE(report.find("zab.stage.commit_to_deliver_p99\t"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace zab::harness
