@@ -1,15 +1,65 @@
-// Shared helpers for the experiment benches: aligned table printing and a
-// standard header that states which paper artifact the binary regenerates.
+// Shared helpers for the experiment benches: aligned table printing, a
+// standard header that states which paper artifact the binary regenerates,
+// and machine-readable result capture (--json <path>).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
 
 namespace zab::bench {
+
+class Table;
+
+/// Process-wide result capture behind `--json <path>`: every Table printed
+/// while enabled is also appended here, and the collected document
+///   {"bench":"<name>","tables":[{"headers":[...],"rows":[[...],...]},...]}
+/// is written when the bench exits (parse_bench_args registers the atexit
+/// hook). Benches keep printing human tables; scripts read the JSON.
+class JsonReport {
+ public:
+  static JsonReport& instance() {
+    static JsonReport r;
+    return r;
+  }
+
+  void enable(std::string path, std::string bench_name) {
+    path_ = std::move(path);
+    bench_ = std::move(bench_name);
+  }
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void add(const std::string& table_json) { tables_.push_back(table_json); }
+
+  void flush() {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::string doc = "{" + json::key("bench") + json::str(bench_) + "," +
+                      json::key("tables") + "[";
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      if (i != 0) doc += ",";
+      doc += tables_[i];
+    }
+    doc += "]}\n";
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    path_.clear();
+  }
+
+ private:
+  std::string path_;
+  std::string bench_;
+  std::vector<std::string> tables_;
+};
 
 inline void banner(const char* exp_id, const char* title,
                    const char* paper_artifact) {
@@ -27,7 +77,34 @@ class Table {
 
   void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
 
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{";
+    out += json::key("headers");
+    out += "[";
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      if (i != 0) out += ",";
+      out += json::str(headers_[i]);
+    }
+    out += "],";
+    out += json::key("rows");
+    out += "[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "[";
+      for (std::size_t j = 0; j < rows_[i].size(); ++j) {
+        if (j != 0) out += ",";
+        out += json::str(rows_[i][j]);
+      }
+      out += "]";
+    }
+    out += "]}";
+    return out;
+  }
+
   void print() const {
+    if (JsonReport::instance().enabled()) {
+      JsonReport::instance().add(to_json());
+    }
     std::vector<std::size_t> width(headers_.size());
     for (std::size_t i = 0; i < headers_.size(); ++i) {
       width[i] = headers_[i].size();
@@ -63,6 +140,21 @@ inline std::string fmt(double v, int prec = 1) {
 inline std::string fmt_int(std::uint64_t v) { return std::to_string(v); }
 
 inline void quiet_logs() { logging::set_default_level(LogLevel::kError); }
+
+/// Standard bench argv handling: `--json <path>` turns on JsonReport (the
+/// report is written when the process exits normally). Unknown arguments
+/// warn and are ignored — the experiment benches take no other flags.
+inline void parse_bench_args(int argc, char** argv, const char* bench_name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      JsonReport::instance().enable(argv[++i], bench_name);
+    } else {
+      std::fprintf(stderr, "%s: ignoring unknown argument '%s'\n", bench_name,
+                   argv[i]);
+    }
+  }
+  std::atexit([] { JsonReport::instance().flush(); });
+}
 
 /// One-line-per-stage breakdown of the protocol pipeline from a node's
 /// metrics snapshot: every zab.stage.* histogram as count/mean/p99 (µs).

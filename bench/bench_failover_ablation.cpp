@@ -80,7 +80,8 @@ std::uint64_t spurious_elections(Duration follower_timeout) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv, "bench_failover_ablation");
   quiet_logs();
   banner("A2", "failure-detector timeout vs. failover outage (ablation)",
          "quantifies E4's outage window: detector aggressiveness trades "

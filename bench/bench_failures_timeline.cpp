@@ -13,7 +13,8 @@ using namespace zab;
 using namespace zab::harness;
 using namespace zab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv, "bench_failures_timeline");
   quiet_logs();
   banner("E4", "throughput under failures (timeline)",
          "DSN'11 evaluation: time series of committed ops/s with injected "

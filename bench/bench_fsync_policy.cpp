@@ -31,7 +31,8 @@ double measure(sim::SyncPolicy policy, Duration sync_latency) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv, "bench_fsync_policy");
   quiet_logs();
   banner("E7", "throughput vs. log force policy",
          "DSN'11 §6: forced writes to the log device, amortized by group "

@@ -12,7 +12,8 @@ using namespace zab;
 using namespace zab::harness;
 using namespace zab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv, "bench_latency_load");
   quiet_logs();
   banner("E2", "commit latency vs. offered load",
          "DSN'11 evaluation: latency/throughput curve of the broadcast "

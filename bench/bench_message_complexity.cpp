@@ -138,7 +138,8 @@ Complexity measure_paxos(std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv, "bench_message_complexity");
   quiet_logs();
   banner("E8", "message complexity per committed txn (measured)",
          "DSN'11 protocol analysis: messages per transaction and commit "

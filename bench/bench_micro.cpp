@@ -133,4 +133,24 @@ BENCHMARK(BM_HistogramRecord);
 }  // namespace
 }  // namespace zab
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so `--json <path>` works uniformly across all
+// bench binaries; it maps onto google-benchmark's own JSON reporter.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string out_flag, fmt_flag = "--benchmark_out_format=json";
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      out_flag = std::string("--benchmark_out=") + argv[++i];
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

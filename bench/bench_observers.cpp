@@ -33,7 +33,8 @@ LoadResult measure(std::size_t voting, std::size_t observers) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv, "bench_observers");
   quiet_logs();
   banner("A1", "observers vs. voting members (ablation)",
          "extension of the DSN'11 design: scale read replicas without "

@@ -14,7 +14,8 @@ using namespace zab;
 using namespace zab::harness;
 using namespace zab::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv, "bench_pipelining");
   quiet_logs();
   banner("E3", "throughput vs. outstanding proposals (pipelining)",
          "DSN'11 design rationale: multiple outstanding transactions are "

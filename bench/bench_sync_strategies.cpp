@@ -98,7 +98,8 @@ SyncCost measure_lag(std::size_t lag_ops, bool with_snapshots,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv, "bench_sync_strategies");
   quiet_logs();
   banner("E6", "synchronization strategies vs. follower lag",
          "DSN'11 §5/§6: DIFF / TRUNC / SNAP decision and its cost when a "

@@ -39,7 +39,8 @@ double measure(std::size_t n, sim::SyncPolicy policy, std::size_t op_size,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv, "bench_throughput_servers");
   quiet_logs();
   banner("E1", "broadcast throughput vs. ensemble size",
          "DSN'11 evaluation: throughput of isolated atomic broadcast, 1 KiB "

@@ -123,7 +123,8 @@ bool zab_figure1_violates() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv, "bench_zab_vs_paxos");
   quiet_logs();
   banner("E5", "Zab vs. Multi-Paxos: primary order + performance",
          "DSN'11 Figure 1 (Paxos run violating primary order) and the "

@@ -8,7 +8,9 @@
 //   zab_cli --servers ...            stat <path>
 //   zab_cli --servers ...            watch <path>  (block until it changes)
 //   zab_cli --servers ...            leader      (which server leads?)
-//   zab_cli --servers ...            mntr        (per-server stats dump)
+//   zab_cli --servers ...            mntr [--json]  (per-server stats dump)
+//   zab_cli --servers ...            dump_trace <path>  (merged cluster
+//                                      trace as JSONL, one object per zxid)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "harness/trace_collector.h"
 #include "pb/remote_client.h"
 
 using namespace zab;
@@ -55,12 +58,15 @@ int main(int argc, char** argv) {
   std::vector<RemoteClient::Endpoint> servers;
   std::vector<std::string> args;
   bool sequential = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--servers" && i + 1 < argc) {
       servers = parse_servers(argv[++i]);
     } else if (a == "--seq") {
       sequential = true;
+    } else if (a == "--json") {
+      json = true;
     } else {
       args.push_back(a);
     }
@@ -68,7 +74,7 @@ int main(int argc, char** argv) {
   if (servers.empty() || args.empty()) {
     std::fprintf(stderr,
                  "usage: %s --servers p1,p2,... "
-                 "<create|get|set|rm|ls|stat|leader|mntr> [args]\n",
+                 "<create|get|set|rm|ls|stat|leader|mntr|dump_trace> [args]\n",
                  argv[0]);
     return 2;
   }
@@ -153,20 +159,59 @@ int main(int argc, char** argv) {
 
   if (cmd == "mntr") {
     // ZooKeeper-style monitoring dump, one section per reachable server.
+    // With --json each server contributes one JSON object (one per line).
     int rc = 0;
     for (std::size_t i = 0; i < servers.size(); ++i) {
       RemoteClient one({servers[i]}, seconds(2));
-      std::printf("--- %s:%u ---\n", servers[i].host.c_str(),
-                  servers[i].port);
-      auto r = one.mntr();
+      if (!json) {
+        std::printf("--- %s:%u ---\n", servers[i].host.c_str(),
+                    servers[i].port);
+      }
+      auto r = one.mntr(json);
       if (!r.is_ok()) {
-        std::printf("unreachable: %s\n", r.status().to_string().c_str());
+        std::fprintf(json ? stderr : stdout, "unreachable: %s\n",
+                     r.status().to_string().c_str());
         rc = 1;
         continue;
       }
       std::fputs(r.value().c_str(), stdout);
+      if (json) std::fputc('\n', stdout);
     }
     return rc;
+  }
+
+  if (cmd == "dump_trace" && args.size() == 2) {
+    // Pull every server's trace ring, use the leader's clock-offset
+    // estimates to map follower events onto the leader timeline, and write
+    // the merged per-zxid timelines as JSONL.
+    std::map<NodeId, std::int64_t> offsets;
+    std::vector<trace::TraceSnapshot> snaps;
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      RemoteClient one({servers[i]}, seconds(2));
+      auto r = one.trace_snapshot();
+      if (!r.is_ok()) {
+        std::fprintf(stderr, "warning: %s:%u unreachable: %s\n",
+                     servers[i].host.c_str(), servers[i].port,
+                     r.status().to_string().c_str());
+        continue;
+      }
+      if (r.value().is_leader) offsets = r.value().clock_offsets;
+      snaps.push_back(std::move(r.value().snapshot));
+    }
+    if (snaps.empty()) return fail(Status::not_ready("no server reachable"));
+    harness::TraceCollector tc;
+    for (auto& s : snaps) {
+      std::int64_t correction = 0;
+      if (auto it = offsets.find(s.recorder); it != offsets.end()) {
+        correction = -it->second;  // offset = follower - leader
+      }
+      tc.add(s, correction);
+    }
+    if (Status st = tc.dump_jsonl(args[1]); !st.is_ok()) return fail(st);
+    std::printf("wrote %zu events from %zu nodes to %s\n", tc.events_added(),
+                snaps.size(), args[1].c_str());
+    std::fputs(tc.hop_metrics().to_text().c_str(), stdout);
+    return 0;
   }
 
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());

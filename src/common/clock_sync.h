@@ -1,0 +1,72 @@
+// Pairwise clock-offset estimation from request/response timestamps
+// (NTP/Cristian style), used to merge per-node trace rings onto one
+// timeline.
+//
+// The leader stamps each PING with its send time; the follower echoes that
+// stamp and adds its own clock reading at reply time. On receipt the leader
+// knows the round trip and, assuming symmetric paths, estimates the
+// follower's clock offset as
+//
+//   rtt    = t_recv - t_sent
+//   offset = t_reply_remote - (t_sent + rtt/2)
+//
+// so `remote_clock - offset ≈ local_clock`. The error is bounded by the
+// path asymmetry (at most rtt/2), which is why estimates taken at smaller
+// RTTs dominate: OffsetEstimator keeps the sample with the lowest RTT seen
+// and only lets fresher samples replace it when their RTT is comparable,
+// so one queueing spike cannot corrupt an established estimate.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace zab::clock_sync {
+
+struct OffsetSample {
+  std::int64_t offset_ns = 0;  // remote clock minus local clock
+  std::int64_t rtt_ns = 0;
+};
+
+/// One request/response exchange:
+///   t_sent         local clock when the request left
+///   t_reply_remote remote clock when the response was generated
+///   t_recv         local clock when the response arrived
+[[nodiscard]] inline OffsetSample estimate_clock_offset(TimePoint t_sent,
+                                                        TimePoint t_reply_remote,
+                                                        TimePoint t_recv) {
+  OffsetSample s;
+  s.rtt_ns = t_recv - t_sent;
+  s.offset_ns = t_reply_remote - (t_sent + s.rtt_ns / 2);
+  return s;
+}
+
+/// Streaming filter over per-peer samples (see header comment).
+class OffsetEstimator {
+ public:
+  /// Returns true when the sample was adopted as the current estimate.
+  bool update(const OffsetSample& s) {
+    if (s.rtt_ns < 0) return false;  // clock went backwards; discard
+    // Adopt the first sample, and any later one whose RTT is within 25% of
+    // the best RTT observed: fresh data at comparable quality beats a stale
+    // estimate (clocks drift), but a queueing spike is rejected.
+    const bool adopt = !valid_ || s.rtt_ns <= best_rtt_ns_ + best_rtt_ns_ / 4;
+    if (adopt) {
+      current_ = s;
+      valid_ = true;
+    }
+    if (s.rtt_ns < best_rtt_ns_) best_rtt_ns_ = s.rtt_ns;
+    return adopt;
+  }
+
+  [[nodiscard]] bool valid() const { return valid_; }
+  [[nodiscard]] std::int64_t offset_ns() const { return current_.offset_ns; }
+  [[nodiscard]] std::int64_t rtt_ns() const { return current_.rtt_ns; }
+
+ private:
+  OffsetSample current_;
+  std::int64_t best_rtt_ns_ = INT64_MAX;
+  bool valid_ = false;
+};
+
+}  // namespace zab::clock_sync

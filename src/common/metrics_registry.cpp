@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/json.h"
+
 namespace zab {
 
 AtomicCounter& MetricsRegistry::counter(const std::string& name) {
@@ -69,6 +71,45 @@ std::string MetricsSnapshot::to_text(const std::string& prefix) const {
     u64_line(name + "_p99", h.quantile(0.99));
     u64_line(name + "_max", h.max());
   }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json(const std::string& prefix) const {
+  std::string out = "{";
+  out += json::key("counters");
+  out += '{';
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += json::key(prefix + name) + json::num(v);
+  }
+  out += "},";
+  out += json::key("gauges");
+  out += '{';
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += json::key(prefix + name) + json::num(static_cast<std::int64_t>(v));
+  }
+  out += "},";
+  out += json::key("histograms");
+  out += '{';
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += json::key(prefix + name);
+    out += '{';
+    out += json::key("count") + json::num(h.count()) + ',';
+    out += json::key("mean") + json::num(h.mean()) + ',';
+    out += json::key("p50") + json::num(h.quantile(0.5)) + ',';
+    out += json::key("p99") + json::num(h.quantile(0.99)) + ',';
+    out += json::key("max") + json::num(h.max());
+    out += '}';
+  }
+  out += "}}";
   return out;
 }
 

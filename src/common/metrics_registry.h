@@ -67,6 +67,12 @@ struct MetricsSnapshot {
   /// sorted. Histograms expand to key_count/_mean/_p50/_p99/_max rows
   /// (values in the recorded unit, i.e. nanoseconds for latency metrics).
   [[nodiscard]] std::string to_text(const std::string& prefix = "") const;
+
+  /// JSON exposition (one object, no trailing newline):
+  ///   {"counters":{"k":v,...},"gauges":{...},
+  ///    "histograms":{"k":{"count":..,"mean":..,"p50":..,"p99":..,"max":..}}}
+  /// The same numbers as to_text, for scripts and the bench trajectories.
+  [[nodiscard]] std::string to_json(const std::string& prefix = "") const;
 };
 
 class MetricsRegistry {
@@ -89,6 +95,10 @@ class MetricsRegistry {
 
   [[nodiscard]] std::string to_text(const std::string& prefix = "") const {
     return snapshot().to_text(prefix);
+  }
+
+  [[nodiscard]] std::string to_json(const std::string& prefix = "") const {
+    return snapshot().to_json(prefix);
   }
 
  private:

@@ -59,6 +59,41 @@ TraceRing::StageTimes TraceRing::stage_times(Zxid z) const {
   return st;
 }
 
+Bytes encode_trace_snapshot(const TraceSnapshot& s) {
+  BufWriter w(16 + s.events.size() * 14);
+  w.u32(s.recorder);
+  w.varint(s.events.size());
+  for (const Event& e : s.events) {
+    w.zxid(e.zxid);
+    w.u8(static_cast<std::uint8_t>(e.stage));
+    w.u32(e.node);
+    w.i64(e.t);
+  }
+  return std::move(w).take();
+}
+
+std::optional<TraceSnapshot> decode_trace_snapshot(
+    std::span<const std::uint8_t> wire) {
+  BufReader r(wire);
+  TraceSnapshot s;
+  s.recorder = r.u32();
+  const std::uint64_t n = r.varint();
+  if (!r.ok() || n > 1u << 24) return std::nullopt;
+  s.events.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Event e;
+    e.zxid = r.zxid();
+    const std::uint8_t stage = r.u8();
+    if (stage >= kNumStages) return std::nullopt;
+    e.stage = static_cast<Stage>(stage);
+    e.node = r.u32();
+    e.t = r.i64();
+    s.events.push_back(e);
+  }
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return s;
+}
+
 std::string TraceRing::to_text(std::size_t max_events) const {
   std::string out;
   auto evs = events();

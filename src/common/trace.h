@@ -15,9 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/time.h"
 #include "common/types.h"
 
@@ -70,6 +73,13 @@ class TraceRing {
 
   /// Events oldest-first (copies out; the ring keeps recording).
   [[nodiscard]] std::vector<Event> events() const;
+  /// Point-in-time copy of the ring's surviving events. The result is
+  /// ALWAYS ordered oldest-first, including after the ring has wrapped and
+  /// overwritten its oldest entries (the read starts at the oldest surviving
+  /// slot, not at index 0) — cross-node trace merging depends on this.
+  /// Regression-tested in tests/test_metrics_trace.cpp (capacity-4 ring,
+  /// 6 events).
+  [[nodiscard]] std::vector<Event> snapshot() const { return events(); }
   /// Events for one transaction, oldest-first.
   [[nodiscard]] std::vector<Event> events_for(Zxid z) const;
 
@@ -96,5 +106,19 @@ class TraceRing {
   std::size_t size_ = 0;
   bool enabled_ = true;
 };
+
+/// Binary codec for shipping one node's ring snapshot over the client
+/// protocol (the `kTrace` op): recorder id + event array. The recorder id
+/// travels explicitly because Event::node is not always the recording node
+/// (a leader's ACK event names the follower that completed the quorum).
+struct TraceSnapshot {
+  NodeId recorder = kNoNode;
+  std::vector<Event> events;
+};
+
+[[nodiscard]] Bytes encode_trace_snapshot(const TraceSnapshot& s);
+/// nullopt on malformed input.
+[[nodiscard]] std::optional<TraceSnapshot> decode_trace_snapshot(
+    std::span<const std::uint8_t> wire);
 
 }  // namespace zab::trace

@@ -88,6 +88,7 @@ Status RuntimeCluster::start() {
       }
       slot->transport->set_handler(
           [slot](NodeId from, Bytes payload) {
+            if (slot->muted.load(std::memory_order_relaxed)) return;
             slot->env->post([slot, from, payload = std::move(payload)] {
               if (slot->node) slot->node->on_message(from, payload);
             });
@@ -161,6 +162,63 @@ std::string RuntimeCluster::mntr(NodeId id) {
   std::string out;
   with_node(id, [&out](ZabNode& n) { out = n.mntr_report(); });
   return out;
+}
+
+std::string RuntimeCluster::mntr_json(NodeId id) {
+  std::string out;
+  with_node(id, [&out](ZabNode& n) { out = n.mntr_json(); });
+  return out;
+}
+
+trace::TraceSnapshot RuntimeCluster::trace_snapshot(NodeId id) {
+  trace::TraceSnapshot snap;
+  snap.recorder = id;
+  with_node(id, [&snap](ZabNode& n) { snap.events = n.trace().snapshot(); });
+  return snap;
+}
+
+TraceCollector RuntimeCluster::collect_traces() {
+  // The leader's offset estimates map follower clocks onto its own. The
+  // estimator reports offset = follower_clock - leader_clock, so the
+  // correction applied to follower events is the negation.
+  std::map<NodeId, std::int64_t> offsets;
+  NodeId leader = kNoNode;
+  for (auto& s : slots_) {
+    bool is_leader = false;
+    s->env->run_sync([&] {
+      if (s->node && s->node->is_active_leader()) {
+        is_leader = true;
+        offsets = s->node->follower_clock_offsets();
+      }
+    });
+    if (is_leader) {
+      leader = s->id;
+      break;
+    }
+  }
+  (void)leader;
+  TraceCollector tc;
+  for (auto& s : slots_) {
+    std::int64_t correction = 0;
+    if (auto it = offsets.find(s->id); it != offsets.end()) {
+      correction = -it->second;
+    }
+    tc.add(trace_snapshot(s->id), correction);
+  }
+  return tc;
+}
+
+Status RuntimeCluster::dump_trace(const std::string& path) {
+  TraceCollector tc = collect_traces();
+  return tc.dump_jsonl(path);
+}
+
+void RuntimeCluster::mute_node(NodeId id) {
+  slots_.at(id - 1)->muted.store(true, std::memory_order_relaxed);
+}
+
+void RuntimeCluster::unmute_node(NodeId id) {
+  slots_.at(id - 1)->muted.store(false, std::memory_order_relaxed);
 }
 
 MetricsSnapshot RuntimeCluster::metrics_snapshot(NodeId id) {

@@ -8,6 +8,9 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
+#include "harness/trace_collector.h"
 #include "net/inproc.h"
 #include "net/runtime_env.h"
 #include "net/tcp_transport.h"
@@ -73,8 +76,29 @@ class RuntimeCluster {
   /// mntr-style stats dump of one node (runs on its loop thread).
   [[nodiscard]] std::string mntr(NodeId id);
 
+  /// JSON form of mntr (ZabNode::mntr_json, on the node's loop thread).
+  [[nodiscard]] std::string mntr_json(NodeId id);
+
   /// Thread-safe snapshot of a node's full metrics registry.
   [[nodiscard]] MetricsSnapshot metrics_snapshot(NodeId id);
+
+  /// Thread-safe copy of one node's trace ring.
+  [[nodiscard]] trace::TraceSnapshot trace_snapshot(NodeId id);
+
+  /// Pull every node's trace ring, apply the leader's clock-offset
+  /// estimates, and return the merged collector (call merge()/dump_jsonl()
+  /// on it). With no active leader, offsets default to 0 — fine in-process
+  /// where all nodes share one monotonic clock.
+  [[nodiscard]] TraceCollector collect_traces();
+
+  /// collect_traces() + JSONL dump to `path` (one object per zxid).
+  Status dump_trace(const std::string& path);
+
+  /// Drop all inbound protocol messages to a node (simulated crash: it
+  /// stops hearing PINGs and stops ponging, so the leader sees it dead).
+  /// Reversible with unmute_node — the follower then resyncs.
+  void mute_node(NodeId id);
+  void unmute_node(NodeId id);
 
  private:
   struct Slot {
@@ -87,6 +111,9 @@ class RuntimeCluster {
     std::unique_ptr<ZabNode> node;
     std::unique_ptr<pb::ReplicatedTree> tree;
     std::unique_ptr<pb::ClientService> client;
+    // Checked on the transport's delivery path; muted inbound messages are
+    // dropped before reaching the loop (see mute_node).
+    std::atomic<bool> muted{false};
   };
 
   RuntimeClusterConfig cfg_;

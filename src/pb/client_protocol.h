@@ -26,6 +26,11 @@ enum class ClientOpKind : std::uint8_t {
   kStat = 5,
   kPing = 6,         // liveness + leader hint
   kMntr = 7,         // monitoring dump: response.data carries mntr text
+                     // (request.path == "json" selects JSON exposition)
+  kTrace = 8,        // trace-ring pull: response.data carries an encoded
+                     // TraceSnapshot (common/trace.h); on the leader,
+                     // response.paths carries "id:offset_ns" clock-offset
+                     // estimates for the cross-node merge
 };
 
 struct ClientRequest {

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 namespace zab::pb {
@@ -302,13 +303,35 @@ Result<bool> RemoteClient::ping_is_leader() {
   return resp.value().is_leader;
 }
 
-Result<std::string> RemoteClient::mntr() {
+Result<std::string> RemoteClient::mntr(bool json) {
   ClientRequest req;
   req.kind = ClientOpKind::kMntr;
+  if (json) req.path = "json";
   auto resp = call(std::move(req));
   if (!resp.is_ok()) return resp.status();
   const Bytes& d = resp.value().data;
   return std::string(d.begin(), d.end());
+}
+
+Result<RemoteClient::TraceResult> RemoteClient::trace_snapshot() {
+  ClientRequest req;
+  req.kind = ClientOpKind::kTrace;
+  auto resp = call(std::move(req));
+  if (!resp.is_ok()) return resp.status();
+  auto snap = trace::decode_trace_snapshot(resp.value().data);
+  if (!snap) return Status::corruption("bad trace snapshot");
+  TraceResult out;
+  out.snapshot = std::move(*snap);
+  out.is_leader = resp.value().is_leader;
+  for (const std::string& s : resp.value().paths) {
+    const auto colon = s.find(':');
+    if (colon == std::string::npos) continue;
+    const auto nid = static_cast<NodeId>(
+        std::strtoul(s.substr(0, colon).c_str(), nullptr, 10));
+    out.clock_offsets[nid] =
+        std::strtoll(s.c_str() + colon + 1, nullptr, 10);
+  }
+  return out;
 }
 
 }  // namespace zab::pb

@@ -9,12 +9,14 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/time.h"
+#include "common/trace.h"
 #include "pb/client_protocol.h"
 
 namespace zab::pb {
@@ -57,7 +59,18 @@ class RemoteClient {
   Result<bool> ping_is_leader();
   /// Monitoring dump (ZooKeeper `mntr` style) of the contacted server:
   /// `key<TAB>value` lines with node state and its metrics registry.
-  Result<std::string> mntr();
+  /// With json=true the server returns one JSON object instead.
+  Result<std::string> mntr(bool json = false);
+
+  /// Pull the contacted server's trace ring. A leader also reports its
+  /// clock-offset estimate per follower (follower_clock - leader_clock, ns)
+  /// for the cross-node merge (harness/trace_collector.h).
+  struct TraceResult {
+    trace::TraceSnapshot snapshot;
+    bool is_leader = false;
+    std::map<NodeId, std::int64_t> clock_offsets;
+  };
+  Result<TraceResult> trace_snapshot();
 
   /// Raw request with endpoint rotation + retry.
   Result<ClientResponse> call(ClientRequest req);

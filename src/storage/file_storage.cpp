@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/crc32c.h"
@@ -57,6 +58,9 @@ std::string FileStorage::snap_path(Zxid z) const {
 
 Result<std::unique_ptr<FileStorage>> FileStorage::open(
     FileStorageOptions opts) {
+  if (const char* ms = std::getenv("ZAB_SLOW_FSYNC_MS")) {
+    opts.slow_fsync_ns = std::strtoull(ms, nullptr, 10) * 1'000'000ull;
+  }
   ZAB_RETURN_IF_ERROR(make_dirs(opts.dir));
   std::unique_ptr<FileStorage> fs(new FileStorage(std::move(opts)));
   ZAB_RETURN_IF_ERROR(fs->recover());
@@ -256,8 +260,22 @@ Status FileStorage::write_record(const Txn& txn) {
   rec.u32(crc32c_mask(crc32c(payload.data())));
   rec.raw(payload.data());
   ZAB_RETURN_IF_ERROR(write_all(active_fd_.get(), rec.data()));
-  if (opts_.fsync && ::fsync(active_fd_.get()) != 0) {
-    return Status::io_error("fsync segment");
+  if (opts_.fsync) {
+    const std::uint64_t t0 = mono_ns();
+    if (::fsync(active_fd_.get()) != 0) {
+      return Status::io_error("fsync segment");
+    }
+    const std::uint64_t took = mono_ns() - t0;
+    if (h_fsync_ns_) h_fsync_ns_->record(took);
+    if (opts_.slow_fsync_ns != 0 && took >= opts_.slow_fsync_ns) {
+      if (c_slow_fsync_) c_slow_fsync_->add();
+      if (t0 - last_slow_fsync_log_ns_ >= 1'000'000'000ull) {
+        last_slow_fsync_log_ns_ = t0;
+        ZAB_WARN() << "slow fsync: " << took / 1'000'000 << " ms on "
+                   << segments_.back().path << " (threshold "
+                   << opts_.slow_fsync_ns / 1'000'000 << " ms)";
+      }
+    }
   }
   segments_.back().bytes += rec.size();
   if (c_append_bytes_) c_append_bytes_->add(rec.size());

@@ -41,6 +41,10 @@ struct FileStorageOptions {
   /// Must outlive the FileStorage. Storage runs on the owner's loop thread,
   /// so the histogram follows the registry's owning-thread rule.
   MetricsRegistry* metrics = nullptr;
+  /// An fsync slower than this counts as a slow disk op: `zab.stall.fsync`
+  /// is bumped and a rate-limited warning names the segment. 0 disables.
+  /// Env override: ZAB_SLOW_FSYNC_MS (applied in open()).
+  std::uint64_t slow_fsync_ns = 100'000'000;  // 100 ms
 };
 
 class FileStorage final : public ZabStorage {
@@ -86,6 +90,8 @@ class FileStorage final : public ZabStorage {
       c_snapshots_ = &opts_.metrics->counter("storage.snapshots_saved");
       c_truncates_ = &opts_.metrics->counter("storage.truncates");
       h_append_ns_ = &opts_.metrics->histogram("storage.append_ns");
+      h_fsync_ns_ = &opts_.metrics->histogram("storage.fsync_ns");
+      c_slow_fsync_ = &opts_.metrics->counter("zab.stall.fsync");
     }
   }
 
@@ -119,7 +125,10 @@ class FileStorage final : public ZabStorage {
   AtomicCounter* c_append_bytes_ = nullptr;
   AtomicCounter* c_snapshots_ = nullptr;
   AtomicCounter* c_truncates_ = nullptr;
+  AtomicCounter* c_slow_fsync_ = nullptr;
   Histogram* h_append_ns_ = nullptr;
+  Histogram* h_fsync_ns_ = nullptr;
+  std::uint64_t last_slow_fsync_log_ns_ = 0;  // rate limit: 1 warn/s
 };
 
 }  // namespace zab::storage

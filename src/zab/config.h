@@ -59,6 +59,18 @@ struct ZabConfig {
   /// Back-pressure: max proposals in flight (not yet committed).
   std::size_t max_outstanding = 2048;
 
+  // --- Health watchdog ---
+  /// Cadence of the stall watchdog (runs for the node's whole life, across
+  /// role changes). 0 disables the watchdog entirely.
+  Duration watchdog_interval = millis(50);
+  /// A proposed zxid with no COMMIT after this long counts as a commit
+  /// stall (`zab.stall.commit`). Env override: ZAB_STALL_COMMIT_MS.
+  Duration stall_commit_timeout = millis(1000);
+  /// Leader only: a voting follower whose acked zxid trails the commit
+  /// watermark by more than this many transactions counts as lag-stalled
+  /// (`zab.stall.follower_lag`). Env override: ZAB_STALL_LAG_ZXIDS.
+  std::uint64_t stall_lag_zxids = 1000;
+
   // --- Checkpointing ---
   /// Take a local application snapshot every N delivered txns (0 = never).
   std::size_t snapshot_every = 0;

@@ -17,7 +17,9 @@
 // CEPOCH → sync → UPTODATE path against the established epoch, like
 // ZooKeeper's per-learner LearnerHandler.
 #include <algorithm>
+#include <string>
 
+#include "common/clock_sync.h"
 #include "common/logging.h"
 #include "zab/zab_node.h"
 
@@ -316,9 +318,22 @@ void ZabNode::on_pong(NodeId from, const PongMsg& m) {
   if (role_ != Role::kLeading || m.epoch != establishing_epoch_) return;
   auto it = followers_.find(from);
   if (it == followers_.end()) return;
-  it->second.last_contact = env_->now();
+  const TimePoint now = env_->now();
+  it->second.last_contact = now;
   if (m.last_durable > it->second.last_zxid) {
     it->second.last_zxid = m.last_durable;
+  }
+  if (m.ping_t_sent > 0) {
+    // The PONG closes a PING round trip: estimate this follower's clock
+    // offset so TraceCollector can place its events on the leader timeline.
+    const auto sample =
+        clock_sync::estimate_clock_offset(m.ping_t_sent, m.t_reply, now);
+    if (it->second.clock.update(sample)) {
+      const std::string base = "zab.follower." + std::to_string(from);
+      metrics_->gauge(base + ".clock_offset_ns")
+          .set(it->second.clock.offset_ns());
+      metrics_->gauge(base + ".rtt_ns").set(it->second.clock.rtt_ns());
+    }
   }
   if (activated_ && cfg_.is_voting(from)) {
     leader_record_acks(from, m.last_durable);
@@ -340,8 +355,8 @@ void ZabNode::on_request(NodeId from, RequestMsg m) {
 }
 
 void ZabNode::leader_heartbeat() {
-  const Bytes wire =
-      encode_message(PingMsg{establishing_epoch_, commit_watermark_});
+  const Bytes wire = encode_message(
+      PingMsg{establishing_epoch_, commit_watermark_, env_->now()});
   for (const auto& [nid, fs] : followers_) {
     if (fs.stage == FollowerState::Stage::kActive) {
       ++stats_.sent[static_cast<std::size_t>(MsgType::kPing)];
@@ -359,6 +374,7 @@ void ZabNode::leader_check_quorum_liveness() {
       ++live;
     }
   }
+  update_health_gauges(now);
   if (live >= quorum()) {
     quorum_ok_since_ = now;
     return;
@@ -368,6 +384,45 @@ void ZabNode::leader_check_quorum_liveness() {
                 << ": lost contact with a quorum; stepping down";
     go_to_election();
   }
+}
+
+void ZabNode::update_health_gauges(TimePoint now) {
+  if (role_ != Role::kLeading || !activated_) return;
+  std::size_t synced = 0;
+  for (const auto& [nid, fs] : followers_) {
+    if (fs.stage != FollowerState::Stage::kActive) continue;
+    const std::string base = "zab.follower." + std::to_string(nid);
+    metrics_->gauge(base + ".lag_zxids")
+        .set(static_cast<std::int64_t>(
+            lag_zxids(fs.last_zxid, commit_watermark_)));
+    metrics_->gauge(base + ".lag_ns")
+        .set(static_cast<std::int64_t>(now - fs.last_contact));
+    // Proposals the follower has not yet durably acked. The pipeline is
+    // zxid-ordered, so this is the suffix beyond its cumulative ACK point.
+    std::size_t outstanding = 0;
+    for (auto rit = proposals_.rbegin(); rit != proposals_.rend(); ++rit) {
+      if (rit->txn.zxid <= fs.last_zxid) break;
+      ++outstanding;
+    }
+    metrics_->gauge(base + ".outstanding")
+        .set(static_cast<std::int64_t>(outstanding));
+    if (cfg_.is_voting(nid) && now - fs.last_contact <= cfg_.follower_timeout &&
+        lag_zxids(fs.last_zxid, commit_watermark_) == 0) {
+      ++synced;
+    }
+  }
+  g_synced_followers_->set(static_cast<std::int64_t>(synced));
+  // Healthy = a quorum (counting ourselves) is live, synced or not: the
+  // cluster can still commit. synced_followers dropping while healthy stays
+  // 1 is the "degraded but serving" signal operators alert on.
+  std::size_t live = 1;
+  for (const auto& [nid, fs] : followers_) {
+    if (cfg_.is_voting(nid) && fs.stage == FollowerState::Stage::kActive &&
+        now - fs.last_contact <= cfg_.follower_timeout) {
+      ++live;
+    }
+  }
+  g_quorum_healthy_->set(live >= quorum() ? 1 : 0);
 }
 
 bool ZabNode::leader_epoch_valid(Epoch e) const {

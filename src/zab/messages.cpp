@@ -103,10 +103,13 @@ void encode_body(BufWriter& w, const CommitMsg& m) {
 void encode_body(BufWriter& w, const PingMsg& m) {
   w.u32(m.epoch);
   w.zxid(m.last_committed);
+  w.i64(m.t_sent);
 }
 void encode_body(BufWriter& w, const PongMsg& m) {
   w.u32(m.epoch);
   w.zxid(m.last_durable);
+  w.i64(m.ping_t_sent);
+  w.i64(m.t_reply);
 }
 void encode_body(BufWriter& w, const RequestMsg& m) { w.bytes(m.payload); }
 
@@ -241,6 +244,7 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> wire) {
       PingMsg m;
       m.epoch = r.u32();
       m.last_committed = r.zxid();
+      m.t_sent = r.i64();
       out = m;
       break;
     }
@@ -248,6 +252,8 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> wire) {
       PongMsg m;
       m.epoch = r.u32();
       m.last_durable = r.zxid();
+      m.ping_t_sent = r.i64();
+      m.t_reply = r.i64();
       out = m;
       break;
     }

@@ -127,18 +127,25 @@ struct CommitMsg {
   Zxid zxid;
 };
 
-/// Leader heartbeat; carries the commit watermark so idle followers converge.
+/// Leader heartbeat; carries the commit watermark so idle followers converge
+/// and the leader's clock reading at send time so the PONG can close a
+/// clock-offset measurement (see common/clock_sync.h).
 struct PingMsg {
   Epoch epoch = kNoEpoch;
   Zxid last_committed;
+  TimePoint t_sent = 0;  // leader clock when this PING left
 };
 
 /// Follower heartbeat reply; last_durable doubles as a cumulative ACK (the
 /// log is written in order, so durability of z implies durability of all
-/// zxids <= z) — this heals proposal ACKs lost on the wire.
+/// zxids <= z) — this heals proposal ACKs lost on the wire. The echoed PING
+/// timestamp plus the follower's own clock reading let the leader estimate
+/// this follower's clock offset (RTT/2 style).
 struct PongMsg {
   Epoch epoch = kNoEpoch;
   Zxid last_durable;
+  TimePoint ping_t_sent = 0;  // echo of PingMsg::t_sent
+  TimePoint t_reply = 0;      // follower clock when the PONG was generated
 };
 
 /// Client operation forwarded to the leader by a follower.

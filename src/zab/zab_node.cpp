@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "common/json.h"
 #include "common/logging.h"
 
 namespace zab {
@@ -15,6 +16,18 @@ std::size_t trace_capacity_from_env() {
   if (v.empty()) return 8192;
   const auto n = std::strtoull(v.c_str(), nullptr, 10);
   return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+Duration env_millis_or(const char* name, Duration fallback) {
+  const std::string v = env_var_or(name, "");
+  if (v.empty()) return fallback;
+  return millis(std::strtoll(v.c_str(), nullptr, 10));
+}
+
+std::uint64_t env_u64_or(const char* name, std::uint64_t fallback) {
+  const std::string v = env_var_or(name, "");
+  if (v.empty()) return fallback;
+  return std::strtoull(v.c_str(), nullptr, 10);
 }
 
 }  // namespace
@@ -30,6 +43,12 @@ ZabNode::ZabNode(ZabConfig cfg, Env& env, storage::ZabStorage& storage,
   assert(cfg_.id != kNoNode);
   assert(cfg_.is_voting(cfg_.id) || cfg_.is_observer(cfg_.id));
 
+  // Watchdog thresholds are deploy-time knobs, overridable per process.
+  cfg_.stall_commit_timeout =
+      env_millis_or("ZAB_STALL_COMMIT_MS", cfg_.stall_commit_timeout);
+  cfg_.stall_lag_zxids =
+      env_u64_or("ZAB_STALL_LAG_ZXIDS", cfg_.stall_lag_zxids);
+
   // Resolve every hot-path metric once; references are stable for the
   // registry's lifetime.
   c_proposals_ = &metrics_->counter("zab.leader.proposals");
@@ -42,6 +61,11 @@ ZabNode::ZabNode(ZabConfig cfg, Env& env, storage::ZabStorage& storage,
   h_commit_deliver_ = &metrics_->histogram("zab.stage.commit_to_deliver");
   h_propose_deliver_ = &metrics_->histogram("zab.stage.propose_to_deliver");
   h_election_ = &metrics_->histogram("zab.election.duration_ns");
+  c_stall_commit_ = &metrics_->counter("zab.stall.commit");
+  c_stall_lag_ = &metrics_->counter("zab.stall.follower_lag");
+  g_commit_stalled_ = &metrics_->gauge("zab.stall.commit_stalled");
+  g_synced_followers_ = &metrics_->gauge("zab.quorum.synced_followers");
+  g_quorum_healthy_ = &metrics_->gauge("zab.quorum.healthy");
 }
 
 ZabNode::~ZabNode() = default;
@@ -72,11 +96,16 @@ void ZabNode::start() {
              << to_string(last_logged_)
              << " acceptedEpoch=" << storage_->accepted_epoch()
              << " currentEpoch=" << storage_->current_epoch();
+  arm_watchdog();
   start_election();
 }
 
 void ZabNode::shutdown() {
   cancel_phase_timers();
+  if (watchdog_timer_ != kNoTimer) {
+    env_->cancel_timer(watchdog_timer_);
+    watchdog_timer_ = kNoTimer;
+  }
 }
 
 // --- Observability -----------------------------------------------------------
@@ -105,6 +134,89 @@ void ZabNode::drop_txn_timings_after(Zxid keep) {
   });
 }
 
+std::uint64_t ZabNode::lag_zxids(Zxid follower_last, Zxid watermark) {
+  if (follower_last >= watermark) return 0;
+  if (follower_last.epoch == watermark.epoch) {
+    return watermark.counter - follower_last.counter;
+  }
+  // Behind an epoch boundary: at least everything committed in the current
+  // epoch (see the declaration's comment).
+  return watermark.counter;
+}
+
+void ZabNode::arm_watchdog() {
+  if (cfg_.watchdog_interval <= 0) return;
+  watchdog_timer_ = env_->set_timer(cfg_.watchdog_interval, [this] {
+    watchdog_tick();
+    arm_watchdog();
+  });
+}
+
+/// Health sweep at watchdog_interval cadence: detect transactions stuck
+/// before COMMIT and voting followers trailing the watermark by more than
+/// the configured threshold. Counters bump once per stalled zxid/follower
+/// (not per tick); warnings are rate-limited to one per second.
+void ZabNode::watchdog_tick() {
+  const TimePoint now = env_->now();
+
+  // Forget flags for txns that left the pipeline (delivered / truncated).
+  std::erase_if(stall_flagged_, [this](std::uint64_t z) {
+    return propose_time_.find(z) == propose_time_.end();
+  });
+
+  std::int64_t stalled = 0;
+  Zxid oldest_stalled;
+  TimePoint oldest_t = 0;
+  bool new_stall = false;
+  for (const auto& [packed, t0] : propose_time_) {
+    if (commit_time_.find(packed) != commit_time_.end()) continue;
+    if (now - t0 < cfg_.stall_commit_timeout) continue;
+    ++stalled;
+    if (stall_flagged_.insert(packed).second) {
+      c_stall_commit_->add();
+      new_stall = true;
+    }
+    if (stalled == 1 || t0 < oldest_t) {
+      oldest_stalled = Zxid::from_packed(packed);
+      oldest_t = t0;
+    }
+  }
+  g_commit_stalled_->set(stalled);
+
+  if (role_ == Role::kLeading && activated_) {
+    for (const auto& [nid, fs] : followers_) {
+      if (!cfg_.is_voting(nid) ||
+          fs.stage != FollowerState::Stage::kActive) {
+        continue;
+      }
+      const std::uint64_t lag = lag_zxids(fs.last_zxid, commit_watermark_);
+      if (lag > cfg_.stall_lag_zxids) {
+        if (lag_stalled_.insert(nid).second) {
+          c_stall_lag_->add();
+          new_stall = true;
+        }
+      } else {
+        lag_stalled_.erase(nid);
+      }
+    }
+    std::erase_if(lag_stalled_, [this](NodeId n) {
+      return followers_.find(n) == followers_.end();
+    });
+  } else {
+    lag_stalled_.clear();
+  }
+
+  if (new_stall && (last_stall_log_ < 0 || now - last_stall_log_ >= kSecond)) {
+    last_stall_log_ = now;
+    ZAB_WARN() << "node " << cfg_.id << ": stall watchdog: "
+               << stalled << " txn(s) without COMMIT for >"
+               << format_duration(cfg_.stall_commit_timeout)
+               << (stalled ? " (oldest " + to_string(oldest_stalled) + ")"
+                           : std::string())
+               << ", " << lag_stalled_.size() << " follower(s) lag-stalled";
+  }
+}
+
 std::string ZabNode::mntr_report() const {
   std::string out;
   auto kv = [&out](const char* key, const std::string& value) {
@@ -130,6 +242,45 @@ std::string ZabNode::mntr_report() const {
   kv("zab_resyncs", std::to_string(stats_.resyncs));
   kv("zab_snapshots_taken", std::to_string(stats_.snapshots_taken));
   out += metrics_->to_text();
+  return out;
+}
+
+std::string ZabNode::mntr_json() const {
+  std::string out = "{";
+  out += json::key("node");
+  out += '{';
+  out += json::key("id") + json::num(std::uint64_t{cfg_.id}) + ',';
+  out += json::key("role") + json::str(role_name(role_)) + ',';
+  out += json::key("phase") + json::str(phase_name(phase_)) + ',';
+  out += json::key("leader") + json::num(std::uint64_t{leader_}) + ',';
+  out += json::key("epoch") +
+         json::num(std::uint64_t{storage_->current_epoch()}) + ',';
+  out += json::key("last_logged") + json::str(to_string(last_logged_)) + ',';
+  out += json::key("last_committed") +
+         json::str(to_string(commit_watermark_)) + ',';
+  out += json::key("last_delivered") +
+         json::str(to_string(last_delivered_)) + ',';
+  out += json::key("outstanding_proposals") +
+         json::num(std::uint64_t{proposals_.size()}) + ',';
+  out += json::key("pending_appends") +
+         json::num(std::uint64_t{pending_appends_}) + ',';
+  out += json::key("txns_committed") + json::num(stats_.txns_committed) + ',';
+  out += json::key("txns_delivered") + json::num(stats_.txns_delivered) + ',';
+  out += json::key("elections_started") +
+         json::num(stats_.elections_started) + ',';
+  out += json::key("resyncs") + json::num(stats_.resyncs);
+  out += "},";
+  out += json::key("metrics") + metrics_->to_json();
+  out += '}';
+  return out;
+}
+
+std::map<NodeId, std::int64_t> ZabNode::follower_clock_offsets() const {
+  std::map<NodeId, std::int64_t> out;
+  if (role_ != Role::kLeading) return out;
+  for (const auto& [nid, fs] : followers_) {
+    if (fs.clock.valid()) out[nid] = fs.clock.offset_ns();
+  }
   return out;
 }
 
@@ -231,6 +382,13 @@ void ZabNode::go_to_election() {
   // decides; drop them rather than let abandoned zxids accumulate.
   propose_time_.clear();
   commit_time_.clear();
+  // Stall/health state is leadership-scoped: a deposed leader stops
+  // advertising quorum health it can no longer observe.
+  stall_flagged_.clear();
+  lag_stalled_.clear();
+  g_commit_stalled_->set(0);
+  g_synced_followers_->set(0);
+  g_quorum_healthy_->set(0);
   start_election();
 }
 
@@ -644,7 +802,7 @@ void ZabNode::on_ping(NodeId from, const PingMsg& m) {
     follower_resync();  // missed a proposal (see on_commit)
     return;
   }
-  send_to(leader_, PongMsg{m.epoch, last_durable_});
+  send_to(leader_, PongMsg{m.epoch, last_durable_, m.t_sent, env_->now()});
   advance_watermark(m.last_committed);
 }
 

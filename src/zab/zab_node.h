@@ -28,6 +28,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/clock_sync.h"
 #include "common/env.h"
 #include "common/metrics_registry.h"
 #include "common/status.h"
@@ -147,6 +148,12 @@ class ZabNode {
   /// by the full registry exposition. Served to admin clients and dumped by
   /// the example server; call from the node's event-loop thread.
   [[nodiscard]] std::string mntr_report() const;
+  /// Same report as one JSON object: {"node":{...state...},"metrics":{...}}.
+  [[nodiscard]] std::string mntr_json() const;
+  /// Leader only: current clock-offset estimate per follower (remote minus
+  /// local, ns), for followers with at least one PING/PONG sample. Feeds the
+  /// cross-node trace merge; empty on non-leaders.
+  [[nodiscard]] std::map<NodeId, std::int64_t> follower_clock_offsets() const;
 
  private:
   // --- Common helpers (zab_node.cpp) ---
@@ -205,6 +212,8 @@ class ZabNode {
     Epoch current_epoch = kNoEpoch;
     Zxid last_zxid;
     TimePoint last_contact = 0;
+    /// Clock-offset estimate from PING/PONG exchanges (remote minus local).
+    clock_sync::OffsetEstimator clock;
   };
   struct Proposal {
     Txn txn;
@@ -243,6 +252,17 @@ class ZabNode {
   void trace_stage(Zxid z, trace::Stage s, NodeId who);
   void note_committed(Zxid z, TimePoint now);
   void drop_txn_timings_after(Zxid keep);
+  /// Leader, heartbeat cadence: refresh zab.follower.<id>.* lag gauges and
+  /// the zab.quorum.* health gauges.
+  void update_health_gauges(TimePoint now);
+  /// How many committed txns `follower_last` trails `watermark` by (0 when
+  /// caught up). Across an epoch boundary the count of older-epoch txns is
+  /// unknown without a log walk, so the estimate is the current epoch's
+  /// counter — a lower bound.
+  [[nodiscard]] static std::uint64_t lag_zxids(Zxid follower_last,
+                                               Zxid watermark);
+  void watchdog_tick();
+  void arm_watchdog();
 
   std::unique_ptr<MetricsRegistry> owned_metrics_;  // when none injected
   MetricsRegistry* metrics_;
@@ -262,6 +282,17 @@ class ZabNode {
   std::unordered_map<std::uint64_t, TimePoint> propose_time_;
   std::unordered_map<std::uint64_t, TimePoint> commit_time_;
   TimePoint election_started_ = -1;  // -1: no election in flight (t=0 is valid)
+
+  // --- Health watchdog (watchdog_tick) ---
+  AtomicCounter* c_stall_commit_ = nullptr;
+  AtomicCounter* c_stall_lag_ = nullptr;
+  Gauge* g_commit_stalled_ = nullptr;
+  Gauge* g_synced_followers_ = nullptr;
+  Gauge* g_quorum_healthy_ = nullptr;
+  TimerId watchdog_timer_ = kNoTimer;  // lives across elections; see shutdown()
+  std::set<std::uint64_t> stall_flagged_;    // zxids already counted as stalled
+  std::set<NodeId> lag_stalled_;             // followers currently lag-stalled
+  TimePoint last_stall_log_ = -1;            // rate limit: 1 warn/s
 
   // --- Common state ---
   Role role_ = Role::kLooking;

@@ -77,8 +77,20 @@ TEST(Messages, BroadcastPhaseRoundTrips) {
   }
   EXPECT_EQ(roundtrip(AckMsg{6, Zxid{6, 1}}).zxid, (Zxid{6, 1}));
   EXPECT_EQ(roundtrip(CommitMsg{6, Zxid{6, 1}}).zxid, (Zxid{6, 1}));
-  EXPECT_EQ(roundtrip(PingMsg{6, Zxid{6, 5}}).last_committed, (Zxid{6, 5}));
-  EXPECT_EQ(roundtrip(PongMsg{6, Zxid{6, 4}}).last_durable, (Zxid{6, 4}));
+  {
+    // Heartbeats carry the clock-sync timestamps (zero when unused).
+    const auto p = roundtrip(PingMsg{6, Zxid{6, 5}, 123456789});
+    EXPECT_EQ(p.last_committed, (Zxid{6, 5}));
+    EXPECT_EQ(p.t_sent, 123456789);
+    EXPECT_EQ(roundtrip(PingMsg{6, Zxid{6, 5}}).t_sent, 0);
+  }
+  {
+    const auto p = roundtrip(PongMsg{6, Zxid{6, 4}, 123456789, 123500000});
+    EXPECT_EQ(p.last_durable, (Zxid{6, 4}));
+    EXPECT_EQ(p.ping_t_sent, 123456789);
+    EXPECT_EQ(p.t_reply, 123500000);
+    EXPECT_EQ(roundtrip(PongMsg{6, Zxid{6, 4}}).ping_t_sent, 0);
+  }
   EXPECT_EQ(roundtrip(RequestMsg{to_bytes("client-op")}).payload,
             to_bytes("client-op"));
 }

@@ -118,6 +118,71 @@ TEST(MetricsTrace, ElectionEventsTraced) {
             st.at(trace::Stage::kLeaderActive));
 }
 
+TEST(TraceRing, SnapshotIsOldestFirstBeforeAndAfterWrap) {
+  // Regression: snapshot()/events() must start at the oldest SURVIVING
+  // entry, not at slot 0 — the cross-node merge sorts by timestamp and a
+  // rotated read order would silently reorder equal-timestamp events.
+  trace::TraceRing ring(4);
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    ring.record(Zxid{1, i}, trace::Stage::kPropose, 1,
+                static_cast<TimePoint>(i * 100));
+  }
+  auto evs = ring.snapshot();
+  ASSERT_EQ(evs.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(evs[i].zxid.counter, i + 1);
+  }
+
+  // 6 events through a capacity-4 ring: events 3..6 survive, oldest-first.
+  for (std::uint32_t i = 4; i <= 6; ++i) {
+    ring.record(Zxid{1, i}, trace::Stage::kPropose, 1,
+                static_cast<TimePoint>(i * 100));
+  }
+  evs = ring.snapshot();
+  ASSERT_EQ(evs.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(evs[i].zxid.counter, i + 3) << "index " << i;
+    EXPECT_EQ(evs[i].t, static_cast<TimePoint>((i + 3) * 100));
+  }
+}
+
+TEST(TraceRing, SnapshotCodecRoundTrips) {
+  trace::TraceSnapshot snap;
+  snap.recorder = 7;
+  snap.events.push_back({Zxid{2, 9}, trace::Stage::kCommit, 3, 123456789});
+  snap.events.push_back({Zxid::zero(), trace::Stage::kElected, 7, -5});
+  const Bytes wire = trace::encode_trace_snapshot(snap);
+  const auto back = trace::decode_trace_snapshot(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->recorder, 7u);
+  ASSERT_EQ(back->events.size(), 2u);
+  EXPECT_EQ(back->events[0].zxid, (Zxid{2, 9}));
+  EXPECT_EQ(back->events[0].stage, trace::Stage::kCommit);
+  EXPECT_EQ(back->events[0].node, 3u);
+  EXPECT_EQ(back->events[0].t, 123456789);
+  EXPECT_EQ(back->events[1].t, -5);
+
+  // Malformed input: truncation and bad stage tags are rejected.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        trace::decode_trace_snapshot(
+            std::span<const std::uint8_t>(wire.data(), len))
+            .has_value())
+        << "len " << len;
+  }
+}
+
+TEST(MetricsTrace, RegistryJsonExposition) {
+  MetricsRegistry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("b.level").set(-2);
+  reg.histogram("c.lat_ns").record(1000);
+  const std::string j = reg.to_json();
+  EXPECT_NE(j.find("\"counters\":{\"a.count\":3}"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"b.level\":-2"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"c.lat_ns\":{\"count\":1"), std::string::npos) << j;
+}
+
 TEST(MetricsTrace, MntrReportHasNodeStateAndStageHistograms) {
   SimCluster c(base_config(3));
   const NodeId l = c.wait_for_leader();
