@@ -52,7 +52,7 @@ std::vector<std::uint16_t> parse_ports(const std::string& csv) {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --id N --peers p1,p2,... [--observers K] "
-               "--client-port P --data DIR [--fsync] [-v]\n",
+               "--client-port P --data DIR [--fsync] [--group-commit] [-v]\n",
                argv0);
 }
 
@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
   std::uint16_t client_port = 0;
   std::string data_dir;
   bool fsync = false;
+  bool group_commit = false;
   // kInfo unless ZAB_LOG_LEVEL overrides (see README: observability).
   logging::set_default_level(LogLevel::kInfo);
 
@@ -83,6 +84,8 @@ int main(int argc, char** argv) {
       data_dir = next();
     } else if (arg == "--fsync") {
       fsync = true;
+    } else if (arg == "--group-commit") {
+      group_commit = true;
     } else if (arg == "-v") {
       logging::set_level(LogLevel::kDebug);
     } else {
@@ -118,6 +121,9 @@ int main(int argc, char** argv) {
   storage::FileStorageOptions so;
   so.dir = data_dir;
   so.fsync = fsync;
+  if (group_commit) {
+    so.sync_mode = storage::FileStorageOptions::SyncMode::kGroupCommit;
+  }
   so.metrics = &metrics;
   auto storage_res = storage::FileStorage::open(so);
   if (!storage_res.is_ok()) {
@@ -128,6 +134,10 @@ int main(int argc, char** argv) {
   auto storage = std::move(storage_res).take();
 
   net::RuntimeEnv env(id, 0x5eed + id, *transport);
+  // Group-commit durability callbacks must run on the protocol loop
+  // (ZAB_GROUP_COMMIT=1 can select the mode even without --group-commit).
+  storage->set_completion_poster(
+      [&env](std::function<void()> fn) { env.post(std::move(fn)); });
 
   ZabConfig zc;
   zc.id = id;
@@ -176,8 +186,9 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < peer_ports.size(); ++i) {
     std::printf("%s%u", i ? "," : "", peer_ports[i]);
   }
-  std::printf("], clients on %u, data in %s%s\n", service.port(),
-              data_dir.c_str(), fsync ? " (fsync)" : "");
+  std::printf("], clients on %u, data in %s%s%s\n", service.port(),
+              data_dir.c_str(), fsync ? " (fsync)" : "",
+              group_commit ? " (group-commit)" : "");
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);

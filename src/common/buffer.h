@@ -63,6 +63,10 @@ class BufWriter {
   [[nodiscard]] const Bytes& data() const& { return buf_; }
   [[nodiscard]] Bytes take() && { return std::move(buf_); }
 
+  /// Drop the contents but keep the allocation, so one writer can be reused
+  /// as a scratch buffer across a batch of encodes.
+  void clear() { buf_.clear(); }
+
   /// Patch a previously written u32 at `offset` (frame lengths).
   void patch_u32(std::size_t offset, std::uint32_t v) {
     std::memcpy(buf_.data() + offset, &v, sizeof(v));

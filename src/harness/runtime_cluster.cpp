@@ -59,9 +59,13 @@ Status RuntimeCluster::start() {
       storage::FileStorageOptions opts;
       opts.dir = cfg_.storage_dir + "/node" + std::to_string(id);
       opts.fsync = cfg_.fsync;
+      if (cfg_.group_commit) {
+        opts.sync_mode = storage::FileStorageOptions::SyncMode::kGroupCommit;
+      }
       opts.metrics = slot->metrics.get();
       auto fs = storage::FileStorage::open(opts);
       if (!fs.is_ok()) return fs.status();
+      slot->file_storage = fs.value().get();
       slot->storage = std::move(fs).take();
     } else {
       slot->storage = std::make_unique<storage::MemStorage>();
@@ -69,6 +73,13 @@ Status RuntimeCluster::start() {
 
     slot->env = std::make_unique<net::RuntimeEnv>(id, cfg_.seed + id,
                                                   *slot->transport);
+    if (slot->file_storage) {
+      // Group-commit completions must run on the node's loop thread; in
+      // kSync mode the poster is simply never invoked.
+      net::RuntimeEnv* env = slot->env.get();
+      slot->file_storage->set_completion_poster(
+          [env](std::function<void()> fn) { env->post(std::move(fn)); });
+    }
     slots_.push_back(std::move(slot));
   }
 

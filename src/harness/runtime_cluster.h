@@ -32,6 +32,12 @@ struct RuntimeClusterConfig {
   /// loopback speed; enable in cfg below for durability experiments).
   std::string storage_dir;
   bool fsync = false;
+  /// File-backed storage only: run the async group-commit durability
+  /// pipeline (FileStorage kGroupCommit) instead of the synchronous
+  /// per-append force. The completion poster is wired to each node's loop,
+  /// so durability callbacks keep running on the protocol thread.
+  /// ZAB_GROUP_COMMIT=1 in the environment has the same effect.
+  bool group_commit = false;
   bool with_trees = true;
   /// Also expose each replica to external clients on an ephemeral TCP port
   /// (see client_port()). Implies with_trees.
@@ -108,6 +114,7 @@ class RuntimeCluster {
     std::unique_ptr<net::Transport> transport;
     std::unique_ptr<net::RuntimeEnv> env;
     std::unique_ptr<storage::ZabStorage> storage;
+    storage::FileStorage* file_storage = nullptr;  // non-null iff file-backed
     std::unique_ptr<ZabNode> node;
     std::unique_ptr<pb::ReplicatedTree> tree;
     std::unique_ptr<pb::ClientService> client;

@@ -43,9 +43,9 @@ void close_fd(int& fd) {
   }
 }
 
-void append_u32(std::deque<std::uint8_t>& q, std::uint32_t v) {
+void append_u32(Bytes& b, std::uint32_t v) {
   const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  q.insert(q.end(), p, p + 4);
+  b.insert(b.end(), p, p + 4);
 }
 
 }  // namespace
@@ -65,6 +65,7 @@ Status TcpTransport::init() {
     c_send_drops_ = &cfg_.metrics->counter("net.tcp.send_drops");
     c_connects_ = &cfg_.metrics->counter("net.tcp.connects");
     c_conn_breaks_ = &cfg_.metrics->counter("net.tcp.conn_breaks");
+    c_writev_calls_ = &cfg_.metrics->counter("net.tcp.writev_calls");
   }
   if (::pipe(wake_pipe_) != 0) return Status::io_error("pipe");
   ZAB_RETURN_IF_ERROR(set_nonblocking(wake_pipe_[0]));
@@ -138,20 +139,25 @@ void TcpTransport::wake() {
 
 void TcpTransport::send(NodeId to, Bytes payload) {
   if (payload.size() > kMaxFrame) return;
+  // Frame outside the lock: one owned buffer per message, queued whole.
+  Bytes frame;
+  frame.reserve(payload.size() + 4);
+  append_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (!running_) return;
     Outgoing& out = outgoing_[to];
-    if (out.outbuf.size() + payload.size() + 4 > cfg_.max_outbuf_bytes) {
+    if (out.queued_bytes + frame.size() > cfg_.max_outbuf_bytes) {
       if (c_send_drops_) c_send_drops_->add();
       return;  // back-pressure overflow: drop (protocol-level loss)
     }
     if (c_msgs_out_) {
       c_msgs_out_->add();
-      c_bytes_out_->add(payload.size() + 4);
+      c_bytes_out_->add(frame.size());
     }
-    append_u32(out.outbuf, static_cast<std::uint32_t>(payload.size()));
-    out.outbuf.insert(out.outbuf.end(), payload.begin(), payload.end());
+    out.queued_bytes += frame.size();
+    out.frames.push_back(std::move(frame));
   }
   wake();
 }
@@ -178,13 +184,13 @@ void TcpTransport::start_connect(NodeId peer, Outgoing& out,
   if (rc == 0 || errno == EINPROGRESS) {
     if (c_connects_) c_connects_->add();
     out.connecting = (rc != 0);
-    out.hello_sent = false;
     // Prepend the hello frame ahead of whatever is queued.
-    std::deque<std::uint8_t> hello;
+    Bytes hello;
     append_u32(hello, kHelloMagic);
     append_u32(hello, cfg_.id);
-    out.outbuf.insert(out.outbuf.begin(), hello.begin(), hello.end());
-    out.hello_sent = true;
+    out.queued_bytes += hello.size();
+    out.frames.push_front(std::move(hello));
+    out.front_sent = 0;
   } else {
     close_outgoing(out, now);
   }
@@ -194,21 +200,46 @@ void TcpTransport::close_outgoing(Outgoing& out, std::int64_t now) {
   if (out.fd >= 0 && c_conn_breaks_) c_conn_breaks_->add();
   close_fd(out.fd);
   out.connecting = false;
-  out.hello_sent = false;
-  out.outbuf.clear();  // connection broke: in-flight frames are lost
+  out.frames.clear();  // connection broke: in-flight frames are lost
+  out.queued_bytes = 0;
+  out.front_sent = 0;
   out.next_attempt_ms = now + cfg_.reconnect_ms;
 }
 
 bool TcpTransport::flush_outgoing(Outgoing& out) {
-  while (!out.outbuf.empty()) {
-    // deque is not contiguous; copy a chunk to a stack buffer.
-    std::uint8_t chunk[16384];
-    const std::size_t n = std::min(out.outbuf.size(), sizeof(chunk));
-    std::copy_n(out.outbuf.begin(), n, chunk);
-    const ssize_t w = ::send(out.fd, chunk, n, MSG_NOSIGNAL);
+  // Hand the queued frames to the kernel as one vectored write per syscall
+  // (sendmsg == writev + MSG_NOSIGNAL): a burst of PROPOSE/COMMIT frames
+  // drains without per-frame send() calls or chunk re-copies.
+  constexpr std::size_t kMaxIov = 64;
+  while (!out.frames.empty()) {
+    ::iovec iov[kMaxIov];
+    std::size_t cnt = 0;
+    for (const Bytes& f : out.frames) {
+      if (cnt == kMaxIov) break;
+      const std::size_t skip = (cnt == 0) ? out.front_sent : 0;
+      iov[cnt].iov_base = const_cast<std::uint8_t*>(f.data() + skip);
+      iov[cnt].iov_len = f.size() - skip;
+      ++cnt;
+    }
+    ::msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = cnt;
+    const ssize_t w = ::sendmsg(out.fd, &msg, MSG_NOSIGNAL);
     if (w > 0) {
-      out.outbuf.erase(out.outbuf.begin(),
-                       out.outbuf.begin() + static_cast<std::ptrdiff_t>(w));
+      if (c_writev_calls_) c_writev_calls_->add();
+      out.queued_bytes -= static_cast<std::size_t>(w);
+      auto rem = static_cast<std::size_t>(w);
+      while (rem > 0) {
+        const std::size_t left = out.frames.front().size() - out.front_sent;
+        if (rem >= left) {
+          rem -= left;
+          out.frames.pop_front();
+          out.front_sent = 0;
+        } else {
+          out.front_sent += rem;  // partial write: resume here next round
+          rem = 0;
+        }
+      }
       continue;
     }
     if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
@@ -276,17 +307,28 @@ bool TcpTransport::parse_inbound(Inbound& in) {
 
 void TcpTransport::io_loop() {
   while (true) {
-    // Snapshot state under the lock; do IO without it.
-    std::vector<std::pair<NodeId, Outgoing*>> outs;
+    // Snapshot state under the lock; do IO without it. The fd and the
+    // wants-write decision are captured here — other threads mutate
+    // Outgoing (send() queues frames) under mu_, so they must not be read
+    // again outside it.
+    struct OutSnap {
+      Outgoing* out;
+      int fd;
+      bool want_write;
+    };
+    std::vector<OutSnap> outs;
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (!running_) return;
       const std::int64_t now = now_ms();
       for (auto& [peer, out] : outgoing_) {
-        if (out.fd < 0 && !out.outbuf.empty() && now >= out.next_attempt_ms) {
+        if (out.fd < 0 && !out.frames.empty() && now >= out.next_attempt_ms) {
           start_connect(peer, out, now);
         }
-        if (out.fd >= 0) outs.emplace_back(peer, &out);
+        if (out.fd >= 0) {
+          outs.push_back(
+              {&out, out.fd, out.connecting || !out.frames.empty()});
+        }
       }
     }
 
@@ -294,10 +336,10 @@ void TcpTransport::io_loop() {
     pfds.push_back({wake_pipe_[0], POLLIN, 0});
     pfds.push_back({listen_fd_, POLLIN, 0});
     const std::size_t out_base = pfds.size();
-    for (auto& [peer, out] : outs) {
+    for (const auto& s : outs) {
       short ev = POLLIN;  // detect close
-      if (out->connecting || !out->outbuf.empty()) ev |= POLLOUT;
-      pfds.push_back({out->fd, ev, 0});
+      if (s.want_write) ev |= POLLOUT;
+      pfds.push_back({s.fd, ev, 0});
     }
     const std::size_t in_base = pfds.size();
     std::erase_if(inbound_, [](const Inbound& in) { return in.fd < 0; });
@@ -337,7 +379,7 @@ void TcpTransport::io_loop() {
       std::lock_guard<std::mutex> lk(mu_);
       const std::int64_t now = now_ms();
       for (std::size_t i = 0; i < outs.size(); ++i) {
-        Outgoing* out = outs[i].second;
+        Outgoing* out = outs[i].out;
         if (out->fd < 0) continue;
         const short rev = pfds[out_base + i].revents;
         if (rev & (POLLERR | POLLHUP)) {
@@ -354,7 +396,7 @@ void TcpTransport::io_loop() {
           }
           out->connecting = false;
         }
-        if (!out->connecting && (rev & POLLOUT || !out->outbuf.empty())) {
+        if (!out->connecting && (rev & POLLOUT || !out->frames.empty())) {
           if (!flush_outgoing(*out)) close_outgoing(*out, now);
         }
         if (rev & POLLIN) {

@@ -15,7 +15,10 @@
 //   frame:  u32 len | payload[len]            (len capped at 64 MiB)
 //
 // One IO thread per transport runs a poll() loop; send() from any thread
-// appends to the peer's output queue and wakes the loop via a pipe.
+// appends an owned frame buffer to the peer's output queue and wakes the
+// loop via a pipe. The flush path drains the whole queue with vectored
+// writes (one sendmsg covers many queued frames), counted under
+// net.tcp.writev_calls.
 #pragma once
 
 #include <cstdint>
@@ -73,8 +76,12 @@ class TcpTransport final : public Transport {
   struct Outgoing {
     int fd = -1;
     bool connecting = false;
-    bool hello_sent = false;
-    std::deque<std::uint8_t> outbuf;  // pending bytes (frames + hello)
+    /// Owned, already-framed buffers ([u32 len | payload]; the hello is just
+    /// another frame at the front). Kept whole so a flush can hand the entire
+    /// backlog to one writev instead of re-copying chunk by chunk.
+    std::deque<Bytes> frames;
+    std::size_t queued_bytes = 0;  // sum of frames[i].size()
+    std::size_t front_sent = 0;    // bytes of frames.front() already written
     std::int64_t next_attempt_ms = 0;
   };
   struct Inbound {
@@ -111,6 +118,7 @@ class TcpTransport final : public Transport {
   AtomicCounter* c_send_drops_ = nullptr;
   AtomicCounter* c_connects_ = nullptr;
   AtomicCounter* c_conn_breaks_ = nullptr;
+  AtomicCounter* c_writev_calls_ = nullptr;
 };
 
 }  // namespace zab::net

@@ -5,6 +5,12 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/metrics_registry.h"
 #include "storage/file_storage.h"
 #include "storage/mem_storage.h"
 
@@ -313,6 +319,158 @@ TEST_F(FileStorageTest, EpochFileSurvivesAtomically) {
   auto fs = open(true);
   EXPECT_EQ(fs->accepted_epoch(), 9u);
   EXPECT_EQ(fs->current_epoch(), 9u);
+}
+
+// ===================== FileStorage group commit ==============================
+
+class FileStorageGroupCommitTest : public FileStorageTest {
+ protected:
+  std::unique_ptr<FileStorage> open_gc(MetricsRegistry* reg,
+                                       std::uint64_t force_ns = 0,
+                                       std::size_t segment_bytes = 1 << 20) {
+    FileStorageOptions opts;
+    opts.dir = dir_;
+    opts.fsync = true;
+    opts.sync_mode = FileStorageOptions::SyncMode::kGroupCommit;
+    opts.simulated_force_ns = force_ns;
+    opts.segment_bytes = segment_bytes;
+    opts.metrics = reg;
+    auto r = FileStorage::open(opts);
+    EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+    return r.is_ok() ? std::move(r).take() : nullptr;
+  }
+};
+
+TEST_F(FileStorageGroupCommitTest, CallbacksInAppendOrderOnlyAfterBatchFsync) {
+  MetricsRegistry reg;
+  const AtomicCounter& fsyncs = reg.counter("storage.fsyncs");
+  constexpr int kN = 50;
+  {
+    // 2 ms per force: appends outrun the log-sync thread, so records must
+    // group under shared forces. No completion poster — callbacks run on the
+    // sync thread, hence the mutex.
+    auto fs = open_gc(&reg, /*force_ns=*/2'000'000);
+    std::mutex mu;
+    std::vector<int> order;
+    std::atomic<bool> fsync_preceded_every_cb{true};
+    for (int i = 0; i < kN; ++i) {
+      fs->append(txn(1, static_cast<std::uint32_t>(i + 1)), [&, i] {
+        // Durability contract: by callback time the covering force happened.
+        if (fsyncs.value() == 0) fsync_preceded_every_cb = false;
+        std::lock_guard<std::mutex> lk(mu);
+        order.push_back(i);
+      });
+    }
+    // Pending tail is visible before durability.
+    EXPECT_EQ(fs->last_zxid(), (Zxid{1, kN}));
+    fs->flush();
+    std::lock_guard<std::mutex> lk(mu);
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(kN));
+    for (int i = 0; i < kN; ++i) EXPECT_EQ(order[i], i);
+    EXPECT_TRUE(fsync_preceded_every_cb);
+    EXPECT_GE(fsyncs.value(), 1u);
+    EXPECT_LT(fsyncs.value(), static_cast<std::uint64_t>(kN) / 2);  // grouped
+    EXPECT_TRUE(fs->last_io_status().is_ok());
+  }
+  // Everything group-committed is recoverable.
+  auto fs = open(true);
+  EXPECT_EQ(fs->entries_in(Zxid::zero(), Zxid::max()).size(),
+            static_cast<std::size_t>(kN));
+}
+
+TEST_F(FileStorageGroupCommitTest, TruncateAfterDrainsInFlightAppends) {
+  MetricsRegistry reg;
+  {
+    auto fs = open_gc(&reg, /*force_ns=*/5'000'000);
+    std::mutex mu;
+    std::vector<int> order;
+    for (int i = 0; i < 20; ++i) {
+      fs->append(txn(1, static_cast<std::uint32_t>(i + 1)), [&, i] {
+        std::lock_guard<std::mutex> lk(mu);
+        order.push_back(i);
+      });
+    }
+    // Truncate while most of those records are still queued: the pipeline
+    // must drain first (all 20 callbacks fire, in order), then truncate.
+    ASSERT_TRUE(fs->truncate_after(Zxid{1, 5}).is_ok());
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ASSERT_EQ(order.size(), 20u);
+      for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+    }
+    EXPECT_EQ(fs->last_zxid(), (Zxid{1, 5}));
+    EXPECT_FALSE(fs->covers(Zxid{1, 6}));
+
+    // Appends continue through the pipeline after the truncate.
+    bool durable = false;
+    fs->append(txn(1, 6, "after-trunc"), [&durable] { durable = true; });
+    fs->flush();
+    EXPECT_TRUE(durable);
+    EXPECT_EQ(fs->last_zxid(), (Zxid{1, 6}));
+  }
+  auto fs = open(true);
+  const auto entries = fs->entries_in(Zxid::zero(), Zxid::max());
+  ASSERT_EQ(entries.size(), 6u);
+  EXPECT_EQ(entries.back().data, to_bytes("after-trunc"));
+}
+
+TEST_F(FileStorageGroupCommitTest, CompletionPosterReceivesDispatches) {
+  // Model an event loop with a task queue the owner drains: completions must
+  // come through the poster, not run callbacks on the sync thread.
+  MetricsRegistry reg;
+  auto fs = open_gc(&reg);
+  std::mutex mu;
+  std::vector<std::function<void()>> tasks;
+  fs->set_completion_poster([&](std::function<void()> fn) {
+    std::lock_guard<std::mutex> lk(mu);
+    tasks.push_back(std::move(fn));
+  });
+  int durable = 0;
+  for (int i = 0; i < 10; ++i) {
+    fs->append(txn(1, static_cast<std::uint32_t>(i + 1)),
+               [&durable] { ++durable; });
+  }
+  // Wait for the pipeline to go idle without dispatching: flush() would run
+  // completions itself, so poll the queue state via a posted marker instead.
+  for (int spin = 0; spin < 2000 && durable < 10; ++spin) {
+    std::vector<std::function<void()>> drained;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      drained.swap(tasks);
+    }
+    for (auto& fn : drained) fn();  // owner-thread dispatch, like post()
+    if (durable < 10) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(durable, 10);
+  fs->flush();  // idempotent once everything already dispatched
+  EXPECT_EQ(durable, 10);
+}
+
+TEST_F(FileStorageGroupCommitTest, SegmentRollsInsidePipeline) {
+  MetricsRegistry reg;
+  constexpr int kN = 64;
+  {
+    auto fs = open_gc(&reg, /*force_ns=*/0, /*segment_bytes=*/256);
+    for (int i = 0; i < kN; ++i) {
+      fs->append(txn(1, static_cast<std::uint32_t>(i + 1),
+                     std::string(100, 'p')),
+                 nullptr);
+    }
+    fs->flush();
+    EXPECT_EQ(fs->last_zxid(), (Zxid{1, kN}));
+  }
+  auto names = list_dir(dir_);
+  ASSERT_TRUE(names.is_ok());
+  int segs = 0;
+  for (const auto& nm : names.value()) {
+    if (nm.rfind("log.", 0) == 0) ++segs;
+  }
+  EXPECT_GT(segs, 1);  // rolled while records were in flight
+  auto fs = open(true);
+  EXPECT_EQ(fs->entries_in(Zxid::zero(), Zxid::max()).size(),
+            static_cast<std::size_t>(kN));
 }
 
 TEST_F(FileStorageTest, FsUtilHelpers) {
