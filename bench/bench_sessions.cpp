@@ -1,0 +1,208 @@
+// E10 — Session lifecycle costs: churn, heartbeats, expiry sweep.
+//
+// Paper artifact: §6 implementation context — ZooKeeper sessions are
+// replicated state (create/close travel the broadcast pipeline) while
+// heartbeats only touch the primary's expiry clock. This bench measures the
+// three legs separately on the simulator (deterministic, sim-time rates):
+// pipelined session create/close throughput, the pipeline cost of
+// heartbeats vs re-attaches, and the expiry sweep when a batch of sessions
+// goes silent at once.
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "harness/sim_cluster.h"
+#include "pb/replicated_tree.h"
+
+using namespace zab;
+using namespace zab::harness;
+using namespace zab::bench;
+
+namespace {
+
+struct Arm {
+  ClusterConfig cfg;
+  std::map<NodeId, std::unique_ptr<pb::ReplicatedTree>> trees;
+  std::unique_ptr<SimCluster> c;
+  NodeId leader = kNoNode;
+
+  Arm() {
+    cfg.n = 3;
+    cfg.enable_checker = false;
+    cfg.node.max_outstanding = 4096;
+    cfg.boot_hook = [this](NodeId id, ZabNode& node) {
+      trees[id] = std::make_unique<pb::ReplicatedTree>(node);
+    };
+    c = std::make_unique<SimCluster>(cfg);
+    leader = c->wait_for_leader();
+  }
+
+  void run_until_count(const std::size_t& done, std::size_t want,
+                       Duration max_wait = seconds(60)) {
+    const TimePoint dl = c->sim().now() + max_wait;
+    while (done < want && c->sim().now() < dl) c->run_for(millis(1));
+  }
+};
+
+struct ChurnResult {
+  double creates_per_sec = 0;
+  double closes_per_sec = 0;
+};
+
+ChurnResult churn(std::size_t n) {
+  Arm a;
+  if (a.leader == kNoNode) return {};
+  std::vector<std::uint64_t> sids;
+  sids.reserve(n);
+  std::size_t done = 0;
+
+  const TimePoint t0 = a.c->sim().now();
+  for (std::size_t i = 0; i < n; ++i) {
+    a.trees[a.leader]->create_session(/*timeout_ms=*/60'000,
+                                      [&](const pb::OpResult& r) {
+                                        if (r.status.is_ok()) {
+                                          sids.push_back(r.session_id);
+                                        }
+                                        ++done;
+                                      });
+  }
+  a.run_until_count(done, n);
+  const double create_secs = to_seconds(a.c->sim().now() - t0);
+
+  done = 0;
+  const TimePoint t1 = a.c->sim().now();
+  for (const std::uint64_t sid : sids) {
+    a.trees[a.leader]->close_session(sid,
+                                     [&](const pb::OpResult&) { ++done; });
+  }
+  a.run_until_count(done, sids.size());
+  const double close_secs = to_seconds(a.c->sim().now() - t1);
+
+  ChurnResult r;
+  if (create_secs > 0) {
+    r.creates_per_sec = static_cast<double>(sids.size()) / create_secs;
+  }
+  if (close_secs > 0) {
+    r.closes_per_sec = static_cast<double>(sids.size()) / close_secs;
+  }
+  return r;
+}
+
+struct HeartbeatResult {
+  std::uint64_t touch_txns = 0;   // pipeline txns caused by N heartbeats
+  std::uint64_t attach_txns = 0;  // pipeline txns caused by N re-attaches
+};
+
+HeartbeatResult heartbeats(std::size_t n) {
+  Arm a;
+  HeartbeatResult r;
+  if (a.leader == kNoNode) return r;
+  std::size_t done = 0;
+  std::uint64_t sid = 0;
+  a.trees[a.leader]->create_session(60'000, [&](const pb::OpResult& res) {
+    sid = res.session_id;
+    ++done;
+  });
+  a.run_until_count(done, 1);
+
+  // Count every txn the leader delivers during each window: heartbeats
+  // (touch_session) must stay off the pipeline, re-attaches go through it.
+  std::uint64_t delivered = 0;
+  const auto hook = a.c->add_deliver_hook(
+      [&](NodeId node, const Txn&) { delivered += node == a.leader ? 1 : 0; });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    a.trees[a.leader]->touch_session(sid);
+    if (i % 64 == 0) a.c->run_for(millis(1));
+  }
+  a.c->run_for(millis(200));
+  r.touch_txns = delivered;
+
+  delivered = 0;
+  done = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    a.trees[a.leader]->attach_session(sid,
+                                      [&](const pb::OpResult&) { ++done; });
+  }
+  a.run_until_count(done, n);
+  a.c->run_for(millis(200));
+  r.attach_txns = delivered;
+  a.c->remove_deliver_hook(hook);
+  return r;
+}
+
+struct ExpiryResult {
+  double sweep_ms = 0;        // silence -> last session closed everywhere
+  double closes_per_sec = 0;  // expiry-driven close txn rate (sim)
+};
+
+ExpiryResult expiry_sweep(std::size_t n) {
+  Arm a;
+  ExpiryResult r;
+  if (a.leader == kNoNode) return r;
+  constexpr std::uint32_t kTimeoutMs = 400;
+  std::size_t done = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    a.trees[a.leader]->create_session(kTimeoutMs,
+                                      [&](const pb::OpResult&) { ++done; });
+  }
+  a.run_until_count(done, n);
+
+  // Everyone goes silent at once; measure from last activity to the leader
+  // reporting zero live sessions (all closes committed cluster-wide).
+  const TimePoint t0 = a.c->sim().now();
+  const TimePoint dl = t0 + seconds(120);
+  while (a.trees[a.leader]->active_sessions() != 0 && a.c->sim().now() < dl) {
+    a.c->run_for(millis(5));
+  }
+  const Duration total = a.c->sim().now() - t0;
+  const Duration sweep = total - millis(kTimeoutMs);  // lease wait isn't cost
+  r.sweep_ms = to_millis(total);
+  if (sweep > 0) {
+    r.closes_per_sec = static_cast<double>(n) / to_seconds(sweep);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv, "bench_sessions");
+  quiet_logs();
+  banner("E10", "replicated session lifecycle costs",
+         "DSN'11 §6 context: sessions as replicated state, leader-only "
+         "expiry clock (3 servers, sim-time rates)");
+
+  Table t1({"sessions", "create ops/s", "close ops/s"});
+  for (std::size_t n : {64, 256, 1024}) {
+    const ChurnResult r = churn(n);
+    t1.row({fmt_int(n), fmt(r.creates_per_sec, 0), fmt(r.closes_per_sec, 0)});
+  }
+  std::printf("session churn through the broadcast pipeline\n");
+  t1.print();
+
+  Table t2({"ops", "heartbeat txns", "re-attach txns"});
+  for (std::size_t n : {256, 1024}) {
+    const HeartbeatResult r = heartbeats(n);
+    t2.row({fmt_int(n), fmt_int(r.touch_txns), fmt_int(r.attach_txns)});
+  }
+  std::printf("\npipeline cost: heartbeats (touch) vs re-attaches\n");
+  t2.print();
+  std::printf(
+      "expected shape: heartbeats broadcast nothing (0 txns); every\n"
+      "re-attach is one kTouchSession txn — which is why PINGs exist.\n");
+
+  Table t3({"sessions", "silence->all closed (ms)", "expiry closes/s"});
+  for (std::size_t n : {64, 256}) {
+    const ExpiryResult r = expiry_sweep(n);
+    t3.row({fmt_int(n), fmt(r.sweep_ms, 1), fmt(r.closes_per_sec, 0)});
+  }
+  std::printf("\nexpiry sweep: a batch of sessions goes silent at once\n");
+  t3.print();
+  std::printf(
+      "\nexpected shape: the sweep is lease wait (400 ms, bucketed to the\n"
+      "tick) plus one kCloseSession txn per session through the pipeline;\n"
+      "all replicas apply each close at the same zxid.\n");
+  return 0;
+}

@@ -26,8 +26,8 @@ using pb::RemoteClient;
 
 namespace {
 
-std::vector<RemoteClient::Endpoint> parse_servers(const std::string& csv) {
-  std::vector<RemoteClient::Endpoint> out;
+std::vector<pb::Endpoint> parse_servers(const std::string& csv) {
+  std::vector<pb::Endpoint> out;
   std::size_t pos = 0;
   while (pos < csv.size()) {
     const auto comma = csv.find(',', pos);
@@ -55,7 +55,7 @@ int fail(const Status& st) {
 
 int main(int argc, char** argv) {
   logging::set_default_level(LogLevel::kError);
-  std::vector<RemoteClient::Endpoint> servers;
+  std::vector<pb::Endpoint> servers;
   std::vector<std::string> args;
   bool sequential = false;
   bool json = false;
@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  RemoteClient client(servers, seconds(10));
+  RemoteClient client(pb::ClientConfig{.servers = servers, .op_timeout = seconds(10)});
   const std::string& cmd = args[0];
 
   if (cmd == "create" && args.size() >= 2) {
@@ -98,17 +98,17 @@ int main(int argc, char** argv) {
   if (cmd == "set" && args.size() >= 3) {
     const std::int64_t version =
         args.size() > 3 ? std::strtoll(args[3].c_str(), nullptr, 10) : -1;
-    const Status st = client.set(args[1], to_bytes(args[2]), version);
-    if (!st.is_ok()) return fail(st);
-    std::printf("ok\n");
+    auto r = client.set(args[1], to_bytes(args[2]), version);
+    if (!r.is_ok()) return fail(r.status());
+    std::printf("ok at %s\n", to_string(r.value()).c_str());
     return 0;
   }
   if (cmd == "rm" && args.size() >= 2) {
     const std::int64_t version =
         args.size() > 2 ? std::strtoll(args[2].c_str(), nullptr, 10) : -1;
-    const Status st = client.remove(args[1], version);
-    if (!st.is_ok()) return fail(st);
-    std::printf("ok\n");
+    auto r = client.remove(args[1], version);
+    if (!r.is_ok()) return fail(r.status());
+    std::printf("ok at %s\n", to_string(r.value()).c_str());
     return 0;
   }
   if (cmd == "ls" && args.size() == 2) {
@@ -147,7 +147,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "leader") {
     for (std::size_t i = 0; i < servers.size(); ++i) {
-      RemoteClient one({servers[i]}, seconds(2));
+      RemoteClient one(pb::ClientConfig{.servers = {servers[i]}, .op_timeout = seconds(2)});
       auto r = one.ping_is_leader();
       std::printf("%s:%u -> %s\n", servers[i].host.c_str(), servers[i].port,
                   !r.is_ok()        ? "unreachable"
@@ -162,7 +162,7 @@ int main(int argc, char** argv) {
     // With --json each server contributes one JSON object (one per line).
     int rc = 0;
     for (std::size_t i = 0; i < servers.size(); ++i) {
-      RemoteClient one({servers[i]}, seconds(2));
+      RemoteClient one(pb::ClientConfig{.servers = {servers[i]}, .op_timeout = seconds(2)});
       if (!json) {
         std::printf("--- %s:%u ---\n", servers[i].host.c_str(),
                     servers[i].port);
@@ -187,7 +187,7 @@ int main(int argc, char** argv) {
     std::map<NodeId, std::int64_t> offsets;
     std::vector<trace::TraceSnapshot> snaps;
     for (std::size_t i = 0; i < servers.size(); ++i) {
-      RemoteClient one({servers[i]}, seconds(2));
+      RemoteClient one(pb::ClientConfig{.servers = {servers[i]}, .op_timeout = seconds(2)});
       auto r = one.trace_snapshot();
       if (!r.is_ok()) {
         std::fprintf(stderr, "warning: %s:%u unreachable: %s\n",

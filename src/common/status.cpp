@@ -16,6 +16,7 @@ const char* code_name(Code c) {
     case Code::kExists: return "Exists";
     case Code::kBadVersion: return "BadVersion";
     case Code::kInternal: return "Internal";
+    case Code::kSessionExpired: return "SessionExpired";
   }
   return "Unknown";
 }

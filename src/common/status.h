@@ -25,6 +25,7 @@ enum class Code {
   kExists,
   kBadVersion,
   kInternal,
+  kSessionExpired,
 };
 
 [[nodiscard]] const char* code_name(Code c);
@@ -68,6 +69,9 @@ class Status {
   }
   [[nodiscard]] static Status internal(std::string m = {}) {
     return {Code::kInternal, std::move(m)};
+  }
+  [[nodiscard]] static Status session_expired(std::string m = {}) {
+    return {Code::kSessionExpired, std::move(m)};
   }
 
   [[nodiscard]] bool is_ok() const { return code_ == Code::kOk; }

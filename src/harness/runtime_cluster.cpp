@@ -232,6 +232,11 @@ void RuntimeCluster::unmute_node(NodeId id) {
   slots_.at(id - 1)->muted.store(false, std::memory_order_relaxed);
 }
 
+void RuntimeCluster::stop_client_service(NodeId id) {
+  Slot& s = *slots_.at(id - 1);
+  if (s.client) s.client->stop();
+}
+
 MetricsSnapshot RuntimeCluster::metrics_snapshot(NodeId id) {
   // Snapshot on the loop thread: histograms are loop-owned.
   MetricsSnapshot snap;

@@ -106,6 +106,12 @@ class RuntimeCluster {
   void mute_node(NodeId id);
   void unmute_node(NodeId id);
 
+  /// Tear down one node's client service: kills its client connections and
+  /// stops accepting new ones. Combined with mute_node this simulates a
+  /// full server crash from a client's point of view — connected clients
+  /// must rotate to another replica and re-attach their sessions.
+  void stop_client_service(NodeId id);
+
  private:
   struct Slot {
     NodeId id = kNoNode;

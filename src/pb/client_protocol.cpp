@@ -3,9 +3,45 @@
 namespace zab::pb {
 
 namespace {
-constexpr std::uint8_t kReqTag = 0x43;    // 'C'
-constexpr std::uint8_t kRespTag = 0x63;   // 'c'
-constexpr std::uint8_t kWatchTag = 0x57;  // 'W'
+constexpr std::uint8_t kReqTag = 0x43;      // 'C'
+constexpr std::uint8_t kRespTag = 0x63;     // 'c'
+constexpr std::uint8_t kWatchTag = 0x57;    // 'W'
+constexpr std::uint8_t kConnectTag = 0x48;  // 'H' (handshake)
+constexpr std::uint8_t kConnectAckTag = 0x68;  // 'h'
+constexpr std::uint8_t kPingTag = 0x50;     // 'P'
+constexpr std::uint8_t kPongTag = 0x70;     // 'p'
+
+void put_header(BufWriter& w, std::uint8_t tag) {
+  w.u8(kWireMagic);
+  w.u8(kWireVersion);
+  w.u8(tag);
+}
+
+/// Consumes the 3-byte header, expecting `tag`. A frame starting with one
+/// of the retired v1 tag bytes gets a deliberate, actionable error: v1
+/// frames had no magic, so their first byte lands where v2 keeps the magic.
+Status check_header(BufReader& r, std::uint8_t tag, const char* what) {
+  const std::uint8_t b0 = r.u8();
+  if (b0 == kReqTag || b0 == kRespTag || b0 == kWatchTag) {
+    return Status::corruption(
+        "unversioned v1 client frame; this server speaks protocol v2 "
+        "(sessions) — upgrade the client library");
+  }
+  if (b0 != kWireMagic) {
+    return Status::corruption(std::string("not a client frame (bad magic), "
+                                          "expected ") +
+                              what);
+  }
+  if (const auto v = r.u8(); v != kWireVersion) {
+    return Status::corruption("unsupported client protocol version " +
+                              std::to_string(int{v}) + " (this server: v" +
+                              std::to_string(int{kWireVersion}) + ")");
+  }
+  if (r.u8() != tag) {
+    return Status::corruption(std::string("unexpected frame, wanted ") + what);
+  }
+  return Status::ok();
+}
 
 void encode_stat(BufWriter& w, const Stat& s) {
   w.zxid(s.czxid);
@@ -31,9 +67,25 @@ Stat decode_stat(BufReader& r) {
 
 }  // namespace
 
+FrameType classify_frame(std::span<const std::uint8_t> wire) {
+  if (wire.size() < 3 || wire[0] != kWireMagic || wire[1] != kWireVersion) {
+    return FrameType::kInvalid;
+  }
+  switch (wire[2]) {
+    case kReqTag: return FrameType::kRequest;
+    case kRespTag: return FrameType::kResponse;
+    case kWatchTag: return FrameType::kWatchEvent;
+    case kConnectTag: return FrameType::kConnect;
+    case kConnectAckTag: return FrameType::kConnectAck;
+    case kPingTag: return FrameType::kPing;
+    case kPongTag: return FrameType::kPong;
+    default: return FrameType::kInvalid;
+  }
+}
+
 Bytes encode_client_request(const ClientRequest& r) {
   BufWriter w(64);
-  w.u8(kReqTag);
+  put_header(w, kReqTag);
   w.u64(r.xid);
   w.u8(static_cast<std::uint8_t>(r.kind));
   w.str(r.path);
@@ -53,11 +105,13 @@ Bytes encode_client_request(const ClientRequest& r) {
 Result<ClientRequest> decode_client_request(
     std::span<const std::uint8_t> wire) {
   BufReader r(wire);
-  if (r.u8() != kReqTag) return Status::corruption("not a ClientRequest");
+  if (Status st = check_header(r, kReqTag, "ClientRequest"); !st.is_ok()) {
+    return st;
+  }
   ClientRequest out;
   out.xid = r.u64();
   const auto kind = r.u8();
-  if (kind < 1 || kind > 8) return Status::corruption("bad request kind");
+  if (kind < 1 || kind > 9) return Status::corruption("bad request kind");
   out.kind = static_cast<ClientOpKind>(kind);
   out.path = r.str();
   const auto n = r.varint();
@@ -81,7 +135,7 @@ Result<ClientRequest> decode_client_request(
 
 Bytes encode_client_response(const ClientResponse& r) {
   BufWriter w(64);
-  w.u8(kRespTag);
+  put_header(w, kRespTag);
   w.u64(r.xid);
   w.u8(static_cast<std::uint8_t>(r.code));
   w.bytes(r.data);
@@ -98,7 +152,9 @@ Bytes encode_client_response(const ClientResponse& r) {
 Result<ClientResponse> decode_client_response(
     std::span<const std::uint8_t> wire) {
   BufReader r(wire);
-  if (r.u8() != kRespTag) return Status::corruption("not a ClientResponse");
+  if (Status st = check_header(r, kRespTag, "ClientResponse"); !st.is_ok()) {
+    return st;
+  }
   ClientResponse out;
   out.xid = r.u64();
   out.code = static_cast<Code>(r.u8());
@@ -117,7 +173,7 @@ Result<ClientResponse> decode_client_response(
 
 Bytes encode_watch_event(const WatchEventMsg& w) {
   BufWriter out(w.path.size() + 8);
-  out.u8(kWatchTag);
+  put_header(out, kWatchTag);
   out.u8(static_cast<std::uint8_t>(w.event));
   out.str(w.path);
   return std::move(out).take();
@@ -125,7 +181,9 @@ Bytes encode_watch_event(const WatchEventMsg& w) {
 
 Result<WatchEventMsg> decode_watch_event(std::span<const std::uint8_t> wire) {
   BufReader r(wire);
-  if (r.u8() != kWatchTag) return Status::corruption("not a WatchEvent");
+  if (Status st = check_header(r, kWatchTag, "WatchEvent"); !st.is_ok()) {
+    return st;
+  }
   WatchEventMsg out;
   const auto ev = r.u8();
   if (ev > static_cast<std::uint8_t>(WatchEvent::kChildrenChanged)) {
@@ -138,7 +196,101 @@ Result<WatchEventMsg> decode_watch_event(std::span<const std::uint8_t> wire) {
 }
 
 bool is_watch_event_frame(std::span<const std::uint8_t> wire) {
-  return !wire.empty() && wire[0] == kWatchTag;
+  return classify_frame(wire) == FrameType::kWatchEvent;
+}
+
+Bytes encode_connect_request(const ConnectRequest& r) {
+  BufWriter w(32);
+  put_header(w, kConnectTag);
+  w.u64(r.session_id);
+  w.u32(r.timeout_ms);
+  w.u64(r.last_zxid);
+  return std::move(w).take();
+}
+
+Result<ConnectRequest> decode_connect_request(
+    std::span<const std::uint8_t> wire) {
+  BufReader r(wire);
+  if (Status st = check_header(r, kConnectTag, "ConnectRequest");
+      !st.is_ok()) {
+    return st;
+  }
+  ConnectRequest out;
+  out.session_id = r.u64();
+  out.timeout_ms = r.u32();
+  out.last_zxid = r.u64();
+  if (!r.ok() || !r.at_end()) return Status::corruption("short ConnectRequest");
+  return out;
+}
+
+Bytes encode_connect_response(const ConnectResponse& r) {
+  BufWriter w(32);
+  put_header(w, kConnectAckTag);
+  w.u8(static_cast<std::uint8_t>(r.code));
+  w.u64(r.session_id);
+  w.u32(r.timeout_ms);
+  w.boolean(r.reattached);
+  w.u64(r.last_zxid);
+  return std::move(w).take();
+}
+
+Result<ConnectResponse> decode_connect_response(
+    std::span<const std::uint8_t> wire) {
+  BufReader r(wire);
+  if (Status st = check_header(r, kConnectAckTag, "ConnectResponse");
+      !st.is_ok()) {
+    return st;
+  }
+  ConnectResponse out;
+  out.code = static_cast<Code>(r.u8());
+  out.session_id = r.u64();
+  out.timeout_ms = r.u32();
+  out.reattached = r.boolean();
+  out.last_zxid = r.u64();
+  if (!r.ok() || !r.at_end()) {
+    return Status::corruption("short ConnectResponse");
+  }
+  return out;
+}
+
+Bytes encode_ping_request(const PingRequest& r) {
+  BufWriter w(16);
+  put_header(w, kPingTag);
+  w.u64(r.session_id);
+  return std::move(w).take();
+}
+
+Result<PingRequest> decode_ping_request(std::span<const std::uint8_t> wire) {
+  BufReader r(wire);
+  if (Status st = check_header(r, kPingTag, "PingRequest"); !st.is_ok()) {
+    return st;
+  }
+  PingRequest out;
+  out.session_id = r.u64();
+  if (!r.ok() || !r.at_end()) return Status::corruption("short PingRequest");
+  return out;
+}
+
+Bytes encode_ping_response(const PingResponse& r) {
+  BufWriter w(16);
+  put_header(w, kPongTag);
+  w.u8(static_cast<std::uint8_t>(r.code));
+  w.u64(r.session_id);
+  w.boolean(r.is_leader);
+  return std::move(w).take();
+}
+
+Result<PingResponse> decode_ping_response(std::span<const std::uint8_t> wire) {
+  BufReader r(wire);
+  if (Status st = check_header(r, kPongTag, "PingResponse"); !st.is_ok()) {
+    return st;
+  }
+  PingResponse out;
+  out.code = static_cast<Code>(r.u8());
+  out.session_id = r.u64();
+  out.is_leader = r.boolean();
+  if (!r.ok() || !r.at_end()) return Status::corruption("short PingResponse");
+  return out;
 }
 
 }  // namespace zab::pb

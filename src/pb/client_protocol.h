@@ -1,10 +1,22 @@
 // Wire protocol between external clients and replica servers.
 //
-// Framing: u32 length prefix, then one encoded request/response. Every
-// request carries a client-chosen xid echoed in the response. Writes are
-// executed through the replicated pipeline (any server forwards to the
-// primary); reads are served from the contacted server's local tree
-// (ZooKeeper's consistency: sequential per client, not linearizable).
+// Framing: u32 length prefix, then one frame. Every frame opens with a
+// 3-byte versioned header — magic 0x5A ('Z'), protocol version, frame tag —
+// so incompatible clients fail fast with a clear error instead of a silent
+// misparse. Version history:
+//
+//   v1  (retired)  bare tag byte, no session handshake
+//   v2             versioned header; ConnectRequest/ConnectResponse session
+//                  handshake, PingRequest/PingResponse heartbeats, per-op
+//                  xid replay after reconnect
+//
+// Every request carries a client-chosen xid echoed in the response; for
+// writes the xid doubles as the session's cxid (assigned once per logical
+// op, reused across retries) so a replayed in-flight write is answered from
+// the recorded outcome instead of re-executed. Writes are executed through
+// the replicated pipeline (any server forwards to the primary); reads are
+// served from the contacted server's local tree (ZooKeeper's consistency:
+// sequential per client, not linearizable).
 #pragma once
 
 #include <optional>
@@ -17,6 +29,23 @@
 #include "pb/ops.h"
 
 namespace zab::pb {
+
+/// First two bytes of every v2 frame.
+inline constexpr std::uint8_t kWireMagic = 0x5A;  // 'Z'
+inline constexpr std::uint8_t kWireVersion = 2;
+
+/// What a received frame is, decided from the 3-byte header alone.
+enum class FrameType : std::uint8_t {
+  kInvalid = 0,
+  kRequest,
+  kResponse,
+  kWatchEvent,
+  kConnect,
+  kConnectAck,
+  kPing,
+  kPong,
+};
+[[nodiscard]] FrameType classify_frame(std::span<const std::uint8_t> wire);
 
 enum class ClientOpKind : std::uint8_t {
   kWrite = 1,        // one or more Ops (multi when >1), atomic
@@ -31,6 +60,38 @@ enum class ClientOpKind : std::uint8_t {
                      // TraceSnapshot (common/trace.h); on the leader,
                      // response.paths carries "id:offset_ns" clock-offset
                      // estimates for the cross-node merge
+  kCloseSession = 9, // graceful close: the session + its ephemerals die now
+                     // instead of waiting out the expiry clock
+};
+
+/// Opens (or resumes) a session on a connection; must be the first frame.
+struct ConnectRequest {
+  std::uint64_t session_id = 0;  // 0 = mint a new session
+  std::uint32_t timeout_ms = 0;  // requested lease (the primary clamps it)
+  /// Highest packed zxid this client has observed. A server whose local
+  /// state is older refuses the attach (kNotReady): re-attaching there
+  /// could travel back in time and break replay dedup.
+  std::uint64_t last_zxid = 0;
+};
+
+struct ConnectResponse {
+  Code code = Code::kOk;
+  std::uint64_t session_id = 0;  // resolved id (echo or freshly minted)
+  std::uint32_t timeout_ms = 0;  // granted lease
+  bool reattached = false;       // true: existing session resumed
+  std::uint64_t last_zxid = 0;   // server's last delivered zxid (packed)
+};
+
+/// Session heartbeat: refreshes the primary's expiry clock for this session
+/// without entering the broadcast pipeline.
+struct PingRequest {
+  std::uint64_t session_id = 0;
+};
+
+struct PingResponse {
+  Code code = Code::kOk;  // kSessionExpired once the session is gone
+  std::uint64_t session_id = 0;
+  bool is_leader = false;  // does the contacted server lead?
 };
 
 struct ClientRequest {
@@ -75,5 +136,21 @@ struct ClientResponse {
     std::span<const std::uint8_t> wire);
 /// True if the frame is a watch-event push (vs. a response).
 [[nodiscard]] bool is_watch_event_frame(std::span<const std::uint8_t> wire);
+
+[[nodiscard]] Bytes encode_connect_request(const ConnectRequest& r);
+[[nodiscard]] Result<ConnectRequest> decode_connect_request(
+    std::span<const std::uint8_t> wire);
+
+[[nodiscard]] Bytes encode_connect_response(const ConnectResponse& r);
+[[nodiscard]] Result<ConnectResponse> decode_connect_response(
+    std::span<const std::uint8_t> wire);
+
+[[nodiscard]] Bytes encode_ping_request(const PingRequest& r);
+[[nodiscard]] Result<PingRequest> decode_ping_request(
+    std::span<const std::uint8_t> wire);
+
+[[nodiscard]] Bytes encode_ping_response(const PingResponse& r);
+[[nodiscard]] Result<PingResponse> decode_ping_response(
+    std::span<const std::uint8_t> wire);
 
 }  // namespace zab::pb

@@ -27,7 +27,9 @@ bool set_nonblocking(int fd) {
 }  // namespace
 
 ClientService::ClientService(net::RuntimeEnv& env, ReplicatedTree& tree)
-    : env_(&env), tree_(&tree) {}
+    : env_(&env), tree_(&tree) {
+  c_reconnects_ = &tree.node().metrics().counter("pb.client.reconnects");
+}
 
 ClientService::~ClientService() { stop(); }
 
@@ -57,13 +59,6 @@ Status ClientService::start(const std::string& host, std::uint16_t port) {
   socklen_t blen = sizeof(bound);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
   port_ = ntohs(bound.sin_port);
-
-  // Session ids are (startup-time ^ port) + connection counter: unique
-  // across server restarts, so a recovered tree's stale ephemerals can
-  // never collide with live sessions.
-  session_base_ = (static_cast<std::uint64_t>(env_->now()) << 16) ^
-                  (static_cast<std::uint64_t>(port_) << 1);
-  if (session_base_ == 0) session_base_ = 1;
 
   running_ = true;
   io_thread_ = std::thread([this] { io_loop(); });
@@ -141,24 +136,137 @@ void ClientService::register_watch(std::uint64_t conn_id, ClientOpKind kind,
 }
 
 void ClientService::on_disconnect(std::uint64_t conn_id) {
-  // The connection IS the session: reap its ephemerals via a replicated
-  // close-session txn. (Deviation from ZooKeeper, which keeps sessions
-  // alive across reconnects until a timeout; see docs/PROTOCOL.md.)
-  env_->post([this, conn_id] {
-    tree_->close_session(conn_id, nullptr);
+  // Sessions outlive connections (ZooKeeper semantics): only the primary's
+  // expiry clock or a graceful kCloseSession reaps the ephemerals. Here we
+  // just forget the binding.
+  env_->post([this, conn_id] { conn_session_.erase(conn_id); });
+}
+
+std::uint64_t ClientService::session_of(std::uint64_t conn_id) const {
+  auto it = conn_session_.find(conn_id);
+  return it == conn_session_.end() ? 0 : it->second;
+}
+
+void ClientService::handle_connect(std::uint64_t conn_id,
+                                   const ConnectRequest& req) {
+  const std::uint64_t local_last = tree_->node().last_delivered().packed();
+  if (req.last_zxid > local_last) {
+    // This replica lags what the client already observed; attaching here
+    // would let its session travel back in time (and break replay dedup).
+    // The client rotates to a caught-up server.
+    ConnectResponse resp;
+    resp.code = Code::kNotReady;
+    resp.last_zxid = local_last;
+    push_frame(conn_id, encode_connect_response(resp));
+    return;
+  }
+  if (req.session_id != 0) {
+    // Attach-or-create. The attach runs through the pipeline as a
+    // kTouchSession txn, so an expiry racing with it is decided by zxid
+    // order — and by the time it commits, this replica has applied every
+    // txn the session committed before reconnecting (replay dedup relies
+    // on that).
+    tree_->attach_session(
+        req.session_id, [this, conn_id, req](const OpResult& r) {
+          if (r.status.is_ok()) {
+            c_reconnects_->add();
+            finish_connect(conn_id, r.session_id, /*reattached=*/true);
+            return;
+          }
+          // Expired or unknown: fall back to minting a fresh session.
+          tree_->create_session(req.timeout_ms, [this,
+                                                conn_id](const OpResult& c) {
+            if (!c.status.is_ok()) {
+              ConnectResponse resp;
+              resp.code = c.status.code();
+              push_frame(conn_id, encode_connect_response(resp));
+              return;
+            }
+            finish_connect(conn_id, c.session_id, /*reattached=*/false);
+          });
+        });
+    return;
+  }
+  tree_->create_session(req.timeout_ms, [this, conn_id](const OpResult& r) {
+    if (!r.status.is_ok()) {
+      ConnectResponse resp;
+      resp.code = r.status.code();
+      push_frame(conn_id, encode_connect_response(resp));
+      return;
+    }
+    finish_connect(conn_id, r.session_id, /*reattached=*/false);
   });
+}
+
+void ClientService::finish_connect(std::uint64_t conn_id,
+                                   std::uint64_t session_id, bool reattached) {
+  conn_session_[conn_id] = session_id;
+  ConnectResponse resp;
+  resp.session_id = session_id;
+  resp.reattached = reattached;
+  resp.last_zxid = tree_->node().last_delivered().packed();
+  // The create/touch txn has applied locally by now, so the granted lease
+  // is in the replicated table.
+  if (const SessionInfo* info = tree_->tree().session(session_id)) {
+    resp.timeout_ms = info->timeout_ms;
+  }
+  push_frame(conn_id, encode_connect_response(resp));
+}
+
+void ClientService::handle_ping(std::uint64_t conn_id,
+                                const PingRequest& req) {
+  PingResponse resp;
+  resp.session_id = req.session_id != 0 ? req.session_id
+                                        : session_of(conn_id);
+  if (resp.session_id != 0) {
+    if (tree_->session_alive(resp.session_id)) {
+      tree_->touch_session(resp.session_id);
+    } else {
+      resp.code = Code::kSessionExpired;
+    }
+  }
+  resp.is_leader = tree_->node().is_active_leader();
+  push_frame(conn_id, encode_ping_response(resp));
 }
 
 void ClientService::dispatch(std::uint64_t conn_id, Bytes frame) {
   env_->post([this, conn_id, frame = std::move(frame)] {
-    auto req = decode_client_request(frame);
-    if (!req.is_ok()) {
-      ClientResponse resp;
-      resp.code = Code::kInvalidArgument;
-      respond(conn_id, resp);
-      return;
+    switch (classify_frame(frame)) {
+      case FrameType::kConnect: {
+        if (auto req = decode_connect_request(frame); req.is_ok()) {
+          handle_connect(conn_id, req.value());
+          return;
+        }
+        break;
+      }
+      case FrameType::kPing: {
+        if (auto req = decode_ping_request(frame); req.is_ok()) {
+          handle_ping(conn_id, req.value());
+          return;
+        }
+        break;
+      }
+      default: {
+        auto req = decode_client_request(frame);
+        if (req.is_ok()) {
+          execute(conn_id, req.value());
+          return;
+        }
+        // Undecodable — includes retired v1 frames. Ship the decode error's
+        // message in `data` so old clients see why, not just a code.
+        ZAB_WARN() << "rejecting client frame: "
+                   << req.status().to_string();
+        ClientResponse resp;
+        resp.code = Code::kInvalidArgument;
+        const std::string msg = req.status().to_string();
+        resp.data.assign(msg.begin(), msg.end());
+        respond(conn_id, resp);
+        return;
+      }
     }
-    execute(conn_id, req.value());
+    ClientResponse resp;
+    resp.code = Code::kInvalidArgument;
+    respond(conn_id, resp);
   });
 }
 
@@ -201,6 +309,9 @@ void ClientService::execute(std::uint64_t conn_id, const ClientRequest& req) {
     }
     case ClientOpKind::kPing: {
       resp.is_leader = tree_->node().is_active_leader();
+      if (const std::uint64_t sid = session_of(conn_id); sid != 0) {
+        tree_->touch_session(sid);
+      }
       break;
     }
     case ClientOpKind::kMntr: {
@@ -237,6 +348,19 @@ void ClientService::execute(std::uint64_t conn_id, const ClientRequest& req) {
         resp.code = Code::kInvalidArgument;
         break;
       }
+      const std::uint64_t sid = session_of(conn_id);
+      // Replay dedup: the client reuses one xid per logical write across
+      // retries, and every replica records the committed outcome against
+      // (session, cxid). A session's attach txn is ordered after all its
+      // committed writes, so by the time a reconnected client replays, the
+      // recorded answer (if any) is visible here.
+      if (const SessionInfo* info = tree_->tree().session(sid);
+          info != nullptr && req.xid != 0 && info->last_cxid == req.xid) {
+        resp.code = static_cast<Code>(info->last_code);
+        resp.zxid = Zxid::from_packed(info->last_zxid);
+        if (!info->last_path.empty()) resp.paths.push_back(info->last_path);
+        break;
+      }
       const std::uint64_t xid = req.xid;
       tree_->submit_multi(
           req.ops,
@@ -250,7 +374,24 @@ void ClientService::execute(std::uint64_t conn_id, const ClientRequest& req) {
             for (const auto& p : r.paths) out.paths.push_back(p);
             respond(conn_id, out);
           },
-          /*session=*/conn_id);
+          /*session=*/sid, /*cxid=*/req.xid);
+      return;  // reply happens at commit time
+    }
+    case ClientOpKind::kCloseSession: {
+      const std::uint64_t sid = session_of(conn_id);
+      if (sid == 0) {
+        resp.code = Code::kSessionExpired;
+        break;
+      }
+      const std::uint64_t xid = req.xid;
+      conn_session_.erase(conn_id);
+      tree_->close_session(sid, [this, conn_id, xid](const OpResult& r) {
+        ClientResponse out;
+        out.xid = xid;
+        out.code = r.status.code();
+        out.zxid = r.zxid;
+        respond(conn_id, out);
+      });
       return;  // reply happens at commit time
     }
   }
@@ -327,7 +468,7 @@ void ClientService::io_loop() {
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
         Conn c;
         c.fd = fd;
-        c.id = session_base_ + next_conn_id_++;
+        c.id = next_conn_id_++;
         conns_.push_back(std::move(c));
       }
     }

@@ -1,6 +1,14 @@
 // Server-side client service: accepts external client connections on a TCP
 // port and executes their requests against the local replica.
 //
+// Connections and sessions are decoupled (protocol v2): a connection opens
+// with a ConnectRequest handshake that attaches to an existing replicated
+// session or mints a new one through the broadcast pipeline; losing the
+// connection does NOT close the session — only the primary's expiry clock
+// (or a graceful kCloseSession) does, so ephemerals survive a reconnect
+// within the session timeout. PING frames refresh the lease without
+// entering the pipeline.
+//
 // Reads (getData/exists/getChildren/stat) are answered from the local tree;
 // writes enter the replicated pipeline (forwarded to the primary if this
 // server follows) and are answered when the txn commits. Request execution
@@ -14,6 +22,7 @@
 #include <map>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "net/runtime_env.h"
@@ -38,7 +47,7 @@ class ClientService {
  private:
   struct Conn {
     int fd = -1;
-    std::uint64_t id = 0;  // doubles as the connection's session id
+    std::uint64_t id = 0;  // connection id only; sessions live separately
     std::vector<std::uint8_t> in;
     std::deque<std::uint8_t> out;
   };
@@ -50,7 +59,16 @@ class ClientService {
   void dispatch(std::uint64_t conn_id, Bytes frame);
   /// Replica loop thread: run one request, reply when the result is known.
   void execute(std::uint64_t conn_id, const ClientRequest& req);
-  /// IO thread: the connection died; its session's ephemerals must go.
+  /// Replica loop: session handshake — attach-or-create.
+  void handle_connect(std::uint64_t conn_id, const ConnectRequest& req);
+  void finish_connect(std::uint64_t conn_id, std::uint64_t session_id,
+                      bool reattached);
+  /// Replica loop: heartbeat — refresh the lease, report leadership.
+  void handle_ping(std::uint64_t conn_id, const PingRequest& req);
+  /// Session bound to `conn_id` by its handshake (0 = none).
+  [[nodiscard]] std::uint64_t session_of(std::uint64_t conn_id) const;
+  /// IO thread: the connection died. The session stays alive — the expiry
+  /// clock (or a graceful close) reaps it, not the TCP teardown.
   void on_disconnect(std::uint64_t conn_id);
   /// Any thread: queue a response for a connection and wake the IO thread.
   void respond(std::uint64_t conn_id, const ClientResponse& resp);
@@ -74,8 +92,11 @@ class ClientService {
 
   // IO-thread local.
   std::vector<Conn> conns_;
-  std::uint64_t session_base_ = 0;  // makes session ids unique across runs
   std::uint64_t next_conn_id_ = 1;
+
+  // Replica-loop local: which session each connection authenticated as.
+  std::unordered_map<std::uint64_t, std::uint64_t> conn_session_;
+  AtomicCounter* c_reconnects_ = nullptr;  // handshakes that re-attached
 };
 
 }  // namespace zab::pb

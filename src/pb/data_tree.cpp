@@ -143,6 +143,34 @@ std::vector<std::string> DataTree::ephemerals_of(std::uint64_t session) const {
   return std::vector<std::string>(it->second.begin(), it->second.end());
 }
 
+Status DataTree::apply_create_session(std::uint64_t id,
+                                      std::uint32_t timeout_ms) {
+  if (id == 0) return Status::invalid_argument("session id 0 is reserved");
+  SessionInfo& s = sessions_[id];  // idempotent replay keeps last-result data
+  s.timeout_ms = timeout_ms;
+  return Status::ok();
+}
+
+void DataTree::remove_session(std::uint64_t id) { sessions_.erase(id); }
+
+const SessionInfo* DataTree::session(std::uint64_t id) const {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+void DataTree::note_session_result(std::uint64_t id, std::uint64_t cxid,
+                                   std::uint64_t zxid_packed,
+                                   std::uint8_t code,
+                                   const std::string& path) {
+  if (cxid == 0) return;
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  it->second.last_cxid = cxid;
+  it->second.last_zxid = zxid_packed;
+  it->second.last_code = code;
+  it->second.last_path = path;
+}
+
 void DataTree::watch_data(const std::string& path, Watcher w) {
   data_watches_[path].push_back(std::move(w));
 }
@@ -175,6 +203,17 @@ Bytes DataTree::serialize() const {
     w.u32(n.cversion);
     w.u64(n.owner);
   }
+  // Session table section (appended after the node list; absent in legacy
+  // snapshots, which deserialize() still accepts).
+  w.varint(sessions_.size());
+  for (const auto& [id, s] : sessions_) {
+    w.u64(id);
+    w.u32(s.timeout_ms);
+    w.u64(s.last_cxid);
+    w.u64(s.last_zxid);
+    w.u8(s.last_code);
+    w.str(s.last_path);
+  }
   return std::move(w).take();
 }
 
@@ -195,6 +234,21 @@ Status DataTree::deserialize(std::span<const std::uint8_t> blob) {
     if (!r.ok()) return Status::corruption("truncated tree snapshot");
     nodes[path] = std::move(n);
   }
+  std::map<std::uint64_t, SessionInfo> sessions;
+  if (!r.at_end()) {  // legacy snapshots end here: no session section
+    const auto nsessions = r.varint();
+    for (std::uint64_t i = 0; i < nsessions; ++i) {
+      const std::uint64_t id = r.u64();
+      SessionInfo s;
+      s.timeout_ms = r.u32();
+      s.last_cxid = r.u64();
+      s.last_zxid = r.u64();
+      s.last_code = r.u8();
+      s.last_path = r.str();
+      if (!r.ok()) return Status::corruption("truncated session table");
+      sessions[id] = std::move(s);
+    }
+  }
   if (!r.ok() || !r.at_end()) return Status::corruption("trailing bytes");
   // Rebuild child links.
   for (auto& [path, n] : nodes) n.children.clear();
@@ -208,6 +262,7 @@ Status DataTree::deserialize(std::span<const std::uint8_t> blob) {
   for (const auto& [path, n] : nodes_) {
     if (n.owner != 0) ephemerals_[n.owner].insert(path);
   }
+  sessions_ = std::move(sessions);
   return Status::ok();
 }
 

@@ -44,6 +44,20 @@ enum class WatchEvent : std::uint8_t {
   kChildrenChanged,
 };
 
+/// Replicated per-session record. The table is part of the application state
+/// machine: create/close-session txns mutate it identically on every replica,
+/// so it rides snapshots and survives leader failover. The last-result
+/// fields implement request replay: a reconnecting client that resends its
+/// in-flight request (same cxid) gets the recorded outcome instead of a
+/// second execution.
+struct SessionInfo {
+  std::uint32_t timeout_ms = 0;
+  std::uint64_t last_cxid = 0;   // highest client xid with a committed result
+  std::uint64_t last_zxid = 0;   // packed zxid of that txn
+  std::uint8_t last_code = 0;    // Code of the recorded outcome
+  std::string last_path;         // created path (create replay), else empty
+};
+
 class DataTree {
  public:
   using Watcher = std::function<void(WatchEvent, const std::string& path)>;
@@ -74,6 +88,26 @@ class DataTree {
   /// Paths of all ephemerals owned by `session`, sorted.
   [[nodiscard]] std::vector<std::string> ephemerals_of(
       std::uint64_t session) const;
+
+  // --- Replicated session table ----------------------------------------------
+  /// Insert (or idempotently re-insert) a session. Re-apply keeps the
+  /// recorded last-result fields of an existing entry.
+  Status apply_create_session(std::uint64_t id, std::uint32_t timeout_ms);
+  /// Remove a session's table entry (no-op if absent; the caller sweeps its
+  /// ephemerals separately so both happen at one zxid).
+  void remove_session(std::uint64_t id);
+  [[nodiscard]] bool has_session(std::uint64_t id) const {
+    return sessions_.count(id) != 0;
+  }
+  [[nodiscard]] const SessionInfo* session(std::uint64_t id) const;
+  [[nodiscard]] const std::map<std::uint64_t, SessionInfo>& sessions() const {
+    return sessions_;
+  }
+  /// Record the committed outcome of (session, cxid) for replay-after-
+  /// reconnect. No-op for unknown sessions or cxid 0.
+  void note_session_result(std::uint64_t id, std::uint64_t cxid,
+                           std::uint64_t zxid_packed, std::uint8_t code,
+                           const std::string& path);
 
   // --- Watches -----------------------------------------------------------------
   /// One-shot watch on data changes / deletion of `path`.
@@ -108,6 +142,7 @@ class DataTree {
 
   std::map<std::string, ZNode> nodes_;
   std::map<std::uint64_t, std::set<std::string>> ephemerals_;  // owner->paths
+  std::map<std::uint64_t, SessionInfo> sessions_;              // id -> lease
   std::map<std::string, std::vector<Watcher>> data_watches_;
   std::map<std::string, std::vector<Watcher>> child_watches_;
   std::map<std::string, std::vector<Watcher>> exists_watches_;

@@ -13,18 +13,20 @@ void encode_op(BufWriter& w, const Op& op) {
   w.i64(op.expected_version);
   w.boolean(op.sequential);
   w.boolean(op.ephemeral);
+  w.u32(op.timeout_ms);
 }
 
 Result<Op> decode_op(BufReader& r) {
   Op op;
   const auto type = r.u8();
-  if (type < 1 || type > 4) return Status::corruption("bad op type");
+  if (type < 1 || type > 6) return Status::corruption("bad op type");
   op.type = static_cast<OpType>(type);
   op.path = r.str();
   op.data = r.bytes();
   op.expected_version = r.i64();
   op.sequential = r.boolean();
   op.ephemeral = r.boolean();
+  op.timeout_ms = r.u32();
   if (!r.ok()) return Status::corruption("short Op");
   return op;
 }
@@ -37,6 +39,7 @@ Bytes encode_op_request(const OpRequest& r) {
   w.u32(r.origin);
   w.u64(r.req_id);
   w.u64(r.session_id);
+  w.u64(r.cxid);
   w.varint(r.ops.size());
   for (const Op& op : r.ops) encode_op(w, op);
   return std::move(w).take();
@@ -49,6 +52,7 @@ Result<OpRequest> decode_op_request(std::span<const std::uint8_t> wire) {
   out.origin = r.u32();
   out.req_id = r.u64();
   out.session_id = r.u64();
+  out.cxid = r.u64();
   const auto n = r.varint();
   if (n == 0 || n > 1024) return Status::corruption("bad op count");
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -71,6 +75,9 @@ Bytes encode_tree_txn(const TreeTxn& t) {
   w.u32(t.new_version);
   w.u8(static_cast<std::uint8_t>(t.error));
   w.u64(t.owner);
+  w.u64(t.session);
+  w.u64(t.cxid);
+  w.u32(t.timeout_ms);
   return std::move(w).take();
 }
 
@@ -79,7 +86,7 @@ Result<TreeTxn> decode_tree_txn(std::span<const std::uint8_t> wire) {
   if (r.u8() != kTreeTxnTag) return Status::corruption("not a TreeTxn");
   TreeTxn out;
   const auto kind = r.u8();
-  if (kind < 1 || kind > 6) return Status::corruption("bad txn kind");
+  if (kind < 1 || kind > 8) return Status::corruption("bad txn kind");
   out.kind = static_cast<TxnKind>(kind);
   out.origin = r.u32();
   out.req_id = r.u64();
@@ -88,6 +95,9 @@ Result<TreeTxn> decode_tree_txn(std::span<const std::uint8_t> wire) {
   out.new_version = r.u32();
   out.error = static_cast<Code>(r.u8());
   out.owner = r.u64();
+  out.session = r.u64();
+  out.cxid = r.u64();
+  out.timeout_ms = r.u32();
   if (!r.ok() || !r.at_end()) return Status::corruption("short TreeTxn");
   return out;
 }

@@ -21,7 +21,9 @@ enum class OpType : std::uint8_t {
   kCreate = 1,
   kDelete = 2,
   kSetData = 3,
-  kCloseSession = 4,  // delete every ephemeral owned by the session
+  kCloseSession = 4,    // delete the session + every ephemeral it owns
+  kCreateSession = 5,   // mint a durable session (primary resolves the id)
+  kTouchSession = 6,    // re-attach / liveness: fails if the session expired
 };
 
 /// A client write request.
@@ -35,6 +37,8 @@ struct Op {
   bool sequential = false;
   /// kCreate: the znode lives only as long as the submitting session.
   bool ephemeral = false;
+  /// kCreateSession: requested session timeout (the primary clamps it).
+  std::uint32_t timeout_ms = 0;
 };
 
 /// Envelope for routing one or more Ops to the primary and the result
@@ -48,6 +52,10 @@ struct OpRequest {
   /// Session on whose behalf the ops run (0 = none). Required for
   /// ephemeral creates and kCloseSession.
   std::uint64_t session_id = 0;
+  /// Client-chosen per-session request id (0 = none). Committed results are
+  /// recorded against (session_id, cxid) so a reconnecting client can replay
+  /// its in-flight request without re-executing it.
+  std::uint64_t cxid = 0;
   std::vector<Op> ops;  // size 1 = plain op, >1 = atomic multi
 };
 
@@ -56,8 +64,11 @@ enum class TxnKind : std::uint8_t {
   kDelete = 2,
   kSetData = 3,
   kError = 4,  // failed precondition; applied as a no-op, result delivered
-  kMulti = 5,         // composite: `data` holds the encoded sub-txns
-  kCloseSession = 6,  // `owner` names the session whose ephemerals die
+  kMulti = 5,          // composite: `data` holds the encoded sub-txns
+  kCloseSession = 6,   // `owner` names the dying session: its table entry
+                       // and all its ephemerals go at this txn's zxid
+  kCreateSession = 7,  // `owner` = resolved id, `timeout_ms` = granted lease
+  kTouchSession = 8,   // `owner` re-validated; no tree change on backups
 };
 
 /// Fully resolved state change, idempotent by construction.
@@ -69,8 +80,16 @@ struct TreeTxn {
   Bytes data;
   std::uint32_t new_version = 0;  // kSetData: resulting version
   Code error = Code::kOk;         // kError: why the op failed
-  /// kCreate: ephemeral owner (0 = persistent). kCloseSession: the session.
+  /// kCreate: ephemeral owner (0 = persistent). kCloseSession /
+  /// kCreateSession / kTouchSession: the session itself.
   std::uint64_t owner = 0;
+  /// Session the originating request ran under (0 = none) and its client
+  /// request id; replicas record the outcome against this pair so replayed
+  /// requests after a reconnect are answered, not re-executed.
+  std::uint64_t session = 0;
+  std::uint64_t cxid = 0;
+  /// kCreateSession: granted session timeout.
+  std::uint32_t timeout_ms = 0;
 };
 
 /// Outcome reported to the submitting client.
@@ -82,6 +101,8 @@ struct OpResult {
   /// sub-ops). Index of the failing sub-op on error, -1 otherwise.
   std::vector<std::string> paths;
   std::int32_t failed_index = -1;
+  /// kCreateSession / kTouchSession: the (resolved) session id.
+  std::uint64_t session_id = 0;
 };
 
 [[nodiscard]] Bytes encode_op_request(const OpRequest& r);

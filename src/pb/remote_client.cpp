@@ -8,15 +8,34 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace zab::pb {
 
-RemoteClient::RemoteClient(std::vector<Endpoint> servers, Duration op_timeout)
-    : servers_(std::move(servers)), op_timeout_(op_timeout) {}
+RemoteClient::RemoteClient(ClientConfig cfg) : cfg_(std::move(cfg)) {}
 
-RemoteClient::~RemoteClient() { disconnect(); }
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+RemoteClient::RemoteClient(std::vector<Endpoint> servers, Duration op_timeout)
+    : RemoteClient(ClientConfig{.servers = std::move(servers),
+                                .op_timeout = op_timeout}) {}
+#pragma GCC diagnostic pop
+
+RemoteClient::~RemoteClient() {
+  if (fd_ >= 0 && session_id_ != 0) {
+    // Graceful close on the existing connection, bounded best effort: the
+    // session's ephemerals die at the close txn's zxid instead of waiting
+    // out the expiry clock. On failure the expiry clock reaps them anyway.
+    ClientRequest req;
+    req.kind = ClientOpKind::kCloseSession;
+    req.xid = next_xid_++;
+    (void)roundtrip(req, clock_.now() + millis(500));
+  }
+  disconnect();
+}
 
 void RemoteClient::disconnect() {
   if (fd_ >= 0) {
@@ -25,10 +44,19 @@ void RemoteClient::disconnect() {
   }
 }
 
+void RemoteClient::rotate(std::uint32_t& attempts) {
+  ++current_;
+  ++attempts;
+  disconnect();
+  if (cfg_.backoff > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(cfg_.backoff));
+  }
+}
+
 Status RemoteClient::ensure_connected() {
   if (fd_ >= 0) return Status::ok();
-  if (servers_.empty()) return Status::invalid_argument("no servers");
-  const Endpoint& ep = servers_[current_ % servers_.size()];
+  if (cfg_.servers.empty()) return Status::invalid_argument("no servers");
+  const Endpoint& ep = cfg_.servers[current_ % cfg_.servers.size()];
 
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return Status::io_error("socket");
@@ -45,6 +73,90 @@ Status RemoteClient::ensure_connected() {
     disconnect();
     return Status::io_error("connect " + ep.host + ":" +
                             std::to_string(ep.port));
+  }
+
+  // Session handshake: attach to our session if we have one (the server
+  // refuses if it lags what we've already observed, or if the session
+  // expired — then it mints a fresh one), else create.
+  const TimePoint deadline = clock_.now() + cfg_.op_timeout;
+  ConnectRequest creq;
+  creq.session_id = session_id_;
+  creq.timeout_ms =
+      static_cast<std::uint32_t>(cfg_.session_timeout / millis(1));
+  creq.last_zxid = last_seen_zxid_;
+  if (Status st = send_frame(encode_connect_request(creq), deadline);
+      !st.is_ok()) {
+    disconnect();
+    return st;
+  }
+  while (true) {
+    auto frame = read_frame(deadline);
+    if (!frame.is_ok()) {
+      disconnect();
+      return frame.status();
+    }
+    if (classify_frame(frame.value()) != FrameType::kConnectAck) continue;
+    auto resp = decode_connect_response(frame.value());
+    if (!resp.is_ok()) {
+      disconnect();
+      return resp.status();
+    }
+    const ConnectResponse& ack = resp.value();
+    if (ack.code != Code::kOk) {
+      disconnect();
+      return Status(ack.code, "connect refused");
+    }
+    const bool had_session = session_id_ != 0;
+    if (had_session && ack.reattached) {
+      ++stats_.reconnects;
+    } else if (had_session && !ack.reattached) {
+      // The old session expired server-side: its ephemerals and watches
+      // are gone; we continue under the freshly minted one.
+      ++stats_.sessions_lost;
+      watches_.clear();
+    }
+    session_id_ = ack.session_id;
+    negotiated_timeout_ms_ = ack.timeout_ms;
+    if (ack.last_zxid > last_seen_zxid_) last_seen_zxid_ = ack.last_zxid;
+    break;
+  }
+  if (!watches_.empty()) {
+    if (Status st = reregister_watches(deadline); !st.is_ok()) {
+      disconnect();
+      return st;
+    }
+  }
+  return Status::ok();
+}
+
+Status RemoteClient::reregister_watches(TimePoint deadline) {
+  // One-shot watches that had not fired before the old connection died are
+  // re-registered on the new server. A watched node that disappeared while
+  // we were away cannot carry a data watch anymore: surface that as the
+  // kDeleted event the client would otherwise have missed.
+  const auto outstanding = watches_;
+  for (const auto& [path, kinds] : outstanding) {
+    for (const ClientOpKind kind : kinds) {
+      ClientRequest req;
+      req.kind = kind;
+      req.path = path;
+      req.watch = true;
+      req.xid = next_xid_++;
+      auto resp = roundtrip(req, deadline);
+      if (!resp.is_ok()) return resp.status();
+      if (kind != ClientOpKind::kExists &&
+          resp.value().code == Code::kNotFound) {
+        watch_events_.push_back(
+            WatchEventMsg{WatchEvent::kNodeDeleted, path});
+        auto it = watches_.find(path);
+        if (it != watches_.end()) {
+          it->second.erase(kind);
+          if (it->second.empty()) watches_.erase(it);
+        }
+        continue;
+      }
+      ++stats_.watches_reregistered;
+    }
   }
   return Status::ok();
 }
@@ -63,6 +175,14 @@ Status RemoteClient::send_all(std::span<const std::uint8_t> data,
     off += static_cast<std::size_t>(n);
   }
   return Status::ok();
+}
+
+Status RemoteClient::send_frame(std::span<const std::uint8_t> payload,
+                                TimePoint deadline) {
+  BufWriter framed(payload.size() + 4);
+  framed.u32(static_cast<std::uint32_t>(payload.size()));
+  framed.raw(payload);
+  return send_all(framed.data(), deadline);
 }
 
 Result<Bytes> RemoteClient::read_frame(TimePoint deadline) {
@@ -99,47 +219,78 @@ Result<Bytes> RemoteClient::read_frame(TimePoint deadline) {
   return buf;
 }
 
+void RemoteClient::stash_watch_event(const Bytes& frame) {
+  if (auto ev = decode_watch_event(frame); ev.is_ok()) {
+    note_watch_fired(ev.value());
+    watch_events_.push_back(ev.value());
+  }
+}
+
+void RemoteClient::note_watch_registered(ClientOpKind kind,
+                                         const std::string& path) {
+  watches_[path].insert(kind);
+}
+
+void RemoteClient::note_watch_fired(const WatchEventMsg& ev) {
+  auto it = watches_.find(ev.path);
+  if (it == watches_.end()) return;
+  // One-shot semantics: the fired registration is spent. Child events spend
+  // the child watch; node events spend data/exists watches.
+  if (ev.event == WatchEvent::kChildrenChanged) {
+    it->second.erase(ClientOpKind::kGetChildren);
+  } else {
+    it->second.erase(ClientOpKind::kGetData);
+    it->second.erase(ClientOpKind::kExists);
+  }
+  if (it->second.empty()) watches_.erase(it);
+}
+
+Result<ClientResponse> RemoteClient::roundtrip(const ClientRequest& req,
+                                               TimePoint deadline) {
+  ZAB_RETURN_IF_ERROR(send_frame(encode_client_request(req), deadline));
+  while (true) {
+    auto frame = read_frame(deadline);
+    if (!frame.is_ok()) return frame.status();
+    switch (classify_frame(frame.value())) {
+      case FrameType::kWatchEvent:
+        // Pushes may interleave with the response: stash them.
+        stash_watch_event(frame.value());
+        continue;
+      case FrameType::kPong:
+        continue;  // stale heartbeat answer
+      case FrameType::kResponse:
+        return decode_client_response(frame.value());
+      default:
+        return Status::corruption("unexpected frame from server");
+    }
+  }
+}
+
 Result<ClientResponse> RemoteClient::call(ClientRequest req) {
-  const TimePoint deadline = clock_.now() + op_timeout_;
+  const TimePoint deadline = clock_.now() + cfg_.op_timeout;
+  // The xid is assigned ONCE per logical operation and reused verbatim
+  // across reconnect retries: servers record each session's last committed
+  // (cxid -> outcome), so a replayed write that already committed is
+  // answered from the record instead of executed twice.
+  if (req.xid == 0) req.xid = next_xid_++;
   Status last = Status::not_ready("no attempt made");
+  std::uint32_t attempts = 0;
+  bool sent_once = false;
 
   while (clock_.now() < deadline) {
+    if (cfg_.max_reconnects != 0 && attempts > cfg_.max_reconnects) break;
     if (Status st = ensure_connected(); !st.is_ok()) {
       last = st;
-      ++current_;  // rotate endpoints
+      rotate(attempts);
       continue;
     }
-    req.xid = next_xid_++;
-    const Bytes payload = encode_client_request(req);
-    BufWriter framed(payload.size() + 4);
-    framed.u32(static_cast<std::uint32_t>(payload.size()));
-    framed.raw(payload);
-
-    if (Status st = send_all(framed.data(), deadline); !st.is_ok()) {
-      last = st;
-      disconnect();
-      ++current_;
-      continue;
-    }
-    auto frame = read_frame(deadline);
-    // Watch-event pushes may interleave with the response: stash them.
-    while (frame.is_ok() && is_watch_event_frame(frame.value())) {
-      if (auto ev = decode_watch_event(frame.value()); ev.is_ok()) {
-        watch_events_.push_back(ev.value());
-      }
-      frame = read_frame(deadline);
-    }
-    if (!frame.is_ok()) {
-      last = frame.status();
-      disconnect();
-      ++current_;
-      continue;
-    }
-    auto resp = decode_client_response(frame.value());
+    if (sent_once) ++stats_.replays;
+    auto resp = roundtrip(req, deadline);
+    sent_once = true;
     if (!resp.is_ok()) {
       last = resp.status();
       disconnect();
-      ++current_;
+      rotate(attempts);
       continue;
     }
     if (resp.value().xid != req.xid) {
@@ -152,9 +303,11 @@ Result<ClientResponse> RemoteClient::call(ClientRequest req) {
         resp.value().code == Code::kNotLeader ||
         resp.value().code == Code::kTimeout) {
       last = Status(resp.value().code, "server not ready");
-      ++current_;
-      disconnect();
+      rotate(attempts);
       continue;
+    }
+    if (resp.value().zxid.packed() > last_seen_zxid_) {
+      last_seen_zxid_ = resp.value().zxid.packed();
     }
     return resp;
   }
@@ -193,6 +346,7 @@ Result<Bytes> RemoteClient::get(const std::string& path, bool watch) {
   if (resp.value().code != Code::kOk) {
     return Status(resp.value().code, "get failed");
   }
+  if (watch) note_watch_registered(ClientOpKind::kGetData, path);
   return resp.value().data;
 }
 
@@ -203,6 +357,7 @@ Result<bool> RemoteClient::exists(const std::string& path, bool watch) {
   req.watch = watch;
   auto resp = call(std::move(req));
   if (!resp.is_ok()) return resp.status();
+  if (watch) note_watch_registered(ClientOpKind::kExists, path);
   return resp.value().exists;
 }
 
@@ -217,6 +372,7 @@ Result<std::vector<std::string>> RemoteClient::get_children(
   if (resp.value().code != Code::kOk) {
     return Status(resp.value().code, "getChildren failed");
   }
+  if (watch) note_watch_registered(ClientOpKind::kGetChildren, path);
   return resp.value().paths;
 }
 
@@ -232,8 +388,8 @@ Result<Stat> RemoteClient::stat(const std::string& path) {
   return resp.value().stat;
 }
 
-Status RemoteClient::set(const std::string& path, const Bytes& data,
-                         std::int64_t expected_version) {
+Result<Zxid> RemoteClient::set(const std::string& path, const Bytes& data,
+                               std::int64_t expected_version) {
   ClientRequest req;
   req.kind = ClientOpKind::kWrite;
   Op op;
@@ -244,13 +400,14 @@ Status RemoteClient::set(const std::string& path, const Bytes& data,
   req.ops.push_back(std::move(op));
   auto resp = call(std::move(req));
   if (!resp.is_ok()) return resp.status();
-  return resp.value().code == Code::kOk
-             ? Status::ok()
-             : Status(resp.value().code, "set failed");
+  if (resp.value().code != Code::kOk) {
+    return Status(resp.value().code, "set failed");
+  }
+  return resp.value().zxid;
 }
 
-Status RemoteClient::remove(const std::string& path,
-                            std::int64_t expected_version) {
+Result<Zxid> RemoteClient::remove(const std::string& path,
+                                  std::int64_t expected_version) {
   ClientRequest req;
   req.kind = ClientOpKind::kWrite;
   Op op;
@@ -260,9 +417,10 @@ Status RemoteClient::remove(const std::string& path,
   req.ops.push_back(std::move(op));
   auto resp = call(std::move(req));
   if (!resp.is_ok()) return resp.status();
-  return resp.value().code == Code::kOk
-             ? Status::ok()
-             : Status(resp.value().code, "delete failed");
+  if (resp.value().code != Code::kOk) {
+    return Status(resp.value().code, "delete failed");
+  }
+  return resp.value().zxid;
 }
 
 Result<ClientResponse> RemoteClient::multi(const std::vector<Op>& ops) {
@@ -270,6 +428,20 @@ Result<ClientResponse> RemoteClient::multi(const std::vector<Op>& ops) {
   req.kind = ClientOpKind::kWrite;
   req.ops = ops;
   return call(std::move(req));
+}
+
+Status RemoteClient::close_session() {
+  if (session_id_ == 0) return Status::ok();
+  ClientRequest req;
+  req.kind = ClientOpKind::kCloseSession;
+  auto resp = call(std::move(req));
+  session_id_ = 0;
+  negotiated_timeout_ms_ = 0;
+  watches_.clear();
+  if (!resp.is_ok()) return resp.status();
+  return resp.value().code == Code::kOk
+             ? Status::ok()
+             : Status(resp.value().code, "close session failed");
 }
 
 std::optional<WatchEventMsg> RemoteClient::poll_watch_event() {
@@ -281,18 +453,101 @@ std::optional<WatchEventMsg> RemoteClient::poll_watch_event() {
 
 Result<WatchEventMsg> RemoteClient::wait_watch_event(Duration max_wait) {
   if (auto ev = poll_watch_event()) return *ev;
-  if (fd_ < 0) return Status::closed("not connected");
   const TimePoint deadline = clock_.now() + max_wait;
+  TimePoint last_ping = clock_.now();
+  std::uint32_t attempts = 0;
+
   while (clock_.now() < deadline) {
-    auto frame = read_frame(deadline);
-    if (!frame.is_ok()) return frame.status();
-    if (is_watch_event_frame(frame.value())) {
-      auto ev = decode_watch_event(frame.value());
-      if (ev.is_ok()) return ev.value();
+    if (fd_ < 0) {
+      // Transparent reconnect: re-attach the session and re-register the
+      // outstanding watches, then keep waiting. Re-registration can itself
+      // surface a missed event (node deleted while away).
+      if (cfg_.max_reconnects != 0 && attempts > cfg_.max_reconnects) {
+        return Status::closed("connection lost, reconnect budget spent");
+      }
+      if (Status st = ensure_connected(); !st.is_ok()) {
+        rotate(attempts);
+        continue;
+      }
+      if (auto ev = poll_watch_event()) return *ev;
     }
-    // Unsolicited response frames (shouldn't happen) are dropped.
+
+    // Keep the session lease fresh while parked: heartbeat at a third of
+    // the negotiated timeout. The PONG is consumed below.
+    TimePoint slice_end = deadline;
+    if (session_id_ != 0 && negotiated_timeout_ms_ != 0) {
+      const Duration interval =
+          millis(static_cast<std::int64_t>(negotiated_timeout_ms_)) / 3;
+      if (clock_.now() - last_ping >= interval) {
+        PingRequest preq;
+        preq.session_id = session_id_;
+        if (Status st = send_frame(encode_ping_request(preq), deadline);
+            !st.is_ok()) {
+          disconnect();
+          continue;
+        }
+        ++stats_.pings;
+        last_ping = clock_.now();
+      }
+      slice_end = std::min(deadline, last_ping + interval);
+    }
+
+    auto frame = read_frame(slice_end);
+    if (!frame.is_ok()) {
+      if (frame.status().code() == Code::kTimeout) continue;  // ping due
+      disconnect();  // reconnect on the next spin
+      continue;
+    }
+    switch (classify_frame(frame.value())) {
+      case FrameType::kWatchEvent: {
+        if (auto ev = decode_watch_event(frame.value()); ev.is_ok()) {
+          note_watch_fired(ev.value());
+          return ev.value();
+        }
+        continue;
+      }
+      case FrameType::kPong:
+        continue;
+      default:
+        continue;  // unsolicited response frames are dropped
+    }
   }
   return Status::timeout("no watch event");
+}
+
+Status RemoteClient::ping() {
+  const TimePoint deadline = clock_.now() + cfg_.op_timeout;
+  ZAB_RETURN_IF_ERROR(ensure_connected());
+  PingRequest preq;
+  preq.session_id = session_id_;
+  if (Status st = send_frame(encode_ping_request(preq), deadline);
+      !st.is_ok()) {
+    disconnect();
+    return st;
+  }
+  while (clock_.now() < deadline) {
+    auto frame = read_frame(deadline);
+    if (!frame.is_ok()) {
+      disconnect();
+      return frame.status();
+    }
+    switch (classify_frame(frame.value())) {
+      case FrameType::kWatchEvent:
+        stash_watch_event(frame.value());
+        continue;
+      case FrameType::kPong: {
+        auto resp = decode_ping_response(frame.value());
+        if (!resp.is_ok()) return resp.status();
+        ++stats_.pings;
+        return resp.value().code == Code::kOk
+                   ? Status::ok()
+                   : Status(resp.value().code, "session ping");
+      }
+      default:
+        continue;
+    }
+  }
+  return Status::timeout("ping");
 }
 
 Result<bool> RemoteClient::ping_is_leader() {

@@ -1,16 +1,25 @@
 // Blocking client for the replica servers' client port.
 //
-// Connects to any server in the ensemble; reads are answered by that server
-// locally, writes travel through the replicated pipeline. On connection
-// failure or a not-ready server the client rotates to the next endpoint and
-// retries until its deadline. One outstanding request at a time (simple,
+// Owns a durable *session* (protocol v2): construction parameters arrive in
+// a ClientConfig; the first request performs the connect handshake, which
+// mints a replicated session on the ensemble. On connection failure the
+// client transparently reconnects — rotating endpoints, re-attaching its
+// session, re-registering its outstanding one-shot watches — and replays
+// the in-flight request under its original xid, which every server dedups
+// against the session's recorded outcome, so a write that committed just
+// before the old connection died is answered, not re-executed.
+//
+// Reads are answered by the contacted server locally; writes travel through
+// the replicated pipeline. One outstanding request at a time (simple,
 // synchronous — the style of most coordination-service client bindings'
-// sync APIs).
+// sync APIs). No background threads: the session lease is refreshed by
+// ordinary traffic, by ping(), and while blocked in wait_watch_event().
 #pragma once
 
 #include <deque>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -21,42 +30,80 @@
 
 namespace zab::pb {
 
+struct Endpoint {
+  std::string host;
+  std::uint16_t port;
+};
+
+/// Everything a client needs to talk to an ensemble. Field-by-field
+/// designated initializers replace the old positional constructor.
+struct ClientConfig {
+  std::vector<Endpoint> servers;
+  /// Requested session lease; the primary clamps it (see PROTOCOL.md §11).
+  Duration session_timeout = seconds(6);
+  /// Per-operation deadline (spans reconnects and retries).
+  Duration op_timeout = seconds(5);
+  /// Pause between reconnect attempts.
+  Duration backoff = millis(20);
+  /// Give up after this many consecutive failed connection attempts within
+  /// one operation (0 = bounded only by op_timeout).
+  std::uint32_t max_reconnects = 0;
+};
+
 class RemoteClient {
  public:
-  struct Endpoint {
-    std::string host;
-    std::uint16_t port;
+  using Endpoint = pb::Endpoint;  // compat alias for pre-config callers
+
+  struct ClientStats {
+    std::uint64_t reconnects = 0;   // handshakes that re-attached the session
+    std::uint64_t sessions_lost = 0;  // handshakes that had to mint a new one
+    std::uint64_t pings = 0;
+    std::uint64_t replays = 0;      // requests re-sent after a reconnect
+    std::uint64_t watches_reregistered = 0;
   };
 
+  explicit RemoteClient(ClientConfig cfg);
+  /// Deprecated shim for the old positional form; session parameters take
+  /// their defaults.
+  [[deprecated("use RemoteClient(ClientConfig)")]]
   explicit RemoteClient(std::vector<Endpoint> servers,
                         Duration op_timeout = seconds(5));
+  /// Gracefully closes the session (its ephemerals die now rather than at
+  /// expiry) if a connection is up.
   ~RemoteClient();
   RemoteClient(const RemoteClient&) = delete;
   RemoteClient& operator=(const RemoteClient&) = delete;
 
   // --- Operations -------------------------------------------------------------
   /// Create a znode; returns the final path (sequential suffix resolved).
-  /// Ephemeral znodes live as long as this client's connection to its
-  /// server: disconnecting (or the client's destruction) deletes them.
+  /// Ephemeral znodes live as long as this client's *session*: they survive
+  /// reconnects and die at session close or expiry.
   Result<std::string> create(const std::string& path, const Bytes& data,
                              bool sequential = false, bool ephemeral = false);
-  /// Reads may register a one-shot watch on the contacted server; the event
-  /// arrives via poll_watch_event()/wait_watch_event(). Watches are bound
-  /// to the current connection (rotating to another server drops them —
-  /// real ZooKeeper clients re-register on reconnect).
+  /// Reads may register a one-shot watch; the event arrives via
+  /// poll_watch_event()/wait_watch_event(). Watches survive reconnects: the
+  /// client re-registers outstanding ones after re-attaching its session.
   Result<Bytes> get(const std::string& path, bool watch = false);
   Result<bool> exists(const std::string& path, bool watch = false);
   Result<std::vector<std::string>> get_children(const std::string& path,
                                                 bool watch = false);
   Result<Stat> stat(const std::string& path);
-  Status set(const std::string& path, const Bytes& data,
-             std::int64_t expected_version = -1);
-  Status remove(const std::string& path, std::int64_t expected_version = -1);
+  /// Write ops return the commit zxid on success.
+  Result<Zxid> set(const std::string& path, const Bytes& data,
+                   std::int64_t expected_version = -1);
+  Result<Zxid> remove(const std::string& path,
+                      std::int64_t expected_version = -1);
   /// Atomic multi; on failure the status carries the first error and
   /// `failed_index` (see ClientResponse) identifies the sub-op.
   Result<ClientResponse> multi(const std::vector<Op>& ops);
+  /// Session heartbeat: refreshes the lease on the primary's expiry clock.
+  /// Returns kSessionExpired once the session is gone.
+  Status ping();
   /// Liveness probe of the currently connected server.
   Result<bool> ping_is_leader();
+  /// Gracefully close the session now (ephemerals are reaped at the commit
+  /// zxid); the connection stays usable session-less for reads.
+  Status close_session();
   /// Monitoring dump (ZooKeeper `mntr` style) of the contacted server:
   /// `key<TAB>value` lines with node state and its metrics registry.
   /// With json=true the server returns one JSON object instead.
@@ -72,30 +119,58 @@ class RemoteClient {
   };
   Result<TraceResult> trace_snapshot();
 
-  /// Raw request with endpoint rotation + retry.
+  /// Raw request with endpoint rotation, transparent session reconnect, and
+  /// idempotent replay (the xid is assigned once, before the first send).
   Result<ClientResponse> call(ClientRequest req);
 
   // --- Watch notifications -----------------------------------------------------
   /// Pop a watch event already received (interleaved with responses).
   std::optional<WatchEventMsg> poll_watch_event();
-  /// Block up to `max_wait` for the next watch event on this connection.
+  /// Block up to `max_wait` for the next watch event. Transparently
+  /// reconnects (session re-attach + watch re-registration) if the
+  /// connection drops while waiting, and keeps the session lease refreshed
+  /// with heartbeats.
   Result<WatchEventMsg> wait_watch_event(Duration max_wait);
 
+  // --- Introspection ----------------------------------------------------------
   /// Index of the endpoint currently connected to (for tests/demos).
   [[nodiscard]] std::size_t current_endpoint() const { return current_; }
+  /// Session id granted by the handshake (0 before the first request).
+  [[nodiscard]] std::uint64_t session_id() const { return session_id_; }
+  /// Lease granted by the primary (zero before the handshake).
+  [[nodiscard]] Duration session_timeout() const {
+    return millis(static_cast<std::int64_t>(negotiated_timeout_ms_));
+  }
+  [[nodiscard]] const ClientStats& stats() const { return stats_; }
 
  private:
+  /// Connect TCP + run the session handshake (attach-or-create) + re-register
+  /// watches. On success fd_ is usable and session_id_ is set.
   Status ensure_connected();
   void disconnect();
+  void rotate(std::uint32_t& attempts);
   Status send_all(std::span<const std::uint8_t> data, TimePoint deadline);
+  Status send_frame(std::span<const std::uint8_t> payload, TimePoint deadline);
   Result<Bytes> read_frame(TimePoint deadline);
+  /// Send one request and read its response on the current connection —
+  /// no reconnect, no rotation (used by the handshake itself).
+  Result<ClientResponse> roundtrip(const ClientRequest& req,
+                                   TimePoint deadline);
+  void note_watch_registered(ClientOpKind kind, const std::string& path);
+  void note_watch_fired(const WatchEventMsg& ev);
+  Status reregister_watches(TimePoint deadline);
+  void stash_watch_event(const Bytes& frame);
 
-  std::vector<Endpoint> servers_;
-  Duration op_timeout_;
+  ClientConfig cfg_;
   int fd_ = -1;
   std::size_t current_ = 0;
   std::uint64_t next_xid_ = 1;
+  std::uint64_t session_id_ = 0;
+  std::uint32_t negotiated_timeout_ms_ = 0;
+  std::uint64_t last_seen_zxid_ = 0;  // packed; highest commit observed
+  std::map<std::string, std::set<ClientOpKind>> watches_;  // outstanding
   std::deque<WatchEventMsg> watch_events_;
+  ClientStats stats_;
   SystemClock clock_;
 };
 

@@ -7,22 +7,37 @@
 
 namespace zab::pb {
 
-ReplicatedTree::ReplicatedTree(ZabNode& node) : node_(&node) {
+ReplicatedTree::ReplicatedTree(ZabNode& node)
+    : node_(&node), tracker_(node.config().heartbeat_interval) {
   node_->add_deliver_handler([this](const Txn& t) { on_deliver(t); });
   node_->set_request_handler([this](Bytes payload) {
     handle_request(std::move(payload));
   });
+  node_->set_leader_tick_handler([this] { leader_tick(); });
   node_->set_snapshot_provider([this] { return tree_.serialize(); });
   node_->add_snapshot_installer([this](Zxid, const Bytes& state) {
     if (Status st = tree_.deserialize(state); !st.is_ok()) {
       ZAB_ERROR() << "tree snapshot install failed: " << st.to_string();
     }
+    tracker_valid_ = false;  // leases restart from the installed table
+    g_sessions_active_->set(static_cast<std::int64_t>(tree_.sessions().size()));
   });
   node_->add_state_handler([this](Role r, Epoch) {
     // Speculative state is a leader-only concept; drop it on any role
-    // change (a new leadership rebuilds it from fresh requests).
+    // change (a new leadership rebuilds it from fresh requests). The expiry
+    // tracker is rebuilt lazily on the first leader tick, granting every
+    // session a full fresh lease (clients get one whole timeout to find the
+    // new primary).
     if (r != Role::kLeading) outstanding_.clear();
+    tracker_valid_ = false;
+    pending_sessions_.clear();
+    closing_sessions_.clear();
   });
+  auto& m = node_->metrics();
+  c_sessions_created_ = &m.counter("zab.sessions.created");
+  c_sessions_expired_ = &m.counter("zab.sessions.expired");
+  c_sessions_reattached_ = &m.counter("zab.sessions.reattached");
+  g_sessions_active_ = &m.gauge("zab.sessions.active");
 }
 
 // --- Client API ------------------------------------------------------------------
@@ -56,10 +71,42 @@ void ReplicatedTree::remove(const std::string& path,
   submit(std::move(op), std::move(cb));
 }
 
-void ReplicatedTree::submit(Op op, ResultFn cb, std::uint64_t session) {
+void ReplicatedTree::submit(Op op, ResultFn cb, std::uint64_t session,
+                            std::uint64_t cxid) {
   std::vector<Op> ops;
   ops.push_back(std::move(op));
-  submit_multi(std::move(ops), std::move(cb), session);
+  submit_multi(std::move(ops), std::move(cb), session, cxid);
+}
+
+void ReplicatedTree::create_session(std::uint32_t timeout_ms, ResultFn cb) {
+  Op op;
+  op.type = OpType::kCreateSession;
+  op.timeout_ms = timeout_ms;
+  submit(std::move(op), std::move(cb));
+}
+
+void ReplicatedTree::attach_session(std::uint64_t session, ResultFn cb) {
+  Op op;
+  op.type = OpType::kTouchSession;
+  submit(std::move(op), std::move(cb), session);
+}
+
+void ReplicatedTree::touch_session(std::uint64_t session) {
+  if (session == 0) return;
+  if (node_->is_active_leader()) {
+    if (tracker_valid_) tracker_.touch(session, node_->env().now());
+    return;
+  }
+  // Forward a fire-and-forget lease refresh to the primary. req_id 0 marks
+  // it: the leader refreshes the tracker and broadcasts nothing.
+  OpRequest req;
+  req.origin = node_->id();
+  req.req_id = 0;
+  req.session_id = session;
+  Op op;
+  op.type = OpType::kTouchSession;
+  req.ops.push_back(std::move(op));
+  (void)node_->submit(encode_op_request(req));
 }
 
 void ReplicatedTree::close_session(std::uint64_t session, ResultFn cb) {
@@ -68,11 +115,16 @@ void ReplicatedTree::close_session(std::uint64_t session, ResultFn cb) {
   submit(std::move(op), std::move(cb), session);
 }
 
+bool ReplicatedTree::session_alive(std::uint64_t session) const {
+  if (session == 0 || closing_sessions_.count(session) != 0) return false;
+  return tree_.has_session(session) || pending_sessions_.count(session) != 0;
+}
+
 void ReplicatedTree::submit_multi(std::vector<Op> ops, ResultFn cb,
-                                  std::uint64_t session) {
+                                  std::uint64_t session, std::uint64_t cxid) {
   ++stats_.writes_submitted;
   const std::uint64_t req_id = next_req_id_++;
-  OpRequest req{node_->id(), req_id, session, std::move(ops)};
+  OpRequest req{node_->id(), req_id, session, cxid, std::move(ops)};
   if (cb) pending_[req_id] = Pending{std::move(cb), node_->env().now()};
 
   if (node_->is_active_leader()) {
@@ -116,6 +168,19 @@ void ReplicatedTree::handle_request(Bytes payload) {
   }
   const OpRequest& r = req.value();
 
+  // req_id 0: fire-and-forget lease refresh (a PING forwarded by a peer).
+  // Touch the expiry tracker; nothing is broadcast and nothing is answered.
+  if (r.req_id == 0) {
+    if (r.session_id != 0 && tracker_valid_) {
+      tracker_.touch(r.session_id, node_->env().now());
+    }
+    return;
+  }
+  // Any session-stamped request is evidence of client liveness.
+  if (r.session_id != 0 && tracker_valid_) {
+    tracker_.touch(r.session_id, node_->env().now());
+  }
+
   // Execute every op against (applied state + outstanding changes + the
   // effects of earlier ops in this request). All-or-nothing: the first
   // failure turns the whole request into one error txn whose new_version
@@ -144,6 +209,10 @@ void ReplicatedTree::handle_request(Bytes payload) {
       out.data = encode_sub_txns(subs);
     }
   }
+  // Stamp the submitting session so replicas can record the outcome for
+  // replay dedup (and so the error path reports against the right session).
+  out.session = r.session_id;
+  out.cxid = r.cxid;
 
   auto res = node_->broadcast(encode_tree_txn(out));
   if (!res.is_ok()) {
@@ -165,10 +234,35 @@ void ReplicatedTree::handle_request(Bytes payload) {
   // Record speculative effects so later requests see them until delivery.
   if (!failed) {
     if (out.kind == TxnKind::kMulti) {
-      for (const TreeTxn& sub : subs) record_outstanding_for(sub, overlay);
+      for (const TreeTxn& sub : subs) {
+        record_outstanding_for(sub, overlay);
+        record_session_effects(sub);
+      }
     } else {
       record_outstanding_for(out, overlay);
+      record_session_effects(out);
     }
+  }
+}
+
+void ReplicatedTree::record_session_effects(const TreeTxn& sub) {
+  switch (sub.kind) {
+    case TxnKind::kCreateSession:
+      // Attachable immediately: a client may reconnect and re-attach before
+      // the create txn is applied locally.
+      pending_sessions_.insert(sub.owner);
+      if (tracker_valid_) {
+        tracker_.add(sub.owner, sub.timeout_ms, node_->env().now());
+      }
+      break;
+    case TxnKind::kCloseSession:
+      // The close is ordered; attaches and touches arriving after this
+      // point lose the race, deterministically on every replica.
+      closing_sessions_.insert(sub.owner);
+      tracker_.remove(sub.owner);
+      break;
+    default:
+      break;
   }
 }
 
@@ -255,8 +349,14 @@ TreeTxn ReplicatedTree::prep(const Op& op, NodeId origin,
       if (!DataTree::valid_path(op.path) || op.path == "/") {
         return fail(Code::kInvalidArgument);
       }
-      if (op.ephemeral && session == 0) {
-        return fail(Code::kInvalidArgument);  // ephemeral requires a session
+      if (op.ephemeral) {
+        if (session == 0) {
+          return fail(Code::kInvalidArgument);  // ephemeral requires a session
+        }
+        // The owner must be a live *registered* session: its ephemerals are
+        // reaped by that session's kCloseSession, so an unknown owner would
+        // leak the znode forever.
+        if (!session_alive(session)) return fail(Code::kSessionExpired);
       }
       const std::string parent = DataTree::parent_of(op.path);
       ChangeRecord prec = speculative(parent, overlay);
@@ -317,13 +417,79 @@ TreeTxn ReplicatedTree::prep(const Op& op, NodeId origin,
     }
     case OpType::kCloseSession: {
       if (session == 0) return fail(Code::kInvalidArgument);
+      if (!session_alive(session)) return fail(Code::kSessionExpired);
       txn.kind = TxnKind::kCloseSession;
+      txn.owner = session;
+      txn.path.clear();
+      return txn;
+    }
+    case OpType::kCreateSession: {
+      txn.kind = TxnKind::kCreateSession;
+      txn.owner = alloc_session_id();
+      txn.timeout_ms = clamp_timeout(op.timeout_ms);
+      txn.path.clear();
+      return txn;
+    }
+    case OpType::kTouchSession: {
+      // Re-attach / liveness through the pipeline. Losing the race against
+      // an ordered kCloseSession fails here — before broadcasting — so the
+      // client gets kSessionExpired instead of a phantom attach.
+      if (session == 0 || !session_alive(session)) {
+        return fail(Code::kSessionExpired);
+      }
+      if (tracker_valid_) tracker_.touch(session, node_->env().now());
+      txn.kind = TxnKind::kTouchSession;
       txn.owner = session;
       txn.path.clear();
       return txn;
     }
   }
   return fail(Code::kInternal);
+}
+
+std::uint64_t ReplicatedTree::alloc_session_id() {
+  // High half = the epoch this primary established: a later primary always
+  // runs a strictly larger epoch, so ids never collide across leaders. The
+  // counter is never reset — ids also stay unique when the same node leads
+  // several epochs.
+  return (static_cast<std::uint64_t>(node_->epoch()) << 32) |
+         ++session_counter_;
+}
+
+std::uint32_t ReplicatedTree::clamp_timeout(std::uint32_t requested_ms) const {
+  // Lower bound: the expiry clock ticks at heartbeat cadence, so anything
+  // under two ticks would expire before a client could ever refresh it.
+  const auto min_ms = static_cast<std::uint32_t>(
+      2 * (node_->config().heartbeat_interval / millis(1)));
+  constexpr std::uint32_t kMaxMs = 600'000;  // 10 minutes
+  if (requested_ms < min_ms) return min_ms;
+  if (requested_ms > kMaxMs) return kMaxMs;
+  return requested_ms;
+}
+
+// --- Leader expiry clock ---------------------------------------------------------
+
+void ReplicatedTree::leader_tick() {
+  const TimePoint now = node_->env().now();
+  if (!tracker_valid_) rebuild_tracker(now);
+  for (std::uint64_t id : tracker_.take_expired(now)) {
+    if (closing_sessions_.count(id) != 0) continue;
+    c_sessions_expired_->add();
+    // The close travels the broadcast pipeline, so every replica deletes
+    // this session's ephemerals at the same zxid.
+    close_session(id, nullptr);
+  }
+}
+
+void ReplicatedTree::rebuild_tracker(TimePoint now) {
+  // First tick of a new leadership: every replicated session gets a full
+  // fresh lease, giving clients of the old primary one whole timeout to
+  // find us and re-attach.
+  tracker_.clear();
+  for (const auto& [id, info] : tree_.sessions()) {
+    tracker_.add(id, info.timeout_ms, now);
+  }
+  tracker_valid_ = true;
 }
 
 // --- Replica-side apply ---------------------------------------------------------------
@@ -338,6 +504,7 @@ void ReplicatedTree::on_deliver(const Txn& txn) {
   const TreeTxn& t = decoded.value();
   apply(t, txn.zxid);
   ++stats_.txns_applied;
+  note_session_txn(t, txn.zxid);
 
   // Release speculative records on the (current or former) primary.
   if (t.kind == TxnKind::kMulti) {
@@ -353,6 +520,43 @@ void ReplicatedTree::on_deliver(const Txn& txn) {
     complete(t, txn.zxid,
              t.kind == TxnKind::kError ? Status(t.error, "op failed")
                                        : Status::ok());
+  }
+}
+
+void ReplicatedTree::note_session_txn(const TreeTxn& t, Zxid zxid) {
+  switch (t.kind) {
+    case TxnKind::kCreateSession:
+      c_sessions_created_->add();
+      pending_sessions_.erase(t.owner);
+      // On the leader the speculative lease (granted at broadcast) is
+      // refreshed; elsewhere the tracker is invalid and this no-ops.
+      if (tracker_valid_) {
+        tracker_.add(t.owner, t.timeout_ms, node_->env().now());
+      }
+      break;
+    case TxnKind::kTouchSession:
+      c_sessions_reattached_->add();
+      if (tracker_valid_) tracker_.touch(t.owner, node_->env().now());
+      break;
+    case TxnKind::kCloseSession:
+      closing_sessions_.erase(t.owner);
+      tracker_.remove(t.owner);
+      break;
+    default:
+      break;
+  }
+  if (t.kind == TxnKind::kCreateSession || t.kind == TxnKind::kTouchSession ||
+      t.kind == TxnKind::kCloseSession) {
+    g_sessions_active_->set(static_cast<std::int64_t>(tree_.sessions().size()));
+  }
+  // Record the outcome against (session, cxid) for replay dedup. This runs
+  // on every replica, so the answer survives failover; it rides snapshots
+  // as part of the session table.
+  if (t.session != 0 && t.cxid != 0) {
+    const auto code = t.kind == TxnKind::kError
+                          ? static_cast<std::uint8_t>(t.error)
+                          : static_cast<std::uint8_t>(Code::kOk);
+    tree_.note_session_result(t.session, t.cxid, zxid.packed(), code, t.path);
   }
 }
 
@@ -376,6 +580,10 @@ void ReplicatedTree::complete(const TreeTxn& t, Zxid zxid,
     res.path = t.path;
     if (t.kind == TxnKind::kError) {
       res.failed_index = static_cast<std::int32_t>(t.new_version);
+    }
+    if (t.kind == TxnKind::kCreateSession ||
+        t.kind == TxnKind::kTouchSession) {
+      res.session_id = t.owner;
     }
   }
   it->second.cb(res);
@@ -408,12 +616,19 @@ void ReplicatedTree::apply_one(const TreeTxn& t, Zxid zxid) {
       break;
     case TxnKind::kCloseSession:
       // Deterministic sweep of the session's ephemerals (sorted paths;
-      // ephemerals never have children, so every delete succeeds).
+      // ephemerals never have children, so every delete succeeds), then the
+      // session itself leaves the replicated table — all at this one zxid.
       for (const auto& path : tree_.ephemerals_of(t.owner)) {
         st = tree_.apply_delete(path);
         if (!st.is_ok()) break;
       }
+      tree_.remove_session(t.owner);
       break;
+    case TxnKind::kCreateSession:
+      st = tree_.apply_create_session(t.owner, t.timeout_ms);
+      break;
+    case TxnKind::kTouchSession:
+      break;  // liveness only; no replica state changes
     case TxnKind::kDelete:
       st = tree_.apply_delete(t.path);
       break;

@@ -13,10 +13,12 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <unordered_map>
 
 #include "pb/data_tree.h"
 #include "pb/ops.h"
+#include "pb/session_tracker.h"
 #include "zab/zab_node.h"
 
 namespace zab::pb {
@@ -44,14 +46,39 @@ class ReplicatedTree {
   void remove(const std::string& path, std::int64_t expected_version,
               ResultFn cb);
   /// `session` (0 = none) attributes the ops to a client session; required
-  /// for ephemeral creates and close_session.
-  void submit(Op op, ResultFn cb, std::uint64_t session = 0);
+  /// for ephemeral creates and close_session. `cxid` (0 = none) is the
+  /// client's per-session request id: committed outcomes are recorded
+  /// against (session, cxid) on every replica so a reconnecting client can
+  /// replay its in-flight request without re-executing it.
+  void submit(Op op, ResultFn cb, std::uint64_t session = 0,
+              std::uint64_t cxid = 0);
   /// Atomic multi (ZooKeeper-style): all ops succeed and apply as one txn,
   /// or none do; on failure the result carries the failing sub-op's index.
   void submit_multi(std::vector<Op> ops, ResultFn cb,
-                    std::uint64_t session = 0);
-  /// Delete every ephemeral owned by `session` (one replicated txn).
+                    std::uint64_t session = 0, std::uint64_t cxid = 0);
+
+  // --- Sessions (replicated state; the primary owns the expiry clock) -------
+  /// Mint a durable session: the primary resolves a cluster-unique id
+  /// ((epoch << 32) | counter) and the granted lease travels as a
+  /// kCreateSession txn, so every replica tracks it. The result carries the
+  /// id in `session_id`.
+  void create_session(std::uint32_t timeout_ms, ResultFn cb);
+  /// Re-attach to an existing session after a reconnect. Goes through the
+  /// broadcast pipeline as kTouchSession so the expiry-vs-reattach race is
+  /// decided by zxid order: fails with kSessionExpired if a kCloseSession
+  /// was (speculatively) ordered first.
+  void attach_session(std::uint64_t session, ResultFn cb);
+  /// Lightweight liveness heartbeat: refreshes the primary's lease without
+  /// entering the broadcast pipeline (fire-and-forget; forwarded to the
+  /// leader when called on a follower).
+  void touch_session(std::uint64_t session);
+  /// Delete the session and every ephemeral it owns (one replicated txn).
   void close_session(std::uint64_t session, ResultFn cb);
+  [[nodiscard]] std::size_t active_sessions() const {
+    return tree_.sessions().size();
+  }
+  /// True when `session` exists here and is not (speculatively) closing.
+  [[nodiscard]] bool session_alive(std::uint64_t session) const;
 
   // --- Local reads ------------------------------------------------------------
   [[nodiscard]] Result<Bytes> get(const std::string& path) const {
@@ -105,6 +132,21 @@ class ReplicatedTree {
   void release_outstanding_for(const TreeTxn& sub);
   void complete(const TreeTxn& t, Zxid zxid, const Status& status);
 
+  // --- Session internals ----------------------------------------------------
+  /// Heartbeat-cadence hook, active leader only: lazily (re)builds the
+  /// expiry tracker after a leadership change and proposes kCloseSession
+  /// for every expired session.
+  void leader_tick();
+  void rebuild_tracker(TimePoint now);
+  [[nodiscard]] std::uint64_t alloc_session_id();
+  [[nodiscard]] std::uint32_t clamp_timeout(std::uint32_t requested_ms) const;
+  /// Leader-side speculative bookkeeping after a successful broadcast
+  /// (mirrors record_outstanding_for).
+  void record_session_effects(const TreeTxn& sub);
+  /// Replica-side bookkeeping at delivery: table gauge, dedup recording,
+  /// and (on the leader) reconciling the speculative sets + tracker.
+  void note_session_txn(const TreeTxn& t, Zxid zxid);
+
   ZabNode* node_;
   DataTree tree_;
   TreeStats stats_;
@@ -115,6 +157,20 @@ class ReplicatedTree {
   };
   std::unordered_map<std::uint64_t, Pending> pending_;  // req_id -> cb
   std::uint64_t next_req_id_ = 1;
+
+  // --- Session state --------------------------------------------------------
+  SessionTracker tracker_;       // leader-only expiry clock
+  bool tracker_valid_ = false;   // false until rebuilt on this leadership
+  /// kCreateSession broadcast but not yet applied: already attachable.
+  std::set<std::uint64_t> pending_sessions_;
+  /// kCloseSession broadcast but not yet applied: no longer attachable —
+  /// this is what makes the expiry-vs-reattach race deterministic.
+  std::set<std::uint64_t> closing_sessions_;
+  std::uint32_t session_counter_ = 0;  // low half of allocated ids
+  AtomicCounter* c_sessions_created_ = nullptr;
+  AtomicCounter* c_sessions_expired_ = nullptr;
+  AtomicCounter* c_sessions_reattached_ = nullptr;
+  Gauge* g_sessions_active_ = nullptr;
 };
 
 }  // namespace zab::pb

@@ -1,0 +1,63 @@
+#include "pb/session_tracker.h"
+
+namespace zab::pb {
+
+TimePoint SessionTracker::bucket_for(TimePoint now,
+                                     std::uint32_t timeout_ms) const {
+  const TimePoint deadline = now + millis(timeout_ms);
+  // Round up to the next tick boundary: never early, and all touches within
+  // one tick land in the same bucket.
+  return ((deadline / tick_) + 1) * tick_;
+}
+
+void SessionTracker::add(std::uint64_t id, std::uint32_t timeout_ms,
+                         TimePoint now) {
+  remove(id);
+  const TimePoint bucket = bucket_for(now, timeout_ms);
+  buckets_[bucket].insert(id);
+  deadlines_[id] = Lease{bucket, timeout_ms};
+}
+
+void SessionTracker::touch(std::uint64_t id, TimePoint now) {
+  auto it = deadlines_.find(id);
+  if (it == deadlines_.end()) return;
+  const TimePoint bucket = bucket_for(now, it->second.timeout_ms);
+  if (bucket == it->second.bucket) return;  // same tick window
+  auto bit = buckets_.find(it->second.bucket);
+  if (bit != buckets_.end()) {
+    bit->second.erase(id);
+    if (bit->second.empty()) buckets_.erase(bit);
+  }
+  buckets_[bucket].insert(id);
+  it->second.bucket = bucket;
+}
+
+void SessionTracker::remove(std::uint64_t id) {
+  auto it = deadlines_.find(id);
+  if (it == deadlines_.end()) return;
+  auto bit = buckets_.find(it->second.bucket);
+  if (bit != buckets_.end()) {
+    bit->second.erase(id);
+    if (bit->second.empty()) buckets_.erase(bit);
+  }
+  deadlines_.erase(it);
+}
+
+std::vector<std::uint64_t> SessionTracker::take_expired(TimePoint now) {
+  std::vector<std::uint64_t> out;
+  while (!buckets_.empty() && buckets_.begin()->first <= now) {
+    for (std::uint64_t id : buckets_.begin()->second) {
+      out.push_back(id);
+      deadlines_.erase(id);
+    }
+    buckets_.erase(buckets_.begin());
+  }
+  return out;
+}
+
+void SessionTracker::clear() {
+  buckets_.clear();
+  deadlines_.clear();
+}
+
+}  // namespace zab::pb

@@ -1,0 +1,66 @@
+// Bucketed session-expiry queue (ZooKeeper's ExpiryQueue), leader-local.
+//
+// Only the current primary runs the expiry clock: it owns the authoritative
+// liveness view (every client heartbeat reaches it) and proposing
+// kCloseSession from one place guarantees all replicas delete a session's
+// ephemerals at the same zxid. The tracker itself is plain single-threaded
+// state driven from the leader's event loop; on failover the new leader
+// rebuilds it from the replicated session table with a full fresh lease per
+// session (clients get one whole timeout to find the new leader).
+//
+// Deadlines are rounded UP to the next tick boundary, so a session is never
+// expired early and touches within one tick collapse into one bucket move.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+
+namespace zab::pb {
+
+class SessionTracker {
+ public:
+  explicit SessionTracker(Duration tick = millis(40))
+      : tick_(tick > 0 ? tick : millis(40)) {}
+
+  /// Register a session with a full lease starting at `now`. Re-adding an
+  /// existing session refreshes its lease (used on leader rebuild).
+  void add(std::uint64_t id, std::uint32_t timeout_ms, TimePoint now);
+
+  /// Refresh a session's lease. Unknown ids are ignored (expired or never
+  /// registered — the caller learns that from the replicated table).
+  void touch(std::uint64_t id, TimePoint now);
+
+  void remove(std::uint64_t id);
+
+  /// Pop every session whose bucket deadline has passed. The popped ids are
+  /// no longer tracked; the caller proposes kCloseSession for each.
+  [[nodiscard]] std::vector<std::uint64_t> take_expired(TimePoint now);
+
+  void clear();
+
+  [[nodiscard]] bool contains(std::uint64_t id) const {
+    return deadlines_.count(id) != 0;
+  }
+  [[nodiscard]] std::size_t size() const { return deadlines_.size(); }
+  [[nodiscard]] Duration tick() const { return tick_; }
+
+ private:
+  struct Lease {
+    TimePoint bucket;  // key into buckets_
+    std::uint32_t timeout_ms;
+  };
+
+  [[nodiscard]] TimePoint bucket_for(TimePoint now,
+                                     std::uint32_t timeout_ms) const;
+
+  Duration tick_;
+  std::map<TimePoint, std::set<std::uint64_t>> buckets_;
+  std::unordered_map<std::uint64_t, Lease> deadlines_;
+};
+
+}  // namespace zab::pb

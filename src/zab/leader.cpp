@@ -232,6 +232,11 @@ void ZabNode::leader_try_activate() {
     leader_heartbeat();
     leader_check_quorum_liveness();
     if (role_ != Role::kLeading) return;  // stepped down in liveness check
+    // Application tick (session expiry etc.) runs only on the active
+    // leader, after liveness: a leader about to step down must not keep
+    // proposing expirations.
+    if (leader_tick_handler_) leader_tick_handler_();
+    if (role_ != Role::kLeading) return;
     heartbeat_timer_ = env_->set_timer(
         cfg_.heartbeat_interval, [this, self_fn] { self_fn(self_fn); });
   };

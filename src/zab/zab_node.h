@@ -73,6 +73,11 @@ class ZabNode {
   /// broadcast() calls with idempotent txn payloads. Without one, requests
   /// are broadcast verbatim.
   using RequestFn = std::function<void(Bytes)>;
+  /// Leader-only periodic hook, invoked at heartbeat cadence while this node
+  /// is the active leader (after PINGs go out and quorum liveness is
+  /// checked). The application drives primary-owned clocks from it — e.g.
+  /// the session-expiry queue that proposes kCloseSession txns.
+  using LeaderTickFn = std::function<void()>;
 
   /// `metrics` is the node-wide registry the protocol publishes into; when
   /// null the node owns a private one (metrics() works either way). Sharing
@@ -101,6 +106,10 @@ class ZabNode {
     snapshot_provider_ = std::move(fn);
   }
   void set_request_handler(RequestFn fn) { request_handler_ = std::move(fn); }
+  /// Single (one owner of the primary clock); the last call wins.
+  void set_leader_tick_handler(LeaderTickFn fn) {
+    leader_tick_handler_ = std::move(fn);
+  }
 
   /// Recover local state from storage and start electing. Call once.
   void start();
@@ -247,6 +256,7 @@ class ZabNode {
   SnapshotProvider snapshot_provider_;
   std::vector<SnapshotInstaller> snapshot_installers_;
   RequestFn request_handler_;
+  LeaderTickFn leader_tick_handler_;
 
   // --- Observability (see docs/PROTOCOL.md "Observability") ---
   void trace_stage(Zxid z, trace::Stage s, NodeId who);

@@ -14,7 +14,7 @@ namespace {
 
 struct ClientServerFixture {
   harness::RuntimeCluster cluster;
-  std::vector<RemoteClient::Endpoint> endpoints;
+  std::vector<Endpoint> endpoints;
 
   ClientServerFixture()
       : cluster([] {
@@ -37,7 +37,7 @@ struct ClientServerFixture {
 TEST(ClientServer, CrudThroughAnyServer) {
   ClientServerFixture f;
   ASSERT_TRUE(f.up());
-  RemoteClient client(f.endpoints);
+  RemoteClient client(ClientConfig{.servers = f.endpoints});
 
   // Create via whichever server the client picked.
   auto created = client.create("/app", to_bytes("hello"));
@@ -61,7 +61,7 @@ TEST(ClientServer, CrudThroughAnyServer) {
   auto st = client.stat("/app");
   ASSERT_TRUE(st.is_ok());
   EXPECT_EQ(st.value().version, 1u);
-  EXPECT_EQ(client.set("/app", to_bytes("stale"), 0).code(),
+  EXPECT_EQ(client.set("/app", to_bytes("stale"), 0).status().code(),
             Code::kBadVersion);
 
   // exists / children / delete.
@@ -78,7 +78,7 @@ TEST(ClientServer, CrudThroughAnyServer) {
 TEST(ClientServer, SequentialCreateReturnsFinalPath) {
   ClientServerFixture f;
   ASSERT_TRUE(f.up());
-  RemoteClient client(f.endpoints);
+  RemoteClient client(ClientConfig{.servers = f.endpoints});
   ASSERT_TRUE(client.create("/q", {}).is_ok());
   auto a = client.create("/q/n-", to_bytes("1"), /*sequential=*/true);
   auto b = client.create("/q/n-", to_bytes("2"), /*sequential=*/true);
@@ -92,7 +92,7 @@ TEST(ClientServer, SequentialCreateReturnsFinalPath) {
 TEST(ClientServer, MultiIsAtomicOverTheWire) {
   ClientServerFixture f;
   ASSERT_TRUE(f.up());
-  RemoteClient client(f.endpoints);
+  RemoteClient client(ClientConfig{.servers = f.endpoints});
   ASSERT_TRUE(client.create("/base", {}).is_ok());
 
   std::vector<Op> good(2);
@@ -123,14 +123,14 @@ TEST(ClientServer, ClientRotatesAcrossServers) {
   // Point the client at each server individually: all must serve writes
   // (followers forward to the primary).
   for (NodeId n = 1; n <= 3; ++n) {
-    RemoteClient one({{"127.0.0.1", f.cluster.client_port(n)}});
+    RemoteClient one(ClientConfig{.servers = {{"127.0.0.1", f.cluster.client_port(n)}}});
     auto r = one.create("/from-server-" + std::to_string(n), to_bytes("x"));
     EXPECT_TRUE(r.is_ok()) << "server " << n << ": " << r.status().to_string();
   }
   // A bad endpoint first in the list: the client must rotate past it.
-  std::vector<RemoteClient::Endpoint> eps = {{"127.0.0.1", 1}};  // dead port
+  std::vector<Endpoint> eps = {{"127.0.0.1", 1}};  // dead port
   eps.insert(eps.end(), f.endpoints.begin(), f.endpoints.end());
-  RemoteClient rotating(eps, seconds(10));
+  RemoteClient rotating(ClientConfig{.servers = eps, .op_timeout = seconds(10)});
   EXPECT_TRUE(rotating.create("/via-rotation", to_bytes("x")).is_ok());
   f.cluster.stop();
 }
@@ -140,7 +140,7 @@ TEST(ClientServer, PingReportsLeadership) {
   ASSERT_TRUE(f.up());
   int leaders = 0;
   for (NodeId n = 1; n <= 3; ++n) {
-    RemoteClient one({{"127.0.0.1", f.cluster.client_port(n)}});
+    RemoteClient one(ClientConfig{.servers = {{"127.0.0.1", f.cluster.client_port(n)}}});
     auto r = one.ping_is_leader();
     ASSERT_TRUE(r.is_ok());
     if (r.value()) ++leaders;
@@ -153,7 +153,7 @@ TEST(ClientServer, GarbageFrameDoesNotCrashServer) {
   ClientServerFixture f;
   ASSERT_TRUE(f.up());
   // Hand-roll a connection and send junk.
-  RemoteClient probe({{"127.0.0.1", f.cluster.client_port(1)}});
+  RemoteClient probe(ClientConfig{.servers = {{"127.0.0.1", f.cluster.client_port(1)}}});
   ASSERT_TRUE(probe.create("/sane", to_bytes("ok")).is_ok());
 
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -175,8 +175,8 @@ TEST(ClientServer, GarbageFrameDoesNotCrashServer) {
 TEST(ClientServer, DataWatchPushedOverTheWire) {
   ClientServerFixture f;
   ASSERT_TRUE(f.up());
-  RemoteClient watcher({{"127.0.0.1", f.cluster.client_port(1)}});
-  RemoteClient writer({{"127.0.0.1", f.cluster.client_port(2)}});
+  RemoteClient watcher(ClientConfig{.servers = {{"127.0.0.1", f.cluster.client_port(1)}}});
+  RemoteClient writer(ClientConfig{.servers = {{"127.0.0.1", f.cluster.client_port(2)}}});
 
   ASSERT_TRUE(writer.create("/watched", to_bytes("v0")).is_ok());
   // Replicate to server 1 before registering the watch there.
@@ -199,8 +199,8 @@ TEST(ClientServer, DataWatchPushedOverTheWire) {
 TEST(ClientServer, ExistsWatchFiresOnCreation) {
   ClientServerFixture f;
   ASSERT_TRUE(f.up());
-  RemoteClient watcher({{"127.0.0.1", f.cluster.client_port(1)}});
-  RemoteClient writer({{"127.0.0.1", f.cluster.client_port(1)}});
+  RemoteClient watcher(ClientConfig{.servers = {{"127.0.0.1", f.cluster.client_port(1)}}});
+  RemoteClient writer(ClientConfig{.servers = {{"127.0.0.1", f.cluster.client_port(1)}}});
 
   auto ex = watcher.exists("/future", /*watch=*/true);
   ASSERT_TRUE(ex.is_ok());
@@ -217,8 +217,8 @@ TEST(ClientServer, ExistsWatchFiresOnCreation) {
 TEST(ClientServer, ChildWatchFiresOnMembershipChange) {
   ClientServerFixture f;
   ASSERT_TRUE(f.up());
-  RemoteClient watcher({{"127.0.0.1", f.cluster.client_port(1)}});
-  RemoteClient writer({{"127.0.0.1", f.cluster.client_port(1)}});
+  RemoteClient watcher(ClientConfig{.servers = {{"127.0.0.1", f.cluster.client_port(1)}}});
+  RemoteClient writer(ClientConfig{.servers = {{"127.0.0.1", f.cluster.client_port(1)}}});
 
   ASSERT_TRUE(writer.create("/dir", {}).is_ok());
   auto kids = watcher.get_children("/dir", /*watch=*/true);

@@ -1,5 +1,5 @@
-// Ephemeral znodes and connection-scoped sessions: lifetime, replication,
-// cleanup on disconnect, and the ephemeral-based membership recipe.
+// Ephemeral znodes and replicated sessions: lifetime, replication, cleanup
+// on graceful session close, and the ephemeral-based membership recipe.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -27,7 +27,7 @@ bool eventually(Pred p, int budget_ms = 5000) {
 
 struct Fixture {
   RuntimeCluster cluster;
-  std::vector<RemoteClient::Endpoint> eps;
+  std::vector<Endpoint> eps;
   Fixture()
       : cluster([] {
           RuntimeClusterConfig cfg;
@@ -106,7 +106,33 @@ TEST(Ephemeral, RequiresASession) {
   ASSERT_TRUE(done);
   EXPECT_EQ(out.status.code(), Code::kInvalidArgument);
 
-  // With a session id it works, and close_session reaps it.
+  // A raw, never-registered session id is rejected too: ephemerals must be
+  // owned by a session the replicated table knows, or they'd leak forever.
+  Op opBogus;
+  opBogus.type = OpType::kCreate;
+  opBogus.path = "/e";
+  opBogus.ephemeral = true;
+  done = false;
+  trees[l]->submit(std::move(opBogus), [&](const OpResult& r) {
+    out = r;
+    done = true;
+  }, /*session=*/42);
+  while (!done && c.sim().now() < deadline) c.run_for(millis(2));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(out.status.code(), Code::kSessionExpired);
+
+  // Mint a session through the pipeline; with it the create works, and
+  // close_session reaps the ephemeral.
+  done = false;
+  trees[l]->create_session(/*timeout_ms=*/60'000, [&](const OpResult& r) {
+    out = r;
+    done = true;
+  });
+  while (!done && c.sim().now() < deadline) c.run_for(millis(2));
+  ASSERT_TRUE(out.status.is_ok());
+  const std::uint64_t sid = out.session_id;
+  ASSERT_NE(sid, 0u);
+
   Op op2;
   op2.type = OpType::kCreate;
   op2.path = "/e";
@@ -115,14 +141,14 @@ TEST(Ephemeral, RequiresASession) {
   trees[l]->submit(std::move(op2), [&](const OpResult& r) {
     out = r;
     done = true;
-  }, /*session=*/42);
+  }, sid);
   while (!done && c.sim().now() < deadline) c.run_for(millis(2));
   ASSERT_TRUE(out.status.is_ok());
   c.run_for(millis(100));
-  EXPECT_EQ(trees[l]->stat("/e").value().ephemeral_owner, 42u);
+  EXPECT_EQ(trees[l]->stat("/e").value().ephemeral_owner, sid);
 
   done = false;
-  trees[l]->close_session(42, [&](const OpResult& r) {
+  trees[l]->close_session(sid, [&](const OpResult& r) {
     out = r;
     done = true;
   });
@@ -138,14 +164,14 @@ TEST(Ephemeral, DisconnectReapsEphemeralsEverywhere) {
   Fixture f;
   ASSERT_TRUE(f.up());
   {
-    RemoteClient session(f.eps);
+    RemoteClient session(ClientConfig{.servers = f.eps});
     auto r = session.create("/lease", to_bytes("mine"), false,
                             /*ephemeral=*/true);
     ASSERT_TRUE(r.is_ok()) << r.status().to_string();
     ASSERT_TRUE(f.visible_everywhere("/lease", true));
     // Persistent sibling for contrast.
     ASSERT_TRUE(session.create("/durable", to_bytes("keep")).is_ok());
-  }  // session destroyed -> connection closes -> CloseSession txn
+  }  // client destroyed -> graceful kCloseSession txn reaps its ephemerals
 
   EXPECT_TRUE(f.visible_everywhere("/lease", false));
   EXPECT_TRUE(f.visible_everywhere("/durable", true));
@@ -155,10 +181,10 @@ TEST(Ephemeral, DisconnectReapsEphemeralsEverywhere) {
 TEST(Ephemeral, SurvivesWhileConnectedAcrossOtherClients) {
   Fixture f;
   ASSERT_TRUE(f.up());
-  RemoteClient holder(f.eps);
+  RemoteClient holder(ClientConfig{.servers = f.eps});
   ASSERT_TRUE(holder.create("/held", {}, false, true).is_ok());
   {
-    RemoteClient other(f.eps);
+    RemoteClient other(ClientConfig{.servers = f.eps});
     ASSERT_TRUE(other.create("/noise", {}).is_ok());
   }  // other's session closing must NOT touch holder's ephemeral
   ASSERT_TRUE(f.visible_everywhere("/noise", true));
@@ -171,11 +197,11 @@ TEST(Ephemeral, MembershipRecipe) {
   // member list is exactly the set of live sessions.
   Fixture f;
   ASSERT_TRUE(f.up());
-  RemoteClient admin(f.eps);
+  RemoteClient admin(ClientConfig{.servers = f.eps});
   ASSERT_TRUE(admin.create("/members", {}).is_ok());
 
-  auto m1 = std::make_unique<RemoteClient>(f.eps);
-  auto m2 = std::make_unique<RemoteClient>(f.eps);
+  auto m1 = std::make_unique<RemoteClient>(ClientConfig{.servers = f.eps});
+  auto m2 = std::make_unique<RemoteClient>(ClientConfig{.servers = f.eps});
   ASSERT_TRUE(m1->create("/members/m1", {}, false, true).is_ok());
   ASSERT_TRUE(m2->create("/members/m2", {}, false, true).is_ok());
 
@@ -197,8 +223,8 @@ TEST(Ephemeral, MembershipRecipe) {
 TEST(Ephemeral, WatchFiresWhenSessionDies) {
   Fixture f;
   ASSERT_TRUE(f.up());
-  RemoteClient observer(f.eps);
-  auto holder = std::make_unique<RemoteClient>(f.eps);
+  RemoteClient observer(ClientConfig{.servers = f.eps});
+  auto holder = std::make_unique<RemoteClient>(ClientConfig{.servers = f.eps});
   ASSERT_TRUE(holder->create("/leader-slot", {}, false, true).is_ok());
 
   // Observer watches the ephemeral; when the holder dies, the deletion
