@@ -4,6 +4,7 @@
 
 #include "common/crc32c.h"
 #include "common/metrics.h"
+#include "common/metrics_registry.h"
 #include "common/rng.h"
 #include "pb/data_tree.h"
 #include "storage/file_storage.h"
@@ -129,6 +130,23 @@ void BM_HistogramRecord(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_HistogramRecord);
+
+void BM_PrometheusExposition(benchmark::State& state) {
+  // The /metrics scrape path: snapshot + render a registry shaped like a
+  // busy node's (counters, gauges, and quantile-summarized histograms).
+  MetricsRegistry reg;
+  Rng rng(7);
+  for (int i = 0; i < state.range(0); ++i) {
+    reg.counter("zab.bench.counter" + std::to_string(i)).add(i);
+    reg.gauge("zab.bench.gauge" + std::to_string(i)).set(i);
+    Histogram& h = reg.histogram("zab.bench.hist" + std::to_string(i));
+    for (int j = 0; j < 1000; ++j) h.record(rng.below(1'000'000'000));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.to_prometheus());
+  }
+}
+BENCHMARK(BM_PrometheusExposition)->Arg(8)->Arg(64);
 
 }  // namespace
 }  // namespace zab

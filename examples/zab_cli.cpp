@@ -11,6 +11,9 @@
 //   zab_cli --servers ...            mntr [--json]  (per-server stats dump)
 //   zab_cli --servers ...            dump_trace <path>  (merged cluster
 //                                      trace as JSONL, one object per zxid)
+//   zab_cli --admin-servers 9101,... admin [target]  (GET each server's
+//                                      admin plane; target defaults to
+//                                      /status — NOT the client ports)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +22,7 @@
 
 #include "common/logging.h"
 #include "harness/trace_collector.h"
+#include "net/admin_server.h"
 #include "pb/remote_client.h"
 
 using namespace zab;
@@ -56,6 +60,7 @@ int fail(const Status& st) {
 int main(int argc, char** argv) {
   logging::set_default_level(LogLevel::kError);
   std::vector<pb::Endpoint> servers;
+  std::vector<pb::Endpoint> admin_servers;
   std::vector<std::string> args;
   bool sequential = false;
   bool json = false;
@@ -63,6 +68,8 @@ int main(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--servers" && i + 1 < argc) {
       servers = parse_servers(argv[++i]);
+    } else if (a == "--admin-servers" && i + 1 < argc) {
+      admin_servers = parse_servers(argv[++i]);
     } else if (a == "--seq") {
       sequential = true;
     } else if (a == "--json") {
@@ -71,11 +78,40 @@ int main(int argc, char** argv) {
       args.push_back(a);
     }
   }
-  if (servers.empty() || args.empty()) {
+  if (args.empty() || (servers.empty() && admin_servers.empty())) {
     std::fprintf(stderr,
                  "usage: %s --servers p1,p2,... "
-                 "<create|get|set|rm|ls|stat|leader|mntr|dump_trace> [args]\n",
-                 argv[0]);
+                 "<create|get|set|rm|ls|stat|leader|mntr|dump_trace> [args]\n"
+                 "       %s --admin-servers p1,p2,... admin [/metrics|/readyz"
+                 "|/status|/tracez]\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+
+  if (args[0] == "admin") {
+    // Talks HTTP to the admin plane — no client protocol, no sessions.
+    if (admin_servers.empty()) {
+      std::fprintf(stderr, "admin: need --admin-servers\n");
+      return 2;
+    }
+    const std::string target = args.size() > 1 ? args[1] : "/status";
+    int rc = 0;
+    for (const auto& ep : admin_servers) {
+      std::printf("--- %s:%u %s ---\n", ep.host.c_str(), ep.port,
+                  target.c_str());
+      auto r = net::http_get(ep.port, target);
+      if (!r.is_ok()) {
+        std::printf("unreachable: %s\n", r.status().to_string().c_str());
+        rc = 1;
+        continue;
+      }
+      std::fputs(net::http_body(r.value()).c_str(), stdout);
+      std::fputc('\n', stdout);
+    }
+    return rc;
+  }
+  if (servers.empty()) {
+    std::fprintf(stderr, "need --servers for command '%s'\n", args[0].c_str());
     return 2;
   }
 

@@ -19,10 +19,14 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.h"
+#include "common/flight_recorder.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
+#include "net/admin_server.h"
 #include "net/runtime_env.h"
 #include "net/tcp_transport.h"
+#include "pb/admin_status.h"
 #include "pb/client_service.h"
 #include "pb/replicated_tree.h"
 #include "storage/file_storage.h"
@@ -52,7 +56,8 @@ std::vector<std::uint16_t> parse_ports(const std::string& csv) {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --id N --peers p1,p2,... [--observers K] "
-               "--client-port P --data DIR [--fsync] [--group-commit] [-v]\n",
+               "--client-port P --data DIR [--fsync] [--group-commit]\n"
+               "       [--admin-port P] [--crash-dump FILE] [-v]\n",
                argv0);
 }
 
@@ -63,6 +68,9 @@ int main(int argc, char** argv) {
   std::vector<std::uint16_t> peer_ports;
   std::size_t n_observers = 0;
   std::uint16_t client_port = 0;
+  std::uint16_t admin_port = 0;
+  bool with_admin = false;
+  std::string crash_dump;
   std::string data_dir;
   bool fsync = false;
   bool group_commit = false;
@@ -80,6 +88,11 @@ int main(int argc, char** argv) {
       n_observers = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--client-port") {
       client_port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--admin-port") {
+      admin_port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
+      with_admin = true;
+    } else if (arg == "--crash-dump") {
+      crash_dump = next();
     } else if (arg == "--data") {
       data_dir = next();
     } else if (arg == "--fsync") {
@@ -103,6 +116,7 @@ int main(int argc, char** argv) {
   // One registry per process, shared by transport, storage and node; the
   // `mntr` client command dumps it (see docs/PROTOCOL.md, Observability).
   MetricsRegistry metrics;
+  build_info::register_server_gauges(metrics);
 
   net::TcpConfig tc;
   tc.id = id;
@@ -168,18 +182,41 @@ int main(int argc, char** argv) {
   });
   env.run_sync([] {});  // barrier: node + tree constructed
 
-  pb::ClientService service(env, *tree);
-  if (Status st = service.start("127.0.0.1", client_port); !st.is_ok()) {
-    std::fprintf(stderr, "client service: %s\n", st.to_string().c_str());
+  auto teardown = [&](net::AdminServer* admin) {
     // Orderly teardown: the loop thread and transport are already live and
     // hold references to node/tree; returning without stopping them races
     // their destructors against in-flight callbacks.
+    if (admin) admin->stop();
     env.run_sync([&] {
       if (node) node->shutdown();
     });
     transport->shutdown();
     env.stop();
+  };
+
+  pb::ClientService service(env, *tree);
+  if (Status st = service.start("127.0.0.1", client_port); !st.is_ok()) {
+    std::fprintf(stderr, "client service: %s\n", st.to_string().c_str());
+    teardown(nullptr);
     return 1;
+  }
+
+  // Out-of-band admin plane: own port, own IO thread, read-only.
+  std::unique_ptr<net::AdminServer> admin;
+  if (with_admin) {
+    net::AdminConfig ac;
+    ac.port = admin_port;
+    admin = std::make_unique<net::AdminServer>(
+        ac, pb::make_admin_collector(env, *node, tree.get(), *storage));
+    if (Status st = admin->start(); !st.is_ok()) {
+      std::fprintf(stderr, "admin server: %s\n", st.to_string().c_str());
+      service.stop();
+      teardown(nullptr);
+      return 1;
+    }
+    std::printf("zab_server: node %u admin plane on %u "
+                "(/metrics /healthz /readyz /status /tracez)\n",
+                id, admin->port());
   }
 
   std::printf("zab_server: node %u up — peers on ports [", id);
@@ -192,10 +229,32 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+
+  // Flight recorder last: its SIGTERM handler dumps a post-mortem bundle,
+  // then chains to on_signal (installed above), preserving graceful
+  // shutdown. Fatal signals dump and re-raise.
+  FlightRecorder recorder;
+  if (!crash_dump.empty()) {
+    recorder.set_path(crash_dump);
+    const int slot = recorder.register_slot();
+    env.run_sync([&] {
+      node->set_postmortem_sink(
+          [&recorder, slot](const std::string& bundle, bool stalled) {
+            recorder.publish(slot, bundle);
+            if (stalled) recorder.dump_now("stall");
+          });
+    });
+    recorder.install();
+    std::printf("zab_server: node %u post-mortem dumps to %s\n", id,
+                crash_dump.c_str());
+  }
+
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::printf("\nzab_server: shutting down node %u\n", id);
+  recorder.uninstall();
+  if (admin) admin->stop();
   service.stop();
   std::string final_report;
   env.run_sync([&] {

@@ -1,0 +1,74 @@
+#include "common/build_info.h"
+
+#include <ctime>
+
+#include "common/json.h"
+
+#ifndef ZAB_BUILD_GIT_SHA
+#define ZAB_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef ZAB_BUILD_SANITIZE
+#define ZAB_BUILD_SANITIZE ""
+#endif
+
+namespace zab::build_info {
+
+namespace {
+
+#if defined(__clang__)
+#define ZAB_STR2(x) #x
+#define ZAB_STR(x) ZAB_STR2(x)
+constexpr const char* kCompiler = "clang " ZAB_STR(__clang_major__) "." ZAB_STR(
+    __clang_minor__) "." ZAB_STR(__clang_patchlevel__);
+#elif defined(__GNUC__)
+constexpr const char* kCompiler = "gcc " __VERSION__;
+#else
+constexpr const char* kCompiler = "unknown";
+#endif
+
+constexpr const char* kStartKey = "zab.server.start_time_unix";
+constexpr const char* kUptimeKey = "zab.server.uptime_s";
+
+}  // namespace
+
+const char* git_sha() { return ZAB_BUILD_GIT_SHA; }
+const char* compiler() { return kCompiler; }
+const char* sanitizer() { return ZAB_BUILD_SANITIZE; }
+
+std::string to_json() {
+  std::string out = "{";
+  out += json::key("git_sha") + json::str(git_sha()) + ',';
+  out += json::key("compiler") + json::str(compiler()) + ',';
+  out += json::key("sanitizer") + json::str(sanitizer());
+  out += '}';
+  return out;
+}
+
+std::string prometheus_line() {
+  std::string out = "# TYPE zab_build_info gauge\n";
+  out += "zab_build_info{git_sha=\"";
+  out += git_sha();
+  out += "\",compiler=\"";
+  out += compiler();
+  out += "\",sanitizer=\"";
+  out += sanitizer();
+  out += "\"} 1\n";
+  return out;
+}
+
+void register_server_gauges(MetricsRegistry& m) {
+  Gauge& start = m.gauge(kStartKey);
+  if (start.value() == 0) {
+    start.set(static_cast<std::int64_t>(std::time(nullptr)));
+  }
+  m.gauge(kUptimeKey).set(0);
+}
+
+void refresh_uptime(MetricsRegistry& m) {
+  const std::int64_t start = m.gauge(kStartKey).value();
+  if (start == 0) return;  // gauges never registered
+  m.gauge(kUptimeKey)
+      .set(static_cast<std::int64_t>(std::time(nullptr)) - start);
+}
+
+}  // namespace zab::build_info

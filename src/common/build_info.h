@@ -1,0 +1,44 @@
+// Build identity + server lifetime gauges for the admin plane.
+//
+// Every scrape and every crash post-mortem should identify the binary that
+// produced it: git sha (baked in by CMake at configure time), compiler, and
+// sanitizer flags, plus when the process started. The identity travels three
+// ways — `zab_build_info{...} 1` on /metrics (Prometheus info-metric idiom),
+// a "build" object on /status and in flight-recorder bundles, and the
+// zab.server.start_time_unix / zab.server.uptime_s gauges in the registry.
+#pragma once
+
+#include <string>
+
+#include "common/metrics_registry.h"
+
+namespace zab::build_info {
+
+/// Short git sha of the source tree ("unknown" outside a git checkout).
+[[nodiscard]] const char* git_sha();
+
+/// Compiler id + version, e.g. "gcc 13.2.0" or "clang 17.0.1".
+[[nodiscard]] const char* compiler();
+
+/// Sanitizer the binary was built with: "", "address", or "thread"
+/// (mirrors the ZAB_SANITIZE cmake option).
+[[nodiscard]] const char* sanitizer();
+
+/// {"git_sha":"...","compiler":"...","sanitizer":"..."}
+[[nodiscard]] std::string to_json();
+
+/// `# TYPE zab_build_info gauge` + `zab_build_info{git_sha=...,...} 1`
+/// (trailing newline included), appended to the Prometheus exposition.
+[[nodiscard]] std::string prometheus_line();
+
+/// Register the server-lifetime gauges in `m`:
+///   zab.server.start_time_unix  wall-clock start (unix seconds, set once)
+///   zab.server.uptime_s         seconds since start (refreshed on demand)
+/// Idempotent; call once at process/node assembly time.
+void register_server_gauges(MetricsRegistry& m);
+
+/// Recompute zab.server.uptime_s from the recorded start time. Call right
+/// before snapshotting the registry for a scrape or post-mortem.
+void refresh_uptime(MetricsRegistry& m);
+
+}  // namespace zab::build_info

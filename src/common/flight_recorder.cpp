@@ -1,0 +1,202 @@
+#include "common/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/build_info.h"
+
+namespace zab {
+
+namespace {
+
+// Signal handlers can only reach the recorder through globals.
+std::atomic<FlightRecorder*> g_installed{nullptr};
+struct sigaction g_old_term;
+bool g_have_old_term = false;
+
+/// Async-signal-safe decimal itoa; returns chars written.
+std::size_t safe_utoa(std::uint64_t v, char* out) {
+  char tmp[24];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  return n;
+}
+
+void safe_write(int fd, const char* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return;  // nothing recoverable from a handler
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void safe_puts(int fd, const char* s) { safe_write(fd, s, std::strlen(s)); }
+
+void safe_putnum(int fd, std::uint64_t v) {
+  char buf[24];
+  safe_write(fd, buf, safe_utoa(v, buf));
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() = default;
+
+FlightRecorder::~FlightRecorder() {
+  if (g_installed.load(std::memory_order_acquire) == this) uninstall();
+}
+
+void FlightRecorder::set_path(const std::string& path) {
+  const std::size_t n = std::min(path.size(), sizeof(path_) - 1);
+  std::memcpy(path_, path.data(), n);
+  path_[n] = '\0';
+}
+
+std::string FlightRecorder::path() const { return path_; }
+
+int FlightRecorder::register_slot() {
+  const int idx = n_slots_.fetch_add(1, std::memory_order_acq_rel);
+  if (idx >= static_cast<int>(kMaxSlots)) {
+    n_slots_.store(kMaxSlots, std::memory_order_release);
+    return -1;
+  }
+  // Allocate both buffers up front (normal context) so publish() and the
+  // signal handler never allocate.
+  slots_[idx].buf[0] = std::make_unique<char[]>(kSlotBytes);
+  slots_[idx].buf[1] = std::make_unique<char[]>(kSlotBytes);
+  return idx;
+}
+
+void FlightRecorder::publish(int slot, std::string_view bundle) {
+  if (slot < 0 || slot >= n_slots_.load(std::memory_order_acquire)) return;
+  Slot& s = slots_[slot];
+  const int cur = s.active.load(std::memory_order_relaxed);
+  const int next = cur == 0 ? 1 : 0;  // -1 (never published) writes buf 0
+  const std::size_t n = std::min(bundle.size(), kSlotBytes);
+  std::memcpy(s.buf[next].get(), bundle.data(), n);
+  s.len[next] = n;
+  s.active.store(next, std::memory_order_release);
+}
+
+void FlightRecorder::install() {
+  if (path_[0] == '\0') return;  // nowhere to dump
+  FlightRecorder* prev = g_installed.exchange(this, std::memory_order_acq_rel);
+  if (prev == this) return;
+  if (prev != nullptr) prev->handlers_installed_ = false;
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &FlightRecorder::on_fatal;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESETHAND: the disposition is back to default inside the handler, so
+  // re-raising after the dump terminates the process normally (core etc.).
+  sa.sa_flags = SA_RESETHAND | SA_NODEFER;
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGABRT, &sa, nullptr);
+  ::sigaction(SIGBUS, &sa, nullptr);
+
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &FlightRecorder::on_term;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGTERM, &sa, &g_old_term);
+  g_have_old_term = true;
+  handlers_installed_ = true;
+}
+
+void FlightRecorder::uninstall() {
+  FlightRecorder* expected = this;
+  if (!g_installed.compare_exchange_strong(expected, nullptr,
+                                           std::memory_order_acq_rel)) {
+    return;
+  }
+  struct sigaction dfl;
+  std::memset(&dfl, 0, sizeof(dfl));
+  dfl.sa_handler = SIG_DFL;
+  sigemptyset(&dfl.sa_mask);
+  ::sigaction(SIGSEGV, &dfl, nullptr);
+  ::sigaction(SIGABRT, &dfl, nullptr);
+  ::sigaction(SIGBUS, &dfl, nullptr);
+  if (g_have_old_term) {
+    ::sigaction(SIGTERM, &g_old_term, nullptr);
+    g_have_old_term = false;
+  }
+  handlers_installed_ = false;
+}
+
+bool FlightRecorder::installed() const {
+  return g_installed.load(std::memory_order_acquire) == this;
+}
+
+std::uint64_t FlightRecorder::dump_count() const {
+  return dumps_.load(std::memory_order_acquire);
+}
+
+void FlightRecorder::dump_now(const char* reason, int signal) {
+  if (path_[0] == '\0') return;
+  const int fd = ::open(path_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  const std::uint64_t nth =
+      dumps_.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  safe_puts(fd, "{\"event\":\"postmortem\",\"signal\":");
+  safe_putnum(fd, static_cast<std::uint64_t>(signal));
+  safe_puts(fd, ",\"reason\":\"");
+  safe_puts(fd, reason != nullptr ? reason : "unknown");
+  safe_puts(fd, "\",\"git_sha\":\"");
+  safe_puts(fd, build_info::git_sha());
+  safe_puts(fd, "\",\"dumps\":");
+  safe_putnum(fd, nth);
+  safe_puts(fd, "}\n");
+
+  const int n = n_slots_.load(std::memory_order_acquire);
+  for (int i = 0; i < n && i < static_cast<int>(kMaxSlots); ++i) {
+    const Slot& s = slots_[i];
+    const int active = s.active.load(std::memory_order_acquire);
+    if (active < 0) continue;
+    safe_write(fd, s.buf[active].get(), s.len[active]);
+    safe_puts(fd, "\n");
+  }
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void FlightRecorder::on_fatal(int sig) {
+  FlightRecorder* rec = g_installed.load(std::memory_order_acquire);
+  if (rec != nullptr) rec->dump_now("fatal-signal", sig);
+  // SA_RESETHAND already restored the default disposition.
+  ::raise(sig);
+}
+
+void FlightRecorder::on_term(int sig) {
+  FlightRecorder* rec = g_installed.load(std::memory_order_acquire);
+  if (rec != nullptr) rec->dump_now("sigterm", sig);
+  if (g_have_old_term &&
+      (g_old_term.sa_flags & SA_SIGINFO) == 0 &&
+      g_old_term.sa_handler != SIG_DFL && g_old_term.sa_handler != SIG_IGN) {
+    g_old_term.sa_handler(sig);
+    return;
+  }
+  // No chained handler: behave like the default (terminate). Restore the
+  // default disposition and re-raise.
+  struct sigaction dfl;
+  std::memset(&dfl, 0, sizeof(dfl));
+  dfl.sa_handler = SIG_DFL;
+  sigemptyset(&dfl.sa_mask);
+  ::sigaction(SIGTERM, &dfl, nullptr);
+  ::raise(sig);
+}
+
+}  // namespace zab

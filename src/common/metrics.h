@@ -31,6 +31,7 @@ class Histogram {
   void record(std::uint64_t value);
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
   [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
   [[nodiscard]] std::uint64_t max() const { return max_; }
   [[nodiscard]] double mean() const {

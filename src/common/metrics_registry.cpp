@@ -67,8 +67,9 @@ std::string MetricsSnapshot::to_text(const std::string& prefix) const {
   for (const auto& [name, h] : histograms) {
     u64_line(name + "_count", h.count());
     u64_line(name + "_mean", static_cast<std::uint64_t>(h.mean()));
-    u64_line(name + "_p50", h.quantile(0.5));
-    u64_line(name + "_p99", h.quantile(0.99));
+    for (const QuantileSpec& qs : kHistogramQuantiles) {
+      u64_line(name + "_" + qs.key, h.quantile(qs.q));
+    }
     u64_line(name + "_max", h.max());
   }
   return out;
@@ -104,12 +105,73 @@ std::string MetricsSnapshot::to_json(const std::string& prefix) const {
     out += '{';
     out += json::key("count") + json::num(h.count()) + ',';
     out += json::key("mean") + json::num(h.mean()) + ',';
-    out += json::key("p50") + json::num(h.quantile(0.5)) + ',';
-    out += json::key("p99") + json::num(h.quantile(0.99)) + ',';
+    for (const QuantileSpec& qs : kHistogramQuantiles) {
+      out += json::key(qs.key) + json::num(h.quantile(qs.q)) + ',';
+    }
     out += json::key("max") + json::num(h.max());
     out += '}';
   }
   out += "}}";
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:] with a non-digit lead.
+std::string prom_name(const std::string& key) {
+  std::string out;
+  out.reserve(key.size() + 1);
+  for (const char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void prom_sample(std::string& out, const std::string& name,
+                 const char* labels, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += name;
+  out += labels;
+  out += ' ';
+  out += buf;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [key, v] : counters) {
+    const std::string name = prom_name(key);
+    out += "# TYPE " + name + " counter\n";
+    prom_sample(out, name, "", v);
+  }
+  for (const auto& [key, v] : gauges) {
+    const std::string name = prom_name(key);
+    out += "# TYPE " + name + " gauge\n";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += name + " " + buf + "\n";
+  }
+  for (const auto& [key, h] : histograms) {
+    const std::string name = prom_name(key);
+    out += "# TYPE " + name + " summary\n";
+    for (const QuantileSpec& qs : kHistogramQuantiles) {
+      const std::string labels =
+          std::string("{quantile=\"") + qs.label + "\"}";
+      prom_sample(out, name, labels.c_str(), h.quantile(qs.q));
+    }
+    prom_sample(out, name + "_sum", "", h.sum());
+    prom_sample(out, name + "_count", "", h.count());
+    out += "# TYPE " + name + "_max gauge\n";
+    prom_sample(out, name + "_max", "", h.max());
+  }
   return out;
 }
 

@@ -53,6 +53,19 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
+/// The one histogram quantile scheme every exposition shares: mntr text
+/// emits `<key>_p50/_p90/_p99/_max`, JSON emits `p50/p90/p99/max` object
+/// keys, and the Prometheus summary emits `quantile="0.5"/"0.9"/"0.99"`
+/// labels plus a `<name>_max` gauge. Adding a quantile here updates all
+/// three paths together (round-trip tested in tests/test_admin_plane.cpp).
+struct QuantileSpec {
+  const char* key;    // exposition key, e.g. "p50"
+  const char* label;  // Prometheus quantile label value, e.g. "0.5"
+  double q;
+};
+inline constexpr QuantileSpec kHistogramQuantiles[] = {
+    {"p50", "0.5", 0.5}, {"p90", "0.9", 0.9}, {"p99", "0.99", 0.99}};
+
 /// Point-in-time copy of a registry's contents. Mergeable across nodes
 /// (counters/gauges add, histograms merge bucket-wise) so a cluster-wide
 /// view is just the per-node snapshots folded together.
@@ -64,15 +77,24 @@ struct MetricsSnapshot {
   void merge(const MetricsSnapshot& other);
 
   /// mntr-style text exposition: one "key<TAB>value" line per metric, keys
-  /// sorted. Histograms expand to key_count/_mean/_p50/_p99/_max rows
+  /// sorted. Histograms expand to key_count/_mean/_p50/_p90/_p99/_max rows
   /// (values in the recorded unit, i.e. nanoseconds for latency metrics).
   [[nodiscard]] std::string to_text(const std::string& prefix = "") const;
 
   /// JSON exposition (one object, no trailing newline):
   ///   {"counters":{"k":v,...},"gauges":{...},
-  ///    "histograms":{"k":{"count":..,"mean":..,"p50":..,"p99":..,"max":..}}}
+  ///    "histograms":{"k":{"count":..,"mean":..,"p50":..,"p90":..,
+  ///                       "p99":..,"max":..}}}
   /// The same numbers as to_text, for scripts and the bench trajectories.
   [[nodiscard]] std::string to_json(const std::string& prefix = "") const;
+
+  /// Prometheus text exposition format (one block per metric, ends with a
+  /// newline). Dot-separated keys are sanitized to [a-zA-Z0-9_:] metric
+  /// names ("zab.leader.commits" -> "zab_leader_commits"); counters and
+  /// gauges become `# TYPE` + sample lines, histograms become summaries
+  /// (quantile-labeled samples per kHistogramQuantiles plus _sum/_count)
+  /// with the tracked maximum as an extra `<name>_max` gauge.
+  [[nodiscard]] std::string to_prometheus() const;
 };
 
 class MetricsRegistry {
@@ -99,6 +121,10 @@ class MetricsRegistry {
 
   [[nodiscard]] std::string to_json(const std::string& prefix = "") const {
     return snapshot().to_json(prefix);
+  }
+
+  [[nodiscard]] std::string to_prometheus() const {
+    return snapshot().to_prometheus();
   }
 
  private:

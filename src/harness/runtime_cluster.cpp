@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "pb/admin_status.h"
+
 namespace zab::harness {
 
 RuntimeCluster::RuntimeCluster(RuntimeClusterConfig cfg)
@@ -116,13 +118,50 @@ Status RuntimeCluster::start() {
       ZAB_RETURN_IF_ERROR(s->client->start("127.0.0.1", 0));
     }
   }
+
+  if (!cfg_.crash_dump_path.empty()) {
+    recorder_.set_path(cfg_.crash_dump_path);
+    for (auto& s : slots_) {
+      Slot* slot = s.get();
+      slot->recorder_slot = recorder_.register_slot();
+      // The sink runs on the node's loop at watchdog cadence; a NEW stall
+      // also forces an immediate dump — the exact moment the pipeline
+      // wedged, not 50 ms of drift later.
+      slot->env->run_sync([this, slot] {
+        slot->node->set_postmortem_sink(
+            [this, slot](const std::string& bundle, bool stalled) {
+              recorder_.publish(slot->recorder_slot, bundle);
+              if (stalled) recorder_.dump_now("stall");
+            });
+      });
+    }
+    recorder_.install();
+  }
+
+  if (cfg_.with_admin) {
+    for (auto& s : slots_) {
+      s->env->run_sync([] {});  // barrier: node/tree constructed on the loop
+      net::AdminConfig ac;
+      ac.port = cfg_.admin_base_port == 0
+                    ? 0
+                    : static_cast<std::uint16_t>(cfg_.admin_base_port + s->id);
+      s->admin = std::make_unique<net::AdminServer>(
+          ac, pb::make_admin_collector(*s->env, *s->node, s->tree.get(),
+                                       *s->storage));
+      ZAB_RETURN_IF_ERROR(s->admin->start());
+    }
+  }
   started_ = true;
   return Status::ok();
 }
 
 void RuntimeCluster::stop() {
   if (!started_) return;
+  recorder_.uninstall();
   for (auto& s : slots_) {
+    // Admin servers go first: their collectors post onto loops that are
+    // about to stop.
+    if (s->admin) s->admin->stop();
     if (s->client) s->client->stop();
   }
   // Silence nodes first (on their own loops), then stop loops & transports.

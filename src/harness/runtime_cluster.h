@@ -10,7 +10,9 @@
 
 #include <atomic>
 
+#include "common/flight_recorder.h"
 #include "harness/trace_collector.h"
+#include "net/admin_server.h"
 #include "net/inproc.h"
 #include "net/runtime_env.h"
 #include "net/tcp_transport.h"
@@ -42,6 +44,15 @@ struct RuntimeClusterConfig {
   /// Also expose each replica to external clients on an ephemeral TCP port
   /// (see client_port()). Implies with_trees.
   bool with_client_service = false;
+  /// Also run the out-of-band admin HTTP plane per node (see admin_port(),
+  /// admin_get()). Independent of with_client_service.
+  bool with_admin = false;
+  /// Admin base port; node i listens on admin_base_port + i. 0 picks
+  /// ephemeral ports (recommended for tests).
+  std::uint16_t admin_base_port = 0;
+  /// Non-empty: wire every node's post-mortem bundle into one shared
+  /// FlightRecorder dumping to this file, and install its signal handlers.
+  std::string crash_dump_path;
   ZabConfig node;
   std::uint64_t seed = 42;
 };
@@ -69,6 +80,20 @@ class RuntimeCluster {
   [[nodiscard]] std::uint16_t client_port(NodeId id) const {
     return slots_.at(id - 1)->client ? slots_.at(id - 1)->client->port() : 0;
   }
+
+  /// Admin-plane port of a node (with_admin only).
+  [[nodiscard]] std::uint16_t admin_port(NodeId id) const {
+    return slots_.at(id - 1)->admin ? slots_.at(id - 1)->admin->port() : 0;
+  }
+
+  /// Blocking HTTP GET against one node's admin plane (with_admin only).
+  [[nodiscard]] Result<std::string> admin_get(NodeId id,
+                                              const std::string& target) {
+    return net::http_get(admin_port(id), target);
+  }
+
+  /// Shared post-mortem recorder (crash_dump_path only; otherwise inert).
+  [[nodiscard]] FlightRecorder& flight_recorder() { return recorder_; }
 
   /// Thread-safe snapshot of (role, last_delivered) per node.
   struct NodeView {
@@ -124,6 +149,8 @@ class RuntimeCluster {
     std::unique_ptr<ZabNode> node;
     std::unique_ptr<pb::ReplicatedTree> tree;
     std::unique_ptr<pb::ClientService> client;
+    std::unique_ptr<net::AdminServer> admin;
+    int recorder_slot = -1;  // FlightRecorder slot (crash_dump_path only)
     // Checked on the transport's delivery path; muted inbound messages are
     // dropped before reaching the loop (see mute_node).
     std::atomic<bool> muted{false};
@@ -132,6 +159,7 @@ class RuntimeCluster {
   RuntimeClusterConfig cfg_;
   net::InprocHub hub_;
   std::vector<std::unique_ptr<Slot>> slots_;
+  FlightRecorder recorder_;
   bool started_ = false;
 };
 

@@ -1,0 +1,435 @@
+#include "net/admin_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <string_view>
+
+#include "common/build_info.h"
+
+namespace zab::net {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+std::string response(int code, const char* reason, const char* content_type,
+                     std::string body) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(code);
+  out += ' ';
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+constexpr const char* kTextPlain = "text/plain; charset=utf-8";
+/// The version Prometheus' scraper negotiates for the text format.
+constexpr const char* kPromText = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Value of `name` in an application/x-www-form-urlencoded-ish query
+/// ("a=1&b=2"); empty when absent. No %-decoding — admin values are
+/// decimal numbers.
+std::string query_param(const std::string& query, const char* name) {
+  const std::string needle = std::string(name) + '=';
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    if (query.compare(pos, needle.size(), needle) == 0) {
+      return query.substr(pos + needle.size(), amp - pos - needle.size());
+    }
+    pos = amp + 1;
+  }
+  return {};
+}
+
+}  // namespace
+
+HttpParse parse_http_request(std::string& buf, HttpRequest* out) {
+  const std::size_t end = buf.find("\r\n\r\n");
+  if (end == std::string::npos) {
+    // No terminator yet. A buffer past the cap can never become a valid
+    // small request; a buffer that doesn't look like an HTTP method at all
+    // fails fast instead of waiting for 8 KiB of garbage.
+    if (buf.size() > kMaxAdminRequestBytes) return HttpParse::kTooLarge;
+    const std::size_t line_end = buf.find("\r\n");
+    if (line_end != std::string::npos) {
+      // Full request line present: validate it now so a malformed client
+      // gets its 400 without needing to send the blank line.
+      const std::string line = buf.substr(0, line_end);
+      if (std::count(line.begin(), line.end(), ' ') != 2 ||
+          line.find("HTTP/1.") == std::string::npos) {
+        return HttpParse::kBad;
+      }
+    }
+    return HttpParse::kNeedMore;
+  }
+  if (end > kMaxAdminRequestBytes) return HttpParse::kTooLarge;
+
+  const std::size_t line_end = buf.find("\r\n");
+  const std::string line = buf.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1 ||
+      line.compare(sp2 + 1, 7, "HTTP/1.") != 0) {
+    return HttpParse::kBad;
+  }
+  out->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return HttpParse::kBad;
+  const std::size_t q = target.find('?');
+  if (q == std::string::npos) {
+    out->target = std::move(target);
+    out->query.clear();
+  } else {
+    out->query = target.substr(q + 1);
+    out->target = target.substr(0, q);
+  }
+  buf.erase(0, end + 4);
+  return HttpParse::kOk;
+}
+
+std::string AdminServer::handle(const HttpRequest& req,
+                                const AdminSnapshot& snap, bool stale) {
+  if (req.method != "GET") {
+    return response(405, "Method Not Allowed", kTextPlain,
+                    "admin plane is read-only\n");
+  }
+  if (req.target == "/healthz") {
+    // Liveness only: answering at all is the signal. Never consults the
+    // snapshot, so it stays 200 while the node loop is wedged.
+    return response(200, "OK", kTextPlain, "ok\n");
+  }
+  if (req.target == "/readyz") {
+    if (stale) {
+      return response(503, "Service Unavailable", kTextPlain, "stale\n");
+    }
+    if (!snap.ready) {
+      return response(503, "Service Unavailable", kTextPlain,
+                      snap.not_ready_reason + "\n");
+    }
+    return response(200, "OK", kTextPlain, "ready\n");
+  }
+  if (req.target == "/metrics") {
+    std::string body = snap.prometheus;
+    body += build_info::prometheus_line();
+    body += "# TYPE zab_admin_scrape_stale gauge\nzab_admin_scrape_stale ";
+    body += stale ? "1\n" : "0\n";
+    return response(200, "OK", kPromText, std::move(body));
+  }
+  if (req.target == "/status") {
+    return response(200, "OK", "application/json", snap.status_json + "\n");
+  }
+  if (req.target == "/tracez") {
+    const std::string want = query_param(req.query, "zxid");
+    if (want.empty()) {
+      return response(200, "OK", "application/x-ndjson", snap.trace_jsonl);
+    }
+    // Filter by packed zxid: collectors emit `"packed":N,` on every line.
+    const std::string needle = "\"packed\":" + want + ',';
+    std::string body;
+    std::size_t pos = 0;
+    while (pos < snap.trace_jsonl.size()) {
+      std::size_t nl = snap.trace_jsonl.find('\n', pos);
+      if (nl == std::string::npos) nl = snap.trace_jsonl.size();
+      const std::string_view line(snap.trace_jsonl.data() + pos, nl - pos);
+      if (line.find(needle) != std::string_view::npos) {
+        body.append(line);
+        body += '\n';
+      }
+      pos = nl + 1;
+    }
+    return response(200, "OK", "application/x-ndjson", std::move(body));
+  }
+  return response(404, "Not Found", kTextPlain, "not found\n");
+}
+
+AdminServer::AdminServer(AdminConfig cfg, Collector collector)
+    : cfg_(std::move(cfg)), collector_(std::move(collector)) {}
+
+AdminServer::~AdminServer() { stop(); }
+
+Status AdminServer::start() {
+  if (::pipe(wake_pipe_) != 0) return Status::io_error("pipe");
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::io_error("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::invalid_argument("bad host " + cfg_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::io_error(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 16) != 0) return Status::io_error("listen");
+  set_nonblocking(listen_fd_);
+
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  port_ = ntohs(bound.sin_port);
+
+  running_ = true;
+  io_thread_ = std::thread([this] { io_loop(); });
+  return Status::ok();
+}
+
+void AdminServer::stop() {
+  if (!running_.exchange(false)) {
+    if (io_thread_.joinable()) io_thread_.join();
+    return;
+  }
+  const char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  if (io_thread_.joinable()) io_thread_.join();
+  for (auto& c : conns_) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+bool AdminServer::fetch(AdminSnapshot* out) {
+  // The waiter state is shared with the collector's completion through a
+  // shared_ptr: a completion arriving after the timeout (or after this
+  // server died) touches only the orphaned state, never `this`.
+  struct Pending {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    AdminSnapshot snap;
+  };
+  auto p = std::make_shared<Pending>();
+  if (collector_) {
+    collector_([p](AdminSnapshot s) {
+      std::lock_guard<std::mutex> lk(p->mu);
+      p->snap = std::move(s);
+      p->done = true;
+      p->cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lk(p->mu);
+  const bool fresh =
+      p->cv.wait_for(lk, std::chrono::nanoseconds(cfg_.collect_timeout),
+                     [&p] { return p->done; });
+  if (fresh) {
+    std::lock_guard<std::mutex> clk(cache_mu_);
+    cache_ = p->snap;
+    have_cache_ = true;
+    *out = std::move(p->snap);
+    return true;
+  }
+  std::lock_guard<std::mutex> clk(cache_mu_);
+  if (have_cache_) {
+    *out = cache_;
+  } else {
+    // Never collected successfully: serve a degraded skeleton so /metrics
+    // and /healthz still answer something parseable.
+    *out = AdminSnapshot{};
+    out->status_json = "{\"error\":\"no snapshot collected\"}";
+  }
+  return false;
+}
+
+void AdminServer::serve_conn(Conn& c) {
+  while (true) {
+    HttpRequest req;
+    const HttpParse r = parse_http_request(c.in, &req);
+    if (r == HttpParse::kNeedMore) return;
+    if (r == HttpParse::kBad) {
+      c.out += response(400, "Bad Request", kTextPlain, "bad request\n");
+      c.close_after_write = true;
+      return;
+    }
+    if (r == HttpParse::kTooLarge) {
+      c.out += response(431, "Request Header Fields Too Large", kTextPlain,
+                        "request too large\n");
+      c.close_after_write = true;
+      return;
+    }
+    // /healthz must not touch the collector: liveness stays cheap and
+    // cannot be dragged down by a wedged node loop.
+    if (req.method == "GET" && req.target == "/healthz") {
+      c.out += handle(req, AdminSnapshot{}, false);
+    } else {
+      AdminSnapshot snap;
+      const bool fresh = fetch(&snap);
+      c.out += handle(req, snap, !fresh);
+    }
+    c.close_after_write = true;  // Connection: close on every response
+    return;
+  }
+}
+
+void AdminServer::io_loop() {
+  while (running_) {
+    std::erase_if(conns_, [](const Conn& c) { return c.fd < 0; });
+    std::vector<pollfd> pfds;
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (auto& c : conns_) {
+      short ev = POLLIN;
+      if (!c.out.empty()) ev |= POLLOUT;
+      pfds.push_back({c.fd, ev, 0});
+    }
+    const std::size_t polled = conns_.size();
+
+    const int rc = ::poll(pfds.data(), pfds.size(), 100);
+    if (rc < 0 && errno != EINTR) return;
+    if (!running_) return;
+
+    if (pfds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (pfds[1].revents & POLLIN) {
+      while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (!set_nonblocking(fd)) {
+          ::close(fd);
+          continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        Conn c;
+        c.fd = fd;
+        conns_.push_back(std::move(c));
+      }
+    }
+
+    for (std::size_t i = 0; i < polled; ++i) {
+      Conn& c = conns_[i];
+      const short rev = pfds[2 + i].revents;
+      if (rev & (POLLERR | POLLHUP)) {
+        ::close(c.fd);
+        c.fd = -1;
+        continue;
+      }
+      if (rev & POLLIN) {
+        char buf[16384];
+        while (true) {
+          const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            c.in.append(buf, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          ::close(c.fd);
+          c.fd = -1;
+          break;
+        }
+        if (c.fd >= 0) serve_conn(c);
+      }
+      if (c.fd >= 0 && !c.out.empty()) {
+        while (!c.out.empty()) {
+          const ssize_t w =
+              ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+          if (w > 0) {
+            c.out.erase(0, static_cast<std::size_t>(w));
+            continue;
+          }
+          if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          ::close(c.fd);
+          c.fd = -1;
+          break;
+        }
+        if (c.fd >= 0 && c.out.empty() && c.close_after_write) {
+          ::close(c.fd);
+          c.fd = -1;
+        }
+      }
+    }
+  }
+}
+
+Result<std::string> http_get(std::uint16_t port, const std::string& target,
+                             Duration timeout) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::io_error("socket");
+  timeval tv{};
+  tv.tv_sec = timeout / kSecond;
+  tv.tv_usec = (timeout % kSecond) / kMicrosecond;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::io_error(std::string("connect: ") + std::strerror(errno));
+  }
+  std::string req = "GET " + target +
+                    " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t w =
+        ::send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (w <= 0) {
+      ::close(fd);
+      return Status::io_error("send");
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  std::string resp;
+  char buf[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      resp.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      ::close(fd);
+      return Status::io_error("recv timeout");
+    }
+    break;  // EOF
+  }
+  ::close(fd);
+  if (resp.empty()) return Status::io_error("empty response");
+  return resp;
+}
+
+std::string http_body(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  if (pos == std::string::npos) return response;
+  return response.substr(pos + 4);
+}
+
+}  // namespace zab::net

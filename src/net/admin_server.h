@@ -1,0 +1,151 @@
+// Out-of-band admin plane: a tiny read-only HTTP/1.1 server on its own port.
+//
+// Operators and probes talk HTTP (curl, Prometheus, Kubernetes) — the client
+// protocol stays for clients. The admin server shares NOTHING with the
+// client-protocol path: its own listener, its own IO thread, no sessions, no
+// framing. Endpoints:
+//
+//   GET /healthz   liveness: 200 "ok" while the process serves HTTP at all.
+//   GET /readyz    readiness: 200 "ready" when the node can serve its role
+//                  (see ZabNode::readiness); 503 with a reason while
+//                  electing/syncing/quorum-lost, or when the node's event
+//                  loop stopped answering ("stale").
+//   GET /metrics   Prometheus text exposition (counters, gauges, summaries)
+//                  plus zab_build_info and zab_admin_scrape_stale.
+//   GET /status    one JSON object: role, epoch, zxids, peers, sessions,
+//                  storage stats.
+//   GET /tracez    TraceRing timeline as JSONL; ?zxid=<packed> filters to
+//                  one transaction.
+//
+// Freshness contract: protocol state (histograms, readiness, traces) is
+// owned by the node's event loop, so every request asks a Collector to
+// produce a snapshot ON that loop and waits at most collect_timeout. When
+// the loop is wedged (the exact moment you scrape hardest), the server
+// answers anyway from the last good snapshot, marked stale — /metrics keeps
+// exporting, /readyz goes 503. The HTTP surface never blocks on the
+// protocol for longer than the collect timeout.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace zab::net {
+
+/// Point-in-time view of one node, produced on its event-loop thread.
+struct AdminSnapshot {
+  std::string prometheus;   // MetricsSnapshot::to_prometheus() output
+  std::string status_json;  // complete /status body (one JSON object)
+  std::string trace_jsonl;  // one JSON object per trace event, \n-separated
+  bool ready = false;
+  std::string not_ready_reason = "unknown";  // "electing" etc.
+};
+
+struct AdminConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0: pick an ephemeral port (see AdminServer::port)
+  /// How long one request waits for a fresh snapshot from the node loop
+  /// before falling back to the cached one (marked stale).
+  Duration collect_timeout = millis(250);
+};
+
+/// The subset of an HTTP/1.1 request the admin plane cares about.
+struct HttpRequest {
+  std::string method;
+  std::string target;  // path only, no query
+  std::string query;   // text after '?' (empty if none)
+};
+
+enum class HttpParse {
+  kNeedMore,  // incomplete: keep the buffer, read more
+  kOk,        // one request consumed from the front of the buffer
+  kBad,       // malformed request line: answer 400 and close
+  kTooLarge,  // header block exceeds the cap: answer 431 and close
+};
+
+/// Incremental parser over a connection's receive buffer. On kOk the
+/// request (through its blank-line terminator) is erased from `buf`;
+/// pipelined bytes after it survive for the next call. Bodies are not
+/// supported — the admin plane is GET-only and rejects anything with one.
+HttpParse parse_http_request(std::string& buf, HttpRequest* out);
+
+/// Header cap for parse_http_request (request line + headers).
+inline constexpr std::size_t kMaxAdminRequestBytes = 8192;
+
+class AdminServer {
+ public:
+  /// Produce a fresh snapshot and hand it to `done`. Invoked from the admin
+  /// IO thread; implementations post to the node's event loop and call
+  /// `done` from there (any thread is fine). If `done` is never called —
+  /// loop stopped, task dropped — the server times out and serves stale.
+  using Collector =
+      std::function<void(std::function<void(AdminSnapshot)> done)>;
+
+  AdminServer(AdminConfig cfg, Collector collector);
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Bind, listen, and start the IO thread.
+  [[nodiscard]] Status start();
+  /// Stop the IO thread and close every socket. Safe to call twice.
+  void stop();
+
+  /// Bound port (resolves cfg.port == 0 after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Pure request -> full HTTP response mapping (status line through body).
+  /// Static so unit tests cover routing without sockets; `stale` marks
+  /// `snap` as a cached copy whose collect timed out.
+  [[nodiscard]] static std::string handle(const HttpRequest& req,
+                                          const AdminSnapshot& snap,
+                                          bool stale);
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    bool close_after_write = false;
+  };
+
+  void io_loop();
+  void serve_conn(Conn& c);
+  /// Fresh snapshot from the collector, or the cached one. Returns true
+  /// when the result is fresh.
+  bool fetch(AdminSnapshot* out);
+
+  AdminConfig cfg_;
+  Collector collector_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread io_thread_;
+  std::vector<Conn> conns_;
+
+  // IO-thread only once running; the mutex covers the pre-start window.
+  std::mutex cache_mu_;
+  AdminSnapshot cache_;
+  bool have_cache_ = false;
+};
+
+/// Minimal blocking HTTP/1.1 GET against 127.0.0.1:port used by tests and
+/// the CLI: sends `GET target`, reads to EOF, returns the full response
+/// (status line, headers, body). `timeout` bounds connect and read.
+[[nodiscard]] Result<std::string> http_get(std::uint16_t port,
+                                           const std::string& target,
+                                           Duration timeout = millis(5000));
+
+/// Body of an http_get() response (text after the header terminator), or
+/// the whole input when no terminator is found.
+[[nodiscard]] std::string http_body(const std::string& response);
+
+}  // namespace zab::net

@@ -1,0 +1,107 @@
+#include "pb/admin_status.h"
+
+#include "common/build_info.h"
+#include "common/json.h"
+#include "common/trace.h"
+#include "pb/replicated_tree.h"
+
+namespace zab::pb {
+
+std::string admin_status_json(ZabNode& node, ReplicatedTree* tree,
+                              storage::ZabStorage& storage) {
+  const ZabNode::Readiness r = node.readiness();
+  const storage::ZabStorage::StorageInfo si = storage.info();
+
+  std::string out = "{";
+  out += json::key("node");
+  out += '{';
+  out += json::key("id") + json::num(std::uint64_t{node.id()}) + ',';
+  out += json::key("role") + json::str(role_name(node.role())) + ',';
+  out += json::key("phase") + json::str(phase_name(node.phase())) + ',';
+  out += json::key("leader") + json::num(std::uint64_t{node.leader()}) + ',';
+  out += json::key("epoch") + json::num(std::uint64_t{node.epoch()}) + ',';
+  out += json::key("last_logged") +
+         json::str(to_string(node.last_logged())) + ',';
+  out += json::key("last_committed") +
+         json::str(to_string(node.last_committed())) + ',';
+  out += json::key("last_delivered") +
+         json::str(to_string(node.last_delivered())) + ',';
+  out += json::key("last_committed_packed") +
+         json::num(node.last_committed().packed());
+  out += "},";
+
+  out += json::key("ready");
+  out += r.ready ? "true," : "false,";
+  out += json::key("not_ready_reason") + json::str(r.reason) + ',';
+
+  out += json::key("peers");
+  out += '[';
+  bool first = true;
+  for (const NodeId p : node.config().all_members()) {
+    if (!first) out += ',';
+    first = false;
+    out += json::num(std::uint64_t{p});
+  }
+  out += "],";
+
+  out += json::key("sessions") +
+         json::num(std::uint64_t{tree ? tree->active_sessions() : 0}) + ',';
+
+  out += json::key("storage");
+  out += '{';
+  out += json::key("log_entries") + json::num(si.log_entries) + ',';
+  out += json::key("log_bytes") + json::num(si.log_bytes) + ',';
+  out += json::key("segments") + json::num(si.segments) + ',';
+  out += json::key("snapshot_zxid") +
+         json::str(to_string(Zxid::from_packed(si.snapshot_zxid))) + ',';
+  out += json::key("snapshot_bytes") + json::num(si.snapshot_bytes);
+  out += "},";
+
+  out += json::key("build") + build_info::to_json() + ',';
+  out += json::key("uptime_s") +
+         json::num(node.metrics().gauge("zab.server.uptime_s").value());
+  out += '}';
+  return out;
+}
+
+std::string admin_trace_jsonl(ZabNode& node) {
+  std::string out;
+  for (const trace::Event& e : node.trace().snapshot()) {
+    out += '{';
+    out += json::key("zxid") + json::str(to_string(e.zxid)) + ',';
+    // Keep "packed" non-terminal: /tracez matches the `"packed":N,` form.
+    out += json::key("packed") + json::num(e.zxid.packed()) + ',';
+    out += json::key("stage") + json::str(trace::stage_name(e.stage)) + ',';
+    out += json::key("node") + json::num(std::uint64_t{e.node}) + ',';
+    out += json::key("t_ns") + json::num(std::int64_t{e.t});
+    out += "}\n";
+  }
+  return out;
+}
+
+net::AdminSnapshot collect_admin_snapshot(ZabNode& node, ReplicatedTree* tree,
+                                          storage::ZabStorage& storage) {
+  build_info::refresh_uptime(node.metrics());
+  net::AdminSnapshot snap;
+  snap.prometheus = node.metrics().to_prometheus();
+  snap.status_json = admin_status_json(node, tree, storage);
+  snap.trace_jsonl = admin_trace_jsonl(node);
+  const ZabNode::Readiness r = node.readiness();
+  snap.ready = r.ready;
+  snap.not_ready_reason = r.reason;
+  return snap;
+}
+
+net::AdminServer::Collector make_admin_collector(net::RuntimeEnv& env,
+                                                 ZabNode& node,
+                                                 ReplicatedTree* tree,
+                                                 storage::ZabStorage& storage) {
+  return [&env, &node, tree, &storage](
+             std::function<void(net::AdminSnapshot)> done) {
+    env.post([&node, tree, &storage, done = std::move(done)] {
+      done(collect_admin_snapshot(node, tree, storage));
+    });
+  };
+}
+
+}  // namespace zab::pb

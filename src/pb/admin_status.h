@@ -1,0 +1,50 @@
+// Admin-plane snapshot collection for a running replica.
+//
+// net::AdminServer is deliberately protocol-blind: it speaks HTTP and asks a
+// Collector for data. This module is the other half — it knows the ZabNode,
+// the session layer, and the storage backend, and renders the endpoint
+// bodies ON the node's event loop (histograms, readiness, and the trace
+// ring are loop-owned). Wiring:
+//
+//   AdminServer admin(cfg, make_admin_collector(env, node, &tree, storage));
+//
+// Every helper here must run on the node's loop thread; only
+// make_admin_collector (which posts) is thread-safe.
+#pragma once
+
+#include <string>
+
+#include "net/admin_server.h"
+#include "net/runtime_env.h"
+#include "storage/zab_storage.h"
+#include "zab/zab_node.h"
+
+namespace zab::pb {
+
+class ReplicatedTree;
+
+/// /status body: role, epoch, zxid watermarks, peers, sessions, storage.
+/// `tree` may be null (no client layer above the node).
+[[nodiscard]] std::string admin_status_json(ZabNode& node,
+                                            ReplicatedTree* tree,
+                                            storage::ZabStorage& storage);
+
+/// Trace ring as JSONL, one event per line, oldest first. Each line carries
+/// the packed zxid as `"packed":N,` — /tracez?zxid=N filters on it.
+[[nodiscard]] std::string admin_trace_jsonl(ZabNode& node);
+
+/// Everything the admin server serves, in one pass. Also refreshes
+/// zab.server.uptime_s so scrapes see a live value.
+[[nodiscard]] net::AdminSnapshot collect_admin_snapshot(
+    ZabNode& node, ReplicatedTree* tree, storage::ZabStorage& storage);
+
+/// AdminServer::Collector bound to a RuntimeEnv-driven replica: posts the
+/// collection onto the node's loop. The referenced objects must outlive the
+/// AdminServer (stop the server first on teardown). If the loop has stopped,
+/// the posted task is dropped and the server serves its stale cache — which
+/// is exactly the degraded behavior /readyz reports.
+[[nodiscard]] net::AdminServer::Collector make_admin_collector(
+    net::RuntimeEnv& env, ZabNode& node, ReplicatedTree* tree,
+    storage::ZabStorage& storage);
+
+}  // namespace zab::pb

@@ -584,6 +584,20 @@ Status FileStorage::last_io_status() const {
   return last_io_status_;
 }
 
+ZabStorage::StorageInfo FileStorage::info() const {
+  StorageInfo i;
+  i.segments = segments_.size();
+  for (const auto& seg : segments_) {
+    i.log_entries += seg.entries.size();
+    i.log_bytes += seg.bytes;
+  }
+  if (snap_) {
+    i.snapshot_zxid = snap_->last_included.packed();
+    i.snapshot_bytes = snap_->state.size();
+  }
+  return i;
+}
+
 Status FileStorage::rewrite_segment(Segment& seg) {
   BufWriter out;
   for (const Txn& t : seg.entries) encode_record(out, t);

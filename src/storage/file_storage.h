@@ -137,6 +137,10 @@ class FileStorage final : public ZabStorage {
   /// call from the owner thread.
   [[nodiscard]] Status last_io_status() const;
 
+  /// Owner-thread only, like the mutators: reads the in-memory segment
+  /// mirror (which includes the queued-but-not-yet-durable tail).
+  [[nodiscard]] StorageInfo info() const override;
+
  private:
   explicit FileStorage(FileStorageOptions opts) : opts_(std::move(opts)) {
     if (opts_.metrics) {

@@ -55,6 +55,18 @@ class MemStorage final : public ZabStorage {
   }
   void purge_log(std::size_t keep) override;
 
+  [[nodiscard]] StorageInfo info() const override {
+    StorageInfo i;
+    i.log_entries = log_.size();
+    for (const Entry& e : log_) i.log_bytes += e.txn.data.size();
+    i.segments = log_.empty() ? 0 : 1;  // memory log = one logical segment
+    if (snap_) {
+      i.snapshot_zxid = snap_->last_included.packed();
+      i.snapshot_bytes = snap_->state.size();
+    }
+    return i;
+  }
+
   // --- Simulation hooks --------------------------------------------------------
   /// Model a machine crash: drop every entry whose durability callback has
   /// not fired yet. (Pair with DiskModel::crash(), which drops the

@@ -76,6 +76,26 @@ class ZabStorage {
   /// Discard log entries already covered by the snapshot, keeping at least
   /// `keep` trailing entries (log retention for DIFF syncs).
   virtual void purge_log(std::size_t keep) = 0;
+
+  // --- Introspection ----------------------------------------------------------
+  /// Coarse capacity stats for the admin plane's /status endpoint.
+  struct StorageInfo {
+    std::uint64_t log_entries = 0;
+    std::uint64_t log_bytes = 0;  // payload/record bytes; 0 when unknown
+    std::uint64_t segments = 0;
+    std::uint64_t snapshot_zxid = 0;   // packed; 0 = no snapshot
+    std::uint64_t snapshot_bytes = 0;  // serialized application state size
+  };
+  /// Call from the owner's event context (same rule as the mutators). The
+  /// default reports only the snapshot; backends override with log stats.
+  [[nodiscard]] virtual StorageInfo info() const {
+    StorageInfo i;
+    if (auto s = snapshot()) {
+      i.snapshot_zxid = s->last_included.packed();
+      i.snapshot_bytes = s->state.size();
+    }
+    return i;
+  }
 };
 
 }  // namespace zab::storage

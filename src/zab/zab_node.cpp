@@ -215,6 +215,11 @@ void ZabNode::watchdog_tick() {
                            : std::string())
                << ", " << lag_stalled_.size() << " follower(s) lag-stalled";
   }
+
+  // Flight-recorder publish rides the watchdog cadence: the recorder always
+  // holds a bundle at most one interval old, and a NEW stall forces an
+  // immediate crash-file dump (the sink decides).
+  if (postmortem_sink_) postmortem_sink_(postmortem_bundle(), new_stall);
 }
 
 std::string ZabNode::mntr_report() const {
@@ -272,6 +277,75 @@ std::string ZabNode::mntr_json() const {
   out += "},";
   out += json::key("metrics") + metrics_->to_json();
   out += '}';
+  return out;
+}
+
+ZabNode::Readiness ZabNode::readiness() const {
+  if (role_ == Role::kLooking) return {false, "electing"};
+  if (role_ == Role::kFollowing) {
+    if (phase_ != Phase::kBroadcast) return {false, "syncing"};
+    return {true, "ok"};
+  }
+  // Leading. Count live voting followers directly rather than reading the
+  // zab.quorum.healthy gauge: the gauge starts at 0 and only refreshes at
+  // heartbeat cadence, so a freshly activated leader would wrongly report
+  // quorum-lost for up to one heartbeat.
+  if (!activated_ || phase_ != Phase::kBroadcast) {
+    return {false, "establishing"};
+  }
+  const TimePoint now = env_->now();
+  std::size_t live = 1;  // self
+  for (const auto& [nid, fs] : followers_) {
+    if (cfg_.is_voting(nid) && fs.stage == FollowerState::Stage::kActive &&
+        now - fs.last_contact <= cfg_.follower_timeout) {
+      ++live;
+    }
+  }
+  if (live < quorum()) return {false, "quorum-lost"};
+  return {true, "ok"};
+}
+
+std::string ZabNode::postmortem_bundle() const {
+  const Readiness r = readiness();
+  std::string out = "{";
+  out += json::key("status") + mntr_json() + ',';
+  out += json::key("readiness");
+  out += '{';
+  out += json::key("ready");
+  out += r.ready ? "true," : "false,";
+  out += json::key("reason") + json::str(r.reason);
+  out += "},";
+  out += json::key("pipeline");
+  out += '{';
+  out += json::key("outstanding_proposals") +
+         json::num(std::uint64_t{proposals_.size()}) + ',';
+  out += json::key("pending_appends") +
+         json::num(std::uint64_t{pending_appends_}) + ',';
+  out += json::key("undelivered") +
+         json::num(std::uint64_t{undelivered_.size()}) + ',';
+  out += json::key("commit_watermark") +
+         json::str(to_string(commit_watermark_)) + ',';
+  out += json::key("last_durable") + json::str(to_string(last_durable_));
+  out += "},";
+  out += json::key("trace");
+  out += '[';
+  // Tail only: the full ring can be tens of thousands of events; the crash
+  // file wants the moments before death, not the whole history.
+  constexpr std::size_t kTraceTail = 64;
+  const auto events = trace_.events();
+  const std::size_t first =
+      events.size() > kTraceTail ? events.size() - kTraceTail : 0;
+  for (std::size_t i = first; i < events.size(); ++i) {
+    const trace::Event& e = events[i];
+    if (i != first) out += ',';
+    out += '{';
+    out += json::key("zxid") + json::str(to_string(e.zxid)) + ',';
+    out += json::key("stage") + json::str(trace::stage_name(e.stage)) + ',';
+    out += json::key("node") + json::num(std::uint64_t{e.node}) + ',';
+    out += json::key("t_ns") + json::num(std::int64_t{e.t});
+    out += '}';
+  }
+  out += "]}";
   return out;
 }
 

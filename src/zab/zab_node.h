@@ -78,6 +78,11 @@ class ZabNode {
   /// checked). The application drives primary-owned clocks from it — e.g.
   /// the session-expiry queue that proposes kCloseSession txns.
   using LeaderTickFn = std::function<void()>;
+  /// Post-mortem sink, invoked at watchdog cadence with a freshly rendered
+  /// flight-recorder bundle (see postmortem_bundle()); `stalled` is true on
+  /// ticks that flagged a NEW commit/lag stall, so the sink can force an
+  /// immediate crash-file dump on top of the rolling publish.
+  using PostMortemFn = std::function<void(const std::string&, bool stalled)>;
 
   /// `metrics` is the node-wide registry the protocol publishes into; when
   /// null the node owns a private one (metrics() works either way). Sharing
@@ -109,6 +114,10 @@ class ZabNode {
   /// Single (one owner of the primary clock); the last call wins.
   void set_leader_tick_handler(LeaderTickFn fn) {
     leader_tick_handler_ = std::move(fn);
+  }
+  /// Single (one flight recorder per node); the last call wins.
+  void set_postmortem_sink(PostMortemFn fn) {
+    postmortem_sink_ = std::move(fn);
   }
 
   /// Recover local state from storage and start electing. Call once.
@@ -163,6 +172,21 @@ class ZabNode {
   /// local, ns), for followers with at least one PING/PONG sample. Feeds the
   /// cross-node trace merge; empty on non-leaders.
   [[nodiscard]] std::map<NodeId, std::int64_t> follower_clock_offsets() const;
+
+  /// Quorum-aware readiness for the admin plane's /readyz. A node is ready
+  /// when it can serve its role: an activated leader with a live voting
+  /// quorum, or a follower in Broadcast phase. `reason` explains a not-ready
+  /// verdict ("electing", "syncing", "establishing", "quorum-lost").
+  struct Readiness {
+    bool ready = false;
+    const char* reason = "ok";
+  };
+  [[nodiscard]] Readiness readiness() const;
+
+  /// One-line JSON flight-recorder bundle: mntr state + readiness + pipeline
+  /// depths + the tail of the trace ring. Published to the FlightRecorder at
+  /// watchdog cadence; call from the node's event-loop thread.
+  [[nodiscard]] std::string postmortem_bundle() const;
 
  private:
   // --- Common helpers (zab_node.cpp) ---
@@ -257,6 +281,7 @@ class ZabNode {
   std::vector<SnapshotInstaller> snapshot_installers_;
   RequestFn request_handler_;
   LeaderTickFn leader_tick_handler_;
+  PostMortemFn postmortem_sink_;
 
   // --- Observability (see docs/PROTOCOL.md "Observability") ---
   void trace_stage(Zxid z, trace::Stage s, NodeId who);

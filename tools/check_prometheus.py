@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-format exposition (as served by GET /metrics).
+
+Usage:
+    check_prometheus.py [file ...]      # no args: read stdin
+    curl -s localhost:9101/metrics | tools/check_prometheus.py
+
+Checks (text format 0.0.4):
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  - `# TYPE <name> <type>` lines use a known type, at most once per name,
+    and appear before the first sample of that name
+  - label syntax: name{label="value",...} with valid label names and
+    backslash-escaped values
+  - sample values parse as numbers (including +Inf/-Inf/NaN)
+  - every sample belongs to a declared metric family (exact name, or
+    <family>_sum/_count for summaries/histograms, or <family>_bucket for
+    histograms)
+
+Exit status 0 when clean, 1 with one "line N: ..." diagnostic per problem.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "Inf", "NaN"):
+        return True
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def split_labels(body):
+    """Split the inside of {...} into label="value" pairs; None on error."""
+    pairs, i, n = [], 0, len(body)
+    while i < n:
+        eq = body.find("=", i)
+        if eq < 0:
+            return None
+        name = body[i:eq]
+        if eq + 1 >= n or body[eq + 1] != '"':
+            return None
+        j = eq + 2
+        while j < n and body[j] != '"':
+            j += 2 if body[j] == "\\" else 1
+        if j >= n:
+            return None
+        pairs.append((name, body[eq + 2 : j]))
+        i = j + 1
+        if i < n:
+            if body[i] != ",":
+                return None
+            i += 1
+    return pairs
+
+
+def lint(lines):
+    errors = []
+    types = {}  # family name -> type
+    sampled = set()
+
+    def err(lineno, msg):
+        errors.append(f"line {lineno}: {msg}")
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    err(lineno, f"malformed TYPE line: {line!r}")
+                    continue
+                _, _, name, typ = parts
+                if not METRIC_NAME.match(name):
+                    err(lineno, f"invalid metric name in TYPE: {name!r}")
+                if typ not in TYPES:
+                    err(lineno, f"unknown type {typ!r} for {name}")
+                if name in types:
+                    err(lineno, f"duplicate TYPE for {name}")
+                if name in sampled:
+                    err(lineno, f"TYPE for {name} after its first sample")
+                types[name] = typ
+            # HELP and free comments pass through.
+            continue
+
+        # Sample line: name[{labels}] value [timestamp]
+        m = re.match(r"^([^\s{]+)(\{(.*)\})?\s+(\S+)(\s+-?\d+)?\s*$", line)
+        if not m:
+            err(lineno, f"unparseable sample: {line!r}")
+            continue
+        name, _, labels, value = m.group(1), m.group(2), m.group(3), m.group(4)
+        if not METRIC_NAME.match(name):
+            err(lineno, f"invalid metric name: {name!r}")
+            continue
+        if labels is not None:
+            pairs = split_labels(labels)
+            if pairs is None:
+                err(lineno, f"malformed labels: {{{labels}}}")
+            else:
+                for lname, lvalue in pairs:
+                    if not LABEL_NAME.match(lname):
+                        err(lineno, f"invalid label name: {lname!r}")
+                    if re.search(r'(?<!\\)"', lvalue):
+                        err(lineno, f"unescaped quote in label {lname}")
+        if not parse_value(value):
+            err(lineno, f"non-numeric value {value!r} for {name}")
+
+        family = name
+        for suffix in ("_sum", "_count", "_bucket"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) in ("summary", "histogram"):
+                if suffix == "_bucket" and types[base] != "histogram":
+                    continue
+                family = base
+                break
+        if family not in types:
+            err(lineno, f"sample {name} has no preceding TYPE declaration")
+        sampled.add(family)
+        sampled.add(name)
+
+    if not sampled and not errors:
+        errors.append("line 0: exposition contains no samples")
+    return errors
+
+
+def main(argv):
+    if len(argv) > 1:
+        inputs = [(p, open(p, encoding="utf-8").readlines()) for p in argv[1:]]
+    else:
+        inputs = [("<stdin>", sys.stdin.readlines())]
+    failed = False
+    for label, lines in inputs:
+        errors = lint(lines)
+        for e in errors:
+            print(f"{label}: {e}", file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            n = sum(1 for l in lines if l.strip() and not l.startswith("#"))
+            print(f"{label}: ok ({n} samples)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
