@@ -9,6 +9,8 @@
 //   zab_cli --servers ...            watch <path>  (block until it changes)
 //   zab_cli --servers ...            leader      (which server leads?)
 //   zab_cli --servers ...            mntr [--json]  (per-server stats dump)
+//   zab_cli --servers ...            slowlog [n]  (per-server slow-op ring,
+//                                      newest first, one span per line)
 //   zab_cli --servers ...            dump_trace <path>  (merged cluster
 //                                      trace as JSONL, one object per zxid)
 //   zab_cli --admin-servers 9101,... admin [target]  (GET each server's
@@ -81,9 +83,10 @@ int main(int argc, char** argv) {
   if (args.empty() || (servers.empty() && admin_servers.empty())) {
     std::fprintf(stderr,
                  "usage: %s --servers p1,p2,... "
-                 "<create|get|set|rm|ls|stat|leader|mntr|dump_trace> [args]\n"
+                 "<create|get|set|rm|ls|stat|leader|mntr|slowlog|dump_trace>"
+                 " [args]\n"
                  "       %s --admin-servers p1,p2,... admin [/metrics|/readyz"
-                 "|/status|/tracez]\n",
+                 "|/status|/tracez|/slowlog]\n",
                  argv[0], argv[0]);
     return 2;
   }
@@ -212,6 +215,31 @@ int main(int argc, char** argv) {
       }
       std::fputs(r.value().c_str(), stdout);
       if (json) std::fputc('\n', stdout);
+    }
+    return rc;
+  }
+
+  if (cmd == "slowlog") {
+    // Slow-op ring of each reachable server: newest first, one request span
+    // per line with its per-stage latency decomposition. An optional count
+    // limits each server's dump to its n most recent entries.
+    const std::size_t n =
+        args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 0;
+    int rc = 0;
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      RemoteClient one(pb::ClientConfig{.servers = {servers[i]}, .op_timeout = seconds(2)});
+      std::printf("--- %s:%u ---\n", servers[i].host.c_str(), servers[i].port);
+      auto r = one.slowlog(n);
+      if (!r.is_ok()) {
+        std::printf("unreachable: %s\n", r.status().to_string().c_str());
+        rc = 1;
+        continue;
+      }
+      if (r.value().empty()) {
+        std::printf("(empty)\n");
+      } else {
+        std::fputs(r.value().c_str(), stdout);
+      }
     }
     return rc;
   }

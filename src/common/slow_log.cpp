@@ -1,0 +1,44 @@
+#include "common/slow_log.h"
+
+#include "common/json.h"
+
+namespace zab {
+
+SlowLog::SlowLog(std::size_t capacity, std::int64_t threshold_ns)
+    : cap_(capacity == 0 ? 1 : capacity), threshold_ns_(threshold_ns) {}
+
+bool SlowLog::observe(const OpSpan& span) {
+  const std::int64_t total = span.total_ns();
+  if (total < 0 || total < threshold_ns_) return false;
+  Entry e;
+  e.id = next_id_++;
+  e.total_ns = total;
+  e.span = span;
+  ring_.push_back(std::move(e));
+  while (ring_.size() > cap_) ring_.pop_front();
+  return true;
+}
+
+std::vector<SlowLog::Entry> SlowLog::entries(std::size_t n) const {
+  if (n == 0 || n > ring_.size()) n = ring_.size();
+  std::vector<Entry> out;
+  out.reserve(n);
+  for (auto it = ring_.rbegin(); it != ring_.rend() && out.size() < n; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::string SlowLog::to_jsonl(std::size_t n) const {
+  std::string out;
+  for (const Entry& e : entries(n)) {
+    out += '{';
+    out += json::key("id") + json::num(e.id) + ',';
+    out += json::key("total_ns") + json::num(e.total_ns) + ',';
+    out += json::key("span") + e.span.to_json();
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace zab

@@ -15,6 +15,8 @@ const char* stage_name(Stage s) {
     case Stage::kElected: return "ELECTED";
     case Stage::kLeaderActive: return "LEADER_ACTIVE";
     case Stage::kFollowerActive: return "FOLLOWER_ACTIVE";
+    case Stage::kClientRecv: return "CLIENT_RECV";
+    case Stage::kClientReply: return "CLIENT_REPLY";
   }
   return "?";
 }
@@ -60,7 +62,7 @@ TraceRing::StageTimes TraceRing::stage_times(Zxid z) const {
 }
 
 Bytes encode_trace_snapshot(const TraceSnapshot& s) {
-  BufWriter w(16 + s.events.size() * 14);
+  BufWriter w(16 + s.events.size() * 18);
   w.u32(s.recorder);
   w.varint(s.events.size());
   for (const Event& e : s.events) {
@@ -68,6 +70,7 @@ Bytes encode_trace_snapshot(const TraceSnapshot& s) {
     w.u8(static_cast<std::uint8_t>(e.stage));
     w.u32(e.node);
     w.i64(e.t);
+    w.u32(e.epoch);
   }
   return std::move(w).take();
 }
@@ -88,6 +91,7 @@ std::optional<TraceSnapshot> decode_trace_snapshot(
     e.stage = static_cast<Stage>(stage);
     e.node = r.u32();
     e.t = r.i64();
+    e.epoch = r.u32();
     s.events.push_back(e);
   }
   if (!r.ok() || !r.at_end()) return std::nullopt;

@@ -36,8 +36,10 @@ enum class Stage : std::uint8_t {
   kElected = 6,        // election concluded; node = chosen leader (zxid = zero)
   kLeaderActive = 7,   // leader finished phase 2 and activated (zxid = zero)
   kFollowerActive = 8, // follower received UPTODATE (zxid = zero)
+  kClientRecv = 9,     // client frame for this op arrived at the origin
+  kClientReply = 10,   // response for this op handed to the client conn
 };
-inline constexpr std::size_t kNumStages = 9;
+inline constexpr std::size_t kNumStages = 11;
 
 [[nodiscard]] const char* stage_name(Stage s);
 
@@ -46,6 +48,11 @@ struct Event {
   Stage stage = Stage::kPropose;
   NodeId node = kNoNode;  // the peer the event concerns (self unless noted)
   TimePoint t = 0;        // monotonic ns (sim time under the simulator)
+  /// Epoch the recorder was in when the event fired. Protocol-level events
+  /// all share zxid zero, so without this an election timeline filter would
+  /// interleave every election the ring remembers; /tracez?epoch=E scopes
+  /// to one.
+  Epoch epoch = 0;
 };
 
 class TraceRing {
@@ -59,6 +66,7 @@ class TraceRing {
     e.stage = stage;
     e.node = node;
     e.t = t;
+    e.epoch = epoch_;
     head_ = (head_ + 1) % ring_.size();
     if (size_ < ring_.size()) ++size_;
   }
@@ -66,6 +74,11 @@ class TraceRing {
   /// Recording toggle; disabled rings cost one branch per record().
   void set_enabled(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Epoch stamped into subsequent events; the owning node updates it on
+  /// every epoch transition (including tentative ones during elections).
+  void set_epoch(Epoch e) { epoch_ = e; }
+  [[nodiscard]] Epoch epoch() const { return epoch_; }
 
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
@@ -105,6 +118,7 @@ class TraceRing {
   std::size_t head_ = 0;  // next write position
   std::size_t size_ = 0;
   bool enabled_ = true;
+  Epoch epoch_ = 0;
 };
 
 /// Binary codec for shipping one node's ring snapshot over the client

@@ -220,6 +220,12 @@ std::string RuntimeCluster::mntr_json(NodeId id) {
   return out;
 }
 
+std::string RuntimeCluster::slowlog(NodeId id, std::size_t n) {
+  std::string out;
+  with_node(id, [&out, n](ZabNode& node) { out = node.slowlog_jsonl(n); });
+  return out;
+}
+
 trace::TraceSnapshot RuntimeCluster::trace_snapshot(NodeId id) {
   trace::TraceSnapshot snap;
   snap.recorder = id;

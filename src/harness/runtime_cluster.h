@@ -110,6 +110,9 @@ class RuntimeCluster {
   /// JSON form of mntr (ZabNode::mntr_json, on the node's loop thread).
   [[nodiscard]] std::string mntr_json(NodeId id);
 
+  /// One node's slow-op ring as newest-first JSONL (n = 0: all retained).
+  [[nodiscard]] std::string slowlog(NodeId id, std::size_t n = 0);
+
   /// Thread-safe snapshot of a node's full metrics registry.
   [[nodiscard]] MetricsSnapshot metrics_snapshot(NodeId id);
 

@@ -123,6 +123,17 @@ std::vector<TraceCollector::ZxidTimeline> TraceCollector::merge() {
         hop("deliver", nt.recorder, nt.recorder, c, d);
       }
       hop("e2e_commit", leader, leader, l_prop, l_commit);
+      // Client-facing legs exist only on the node that served the request
+      // (the leader, for writes): wire ingress to proposal, and delivery to
+      // the response hitting the socket.
+      const std::int64_t l_recv =
+          first_time(tl.events, trace::Stage::kClientRecv, leader);
+      const std::int64_t l_deliver =
+          first_time(tl.events, trace::Stage::kDeliver, leader);
+      const std::int64_t l_reply =
+          first_time(tl.events, trace::Stage::kClientReply, leader);
+      hop("ingress", leader, leader, l_recv, l_prop);
+      hop("reply_write", leader, leader, l_deliver, l_reply);
     }
     out.push_back(std::move(tl));
   }

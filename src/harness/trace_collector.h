@@ -79,6 +79,8 @@ class TraceCollector {
   ///   zab.hop.commit_net_ns    leader COMMIT -> follower COMMIT
   ///   zab.hop.deliver_ns       per-node COMMIT -> DELIVER
   ///   zab.hop.e2e_commit_ns    leader PROPOSE -> leader COMMIT
+  ///   zab.hop.ingress_ns       leader CLIENT_RECV -> leader PROPOSE
+  ///   zab.hop.reply_write_ns   leader DELIVER -> leader CLIENT_REPLY
   [[nodiscard]] MetricsRegistry& hop_metrics() { return *hops_; }
 
   /// Write merge()'s result as JSONL: one object per zxid,

@@ -13,6 +13,7 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string_view>
@@ -142,12 +143,18 @@ std::string AdminServer::handle(const HttpRequest& req,
     return response(200, "OK", "application/json", snap.status_json + "\n");
   }
   if (req.target == "/tracez") {
-    const std::string want = query_param(req.query, "zxid");
-    if (want.empty()) {
+    const std::string want_zxid = query_param(req.query, "zxid");
+    const std::string want_epoch = query_param(req.query, "epoch");
+    if (want_zxid.empty() && want_epoch.empty()) {
       return response(200, "OK", "application/x-ndjson", snap.trace_jsonl);
     }
-    // Filter by packed zxid: collectors emit `"packed":N,` on every line.
-    const std::string needle = "\"packed\":" + want + ',';
+    // Filter by packed zxid or by recorder epoch: collectors emit
+    // `"packed":N,` and `"epoch":E,` on every line. The epoch filter scopes
+    // the timeline to one election/leadership (zxid 0 aliases across epochs;
+    // the per-event epoch tag disambiguates them).
+    const std::string needle = !want_zxid.empty()
+                                   ? "\"packed\":" + want_zxid + ','
+                                   : "\"epoch\":" + want_epoch + ',';
     std::string body;
     std::size_t pos = 0;
     while (pos < snap.trace_jsonl.size()) {
@@ -158,6 +165,25 @@ std::string AdminServer::handle(const HttpRequest& req,
         body.append(line);
         body += '\n';
       }
+      pos = nl + 1;
+    }
+    return response(200, "OK", "application/x-ndjson", std::move(body));
+  }
+  if (req.target == "/slowlog") {
+    const std::string want = query_param(req.query, "n");
+    const std::size_t n =
+        want.empty() ? 0 : std::strtoull(want.c_str(), nullptr, 10);
+    if (n == 0) {
+      return response(200, "OK", "application/x-ndjson", snap.slowlog_jsonl);
+    }
+    // Entries are newest-first, so the limit is just the first n lines.
+    std::string body;
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < n && pos < snap.slowlog_jsonl.size(); ++i) {
+      std::size_t nl = snap.slowlog_jsonl.find('\n', pos);
+      if (nl == std::string::npos) nl = snap.slowlog_jsonl.size();
+      body.append(snap.slowlog_jsonl, pos, nl - pos);
+      body += '\n';
       pos = nl + 1;
     }
     return response(200, "OK", "application/x-ndjson", std::move(body));

@@ -15,7 +15,10 @@
 //   GET /status    one JSON object: role, epoch, zxids, peers, sessions,
 //                  storage stats.
 //   GET /tracez    TraceRing timeline as JSONL; ?zxid=<packed> filters to
-//                  one transaction.
+//                  one transaction, ?epoch=<e> to one epoch's events.
+//   GET /slowlog   slow-op ring as JSONL, newest first, one request span per
+//                  line with its per-stage decomposition; ?n=<k> limits to
+//                  the k most recent entries.
 //
 // Freshness contract: protocol state (histograms, readiness, traces) is
 // owned by the node's event loop, so every request asks a Collector to
@@ -44,6 +47,7 @@ struct AdminSnapshot {
   std::string prometheus;   // MetricsSnapshot::to_prometheus() output
   std::string status_json;  // complete /status body (one JSON object)
   std::string trace_jsonl;  // one JSON object per trace event, \n-separated
+  std::string slowlog_jsonl;  // slow-op ring, newest first, one span per line
   bool ready = false;
   std::string not_ready_reason = "unknown";  // "electing" etc.
 };

@@ -58,6 +58,29 @@ std::string admin_status_json(ZabNode& node, ReplicatedTree* tree,
   out += "},";
 
   out += json::key("build") + build_info::to_json() + ',';
+
+  // Phase durations (satellites of the request-attribution plane): how long
+  // the last election took and how long the node needed to resync after it,
+  // plus the slow-op ring's headline numbers.
+  auto& m = node.metrics();
+  out += json::key("election");
+  out += '{';
+  out += json::key("last_ns") + json::num(m.gauge("zab.election.last_ns").value()) + ',';
+  out += json::key("rounds") +
+         json::num(m.counter("zab.election.rounds").value());
+  out += "},";
+  out += json::key("recovery");
+  out += '{';
+  out += json::key("last_sync_ns") +
+         json::num(m.gauge("zab.recovery.last_sync_ns").value());
+  out += "},";
+  out += json::key("slowlog");
+  out += '{';
+  out += json::key("count") + json::num(m.gauge("zab.slowlog.count").value()) + ',';
+  out += json::key("threshold_us") +
+         json::num(m.gauge("zab.slowlog.threshold_us").value());
+  out += "},";
+
   out += json::key("uptime_s") +
          json::num(node.metrics().gauge("zab.server.uptime_s").value());
   out += '}';
@@ -69,8 +92,10 @@ std::string admin_trace_jsonl(ZabNode& node) {
   for (const trace::Event& e : node.trace().snapshot()) {
     out += '{';
     out += json::key("zxid") + json::str(to_string(e.zxid)) + ',';
-    // Keep "packed" non-terminal: /tracez matches the `"packed":N,` form.
+    // Keep "packed" and "epoch" non-terminal: /tracez matches the
+    // `"packed":N,` and `"epoch":E,` forms.
     out += json::key("packed") + json::num(e.zxid.packed()) + ',';
+    out += json::key("epoch") + json::num(std::uint64_t{e.epoch}) + ',';
     out += json::key("stage") + json::str(trace::stage_name(e.stage)) + ',';
     out += json::key("node") + json::num(std::uint64_t{e.node}) + ',';
     out += json::key("t_ns") + json::num(std::int64_t{e.t});
@@ -86,6 +111,7 @@ net::AdminSnapshot collect_admin_snapshot(ZabNode& node, ReplicatedTree* tree,
   snap.prometheus = node.metrics().to_prometheus();
   snap.status_json = admin_status_json(node, tree, storage);
   snap.trace_jsonl = admin_trace_jsonl(node);
+  snap.slowlog_jsonl = node.slowlog_jsonl();
   const ZabNode::Readiness r = node.readiness();
   snap.ready = r.ready;
   snap.not_ready_reason = r.reason;

@@ -30,7 +30,8 @@ class ReplicatedTree;
                                             storage::ZabStorage& storage);
 
 /// Trace ring as JSONL, one event per line, oldest first. Each line carries
-/// the packed zxid as `"packed":N,` — /tracez?zxid=N filters on it.
+/// the packed zxid as `"packed":N,` and the recorder's epoch as `"epoch":E,`
+/// — /tracez?zxid=N and /tracez?epoch=E filter on them.
 [[nodiscard]] std::string admin_trace_jsonl(ZabNode& node);
 
 /// Everything the admin server serves, in one pass. Also refreshes

@@ -111,7 +111,7 @@ Result<ClientRequest> decode_client_request(
   ClientRequest out;
   out.xid = r.u64();
   const auto kind = r.u8();
-  if (kind < 1 || kind > 9) return Status::corruption("bad request kind");
+  if (kind < 1 || kind > 10) return Status::corruption("bad request kind");
   out.kind = static_cast<ClientOpKind>(kind);
   out.path = r.str();
   const auto n = r.varint();

@@ -62,6 +62,9 @@ enum class ClientOpKind : std::uint8_t {
                      // estimates for the cross-node merge
   kCloseSession = 9, // graceful close: the session + its ephemerals die now
                      // instead of waiting out the expiry clock
+  kSlowLog = 10,     // slow-op ring pull: response.data carries newest-first
+                     // JSONL (one span per line); request.path optionally
+                     // carries the entry limit as decimal text
 };
 
 /// Opens (or resumes) a session on a connection; must be the first frame.

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/logging.h"
@@ -230,7 +231,11 @@ void ClientService::handle_ping(std::uint64_t conn_id,
 }
 
 void ClientService::dispatch(std::uint64_t conn_id, Bytes frame) {
-  env_->post([this, conn_id, frame = std::move(frame)] {
+  // Stamp ingress on the IO thread, before the hop to the replica loop:
+  // the span's queue_wait stage must include that hand-off. SystemClock is
+  // stateless, so reading it off-loop is safe.
+  const TimePoint ingress_ns = env_->now();
+  env_->post([this, conn_id, ingress_ns, frame = std::move(frame)] {
     switch (classify_frame(frame)) {
       case FrameType::kConnect: {
         if (auto req = decode_connect_request(frame); req.is_ok()) {
@@ -249,7 +254,7 @@ void ClientService::dispatch(std::uint64_t conn_id, Bytes frame) {
       default: {
         auto req = decode_client_request(frame);
         if (req.is_ok()) {
-          execute(conn_id, req.value());
+          execute(conn_id, req.value(), ingress_ns);
           return;
         }
         // Undecodable — includes retired v1 frames. Ship the decode error's
@@ -270,7 +275,8 @@ void ClientService::dispatch(std::uint64_t conn_id, Bytes frame) {
   });
 }
 
-void ClientService::execute(std::uint64_t conn_id, const ClientRequest& req) {
+void ClientService::execute(std::uint64_t conn_id, const ClientRequest& req,
+                            std::int64_t ingress_ns) {
   ClientResponse resp;
   resp.xid = req.xid;
 
@@ -325,6 +331,17 @@ void ClientService::execute(std::uint64_t conn_id, const ClientRequest& req) {
       resp.is_leader = tree_->node().is_active_leader();
       break;
     }
+    case ClientOpKind::kSlowLog: {
+      // Newest-first JSONL of this replica's slow-op ring. path carries the
+      // optional entry limit as decimal text ("" or "0" = everything).
+      const std::size_t n = req.path.empty()
+                                ? 0
+                                : std::strtoull(req.path.c_str(), nullptr, 10);
+      const std::string text = tree_->node().slowlog_jsonl(n);
+      resp.data.assign(text.begin(), text.end());
+      resp.is_leader = tree_->node().is_active_leader();
+      break;
+    }
     case ClientOpKind::kTrace: {
       // Ship the ring as the binary TraceSnapshot codec; a leader also
       // attaches its per-follower clock-offset estimates ("id:offset_ns")
@@ -374,7 +391,7 @@ void ClientService::execute(std::uint64_t conn_id, const ClientRequest& req) {
             for (const auto& p : r.paths) out.paths.push_back(p);
             respond(conn_id, out);
           },
-          /*session=*/sid, /*cxid=*/req.xid);
+          /*session=*/sid, /*cxid=*/req.xid, ingress_ns);
       return;  // reply happens at commit time
     }
     case ClientOpKind::kCloseSession: {

@@ -58,7 +58,10 @@ class ClientService {
   bool parse_frames(Conn& c);
   void dispatch(std::uint64_t conn_id, Bytes frame);
   /// Replica loop thread: run one request, reply when the result is known.
-  void execute(std::uint64_t conn_id, const ClientRequest& req);
+  /// `ingress_ns` is when the frame was parsed off the wire (IO thread);
+  /// writes carry it into the replication pipeline for span attribution.
+  void execute(std::uint64_t conn_id, const ClientRequest& req,
+               std::int64_t ingress_ns);
   /// Replica loop: session handshake — attach-or-create.
   void handle_connect(std::uint64_t conn_id, const ConnectRequest& req);
   void finish_connect(std::uint64_t conn_id, std::uint64_t session_id,

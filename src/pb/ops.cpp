@@ -40,6 +40,7 @@ Bytes encode_op_request(const OpRequest& r) {
   w.u64(r.req_id);
   w.u64(r.session_id);
   w.u64(r.cxid);
+  w.i64(r.ingress_ns);
   w.varint(r.ops.size());
   for (const Op& op : r.ops) encode_op(w, op);
   return std::move(w).take();
@@ -53,6 +54,7 @@ Result<OpRequest> decode_op_request(std::span<const std::uint8_t> wire) {
   out.req_id = r.u64();
   out.session_id = r.u64();
   out.cxid = r.u64();
+  out.ingress_ns = r.i64();
   const auto n = r.varint();
   if (n == 0 || n > 1024) return Status::corruption("bad op count");
   for (std::uint64_t i = 0; i < n; ++i) {

@@ -57,6 +57,11 @@ struct OpRequest {
   /// its in-flight request without re-executing it.
   std::uint64_t cxid = 0;
   std::vector<Op> ops;  // size 1 = plain op, >1 = atomic multi
+  /// Monotonic ns when the client's frame hit the origin's wire (-1 = not
+  /// captured). Travels with the forwarded request so the primary can stamp
+  /// kClientRecv into the op's span and charge pre-propose queueing to the
+  /// queue_wait stage.
+  std::int64_t ingress_ns = -1;
 };
 
 enum class TxnKind : std::uint8_t {

@@ -568,6 +568,16 @@ Result<std::string> RemoteClient::mntr(bool json) {
   return std::string(d.begin(), d.end());
 }
 
+Result<std::string> RemoteClient::slowlog(std::size_t n) {
+  ClientRequest req;
+  req.kind = ClientOpKind::kSlowLog;
+  if (n != 0) req.path = std::to_string(n);
+  auto resp = call(std::move(req));
+  if (!resp.is_ok()) return resp.status();
+  const Bytes& d = resp.value().data;
+  return std::string(d.begin(), d.end());
+}
+
 Result<RemoteClient::TraceResult> RemoteClient::trace_snapshot() {
   ClientRequest req;
   req.kind = ClientOpKind::kTrace;

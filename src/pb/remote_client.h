@@ -108,6 +108,9 @@ class RemoteClient {
   /// `key<TAB>value` lines with node state and its metrics registry.
   /// With json=true the server returns one JSON object instead.
   Result<std::string> mntr(bool json = false);
+  /// Pull the contacted server's slow-op ring: newest-first JSONL, one span
+  /// per line (n = 0 returns everything retained).
+  Result<std::string> slowlog(std::size_t n = 0);
 
   /// Pull the contacted server's trace ring. A leader also reports its
   /// clock-offset estimate per follower (follower_clock - leader_clock, ns)

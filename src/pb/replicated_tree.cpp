@@ -72,10 +72,10 @@ void ReplicatedTree::remove(const std::string& path,
 }
 
 void ReplicatedTree::submit(Op op, ResultFn cb, std::uint64_t session,
-                            std::uint64_t cxid) {
+                            std::uint64_t cxid, std::int64_t ingress_ns) {
   std::vector<Op> ops;
   ops.push_back(std::move(op));
-  submit_multi(std::move(ops), std::move(cb), session, cxid);
+  submit_multi(std::move(ops), std::move(cb), session, cxid, ingress_ns);
 }
 
 void ReplicatedTree::create_session(std::uint32_t timeout_ms, ResultFn cb) {
@@ -121,10 +121,12 @@ bool ReplicatedTree::session_alive(std::uint64_t session) const {
 }
 
 void ReplicatedTree::submit_multi(std::vector<Op> ops, ResultFn cb,
-                                  std::uint64_t session, std::uint64_t cxid) {
+                                  std::uint64_t session, std::uint64_t cxid,
+                                  std::int64_t ingress_ns) {
   ++stats_.writes_submitted;
   const std::uint64_t req_id = next_req_id_++;
   OpRequest req{node_->id(), req_id, session, cxid, std::move(ops)};
+  req.ingress_ns = ingress_ns;
   if (cb) pending_[req_id] = Pending{std::move(cb), node_->env().now()};
 
   if (node_->is_active_leader()) {
@@ -214,7 +216,20 @@ void ReplicatedTree::handle_request(Bytes payload) {
   out.session = r.session_id;
   out.cxid = r.cxid;
 
-  auto res = node_->broadcast(encode_tree_txn(out));
+  const auto res = node_->broadcast(encode_tree_txn(out));
+  if (res.is_ok()) {
+    // Fill the span broadcast() just seeded with the client's identity. The
+    // origin replica writes the reply, so only ops born here keep their span
+    // open past delivery.
+    std::uint32_t payload_bytes = 0;
+    for (const Op& op : r.ops) {
+      payload_bytes += static_cast<std::uint32_t>(op.data.size());
+    }
+    node_->annotate_op_span(res.value(), r.session_id, r.cxid, r.ingress_ns,
+                            static_cast<std::uint8_t>(r.ops.front().type),
+                            r.ops.front().path, payload_bytes,
+                            /*expect_reply=*/r.origin == node_->id());
+  }
   if (!res.is_ok()) {
     // Back-pressure or leadership lost mid-call: the origin's retry loop
     // handles it. Complete locally if the request was ours.
@@ -515,11 +530,13 @@ void ReplicatedTree::on_deliver(const Txn& txn) {
     release_outstanding_for(t);
   }
 
-  // Complete the client callback at the origin.
+  // Complete the client callback at the origin, then close the op's span:
+  // the reply (if any) has been written by the callback chain.
   if (t.origin == node_->id()) {
     complete(t, txn.zxid,
              t.kind == TxnKind::kError ? Status(t.error, "op failed")
                                        : Status::ok());
+    node_->finish_op_span(txn.zxid);
   }
 }
 

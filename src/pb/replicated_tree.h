@@ -50,12 +50,16 @@ class ReplicatedTree {
   /// client's per-session request id: committed outcomes are recorded
   /// against (session, cxid) on every replica so a reconnecting client can
   /// replay its in-flight request without re-executing it.
+  /// `ingress_ns` (monotonic, -1 = not captured) is when the client's frame
+  /// hit this replica's wire; it rides the forwarded request so the primary
+  /// can attribute pre-propose queueing to the op's span.
   void submit(Op op, ResultFn cb, std::uint64_t session = 0,
-              std::uint64_t cxid = 0);
+              std::uint64_t cxid = 0, std::int64_t ingress_ns = -1);
   /// Atomic multi (ZooKeeper-style): all ops succeed and apply as one txn,
   /// or none do; on failure the result carries the failing sub-op's index.
   void submit_multi(std::vector<Op> ops, ResultFn cb,
-                    std::uint64_t session = 0, std::uint64_t cxid = 0);
+                    std::uint64_t session = 0, std::uint64_t cxid = 0,
+                    std::int64_t ingress_ns = -1);
 
   // --- Sessions (replicated state; the primary owns the expiry clock) -------
   /// Mint a durable session: the primary resolves a cluster-unique id

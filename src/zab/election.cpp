@@ -176,9 +176,14 @@ void ZabNode::elected(NodeId leader_id) {
               << round_;
   trace_.record(Zxid::zero(), trace::Stage::kElected, leader_id, env_->now());
   if (election_started_ >= 0) {
-    h_election_->record(static_cast<std::uint64_t>(env_->now() - election_started_));
+    const std::int64_t dur = env_->now() - election_started_;
+    h_election_->record(static_cast<std::uint64_t>(dur));
+    g_election_last_ns_->set(dur);
     election_started_ = -1;
   }
+  // Recovery (discovery + synchronization) is timed from here until this
+  // node re-enters broadcast, as leader or follower.
+  elected_time_ = env_->now();
   if (leader_id == cfg_.id) {
     ++stats_.times_elected_leader;
     leader_ = cfg_.id;

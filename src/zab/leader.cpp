@@ -213,8 +213,15 @@ void ZabNode::leader_try_activate() {
   ZAB_INFO() << "node " << cfg_.id << ": leading epoch " << establishing_epoch_
              << ", history up to " << to_string(history_end_);
 
+  trace_.set_epoch(establishing_epoch_);
   become(Role::kLeading, Phase::kBroadcast);
   trace_stage(Zxid{}, trace::Stage::kLeaderActive, cfg_.id);
+  if (elected_time_ >= 0) {
+    const std::int64_t sync_ns = env_->now() - elected_time_;
+    h_recovery_sync_->record(static_cast<std::uint64_t>(sync_ns));
+    g_recovery_last_ns_->set(sync_ns);
+    elected_time_ = -1;
+  }
   advance_watermark(history_end_);
 
   for (auto& [nid, fs] : followers_) {
@@ -292,6 +299,7 @@ void ZabNode::note_proposal_ack(Proposal& p, NodeId from) {
   if (auto it = propose_time_.find(z.packed()); it != propose_time_.end()) {
     h_propose_quorum_->record(static_cast<std::uint64_t>(now - it->second));
   }
+  if (SpanState* st = find_span(z)) st->span.quorum_ns = now;
 }
 
 void ZabNode::leader_try_commit() {

@@ -61,6 +61,20 @@ ZabNode::ZabNode(ZabConfig cfg, Env& env, storage::ZabStorage& storage,
   h_commit_deliver_ = &metrics_->histogram("zab.stage.commit_to_deliver");
   h_propose_deliver_ = &metrics_->histogram("zab.stage.propose_to_deliver");
   h_election_ = &metrics_->histogram("zab.election.duration_ns");
+  h_recovery_sync_ = &metrics_->histogram("zab.recovery.sync_ns");
+  g_election_last_ns_ = &metrics_->gauge("zab.election.last_ns");
+  g_recovery_last_ns_ = &metrics_->gauge("zab.recovery.last_sync_ns");
+  for (std::size_t i = 0; i < kNumOpStages; ++i) {
+    h_op_stage_[i] =
+        &metrics_->histogram(std::string("zab.op.stage.") + kOpStageNames[i]);
+  }
+  h_op_total_ = &metrics_->histogram("zab.op.total_ns");
+  g_slowlog_count_ = &metrics_->gauge("zab.slowlog.count");
+  g_slowlog_threshold_us_ = &metrics_->gauge("zab.slowlog.threshold_us");
+  spans_enabled_ = env_u64_or("ZAB_OP_SPANS", 1) != 0;
+  slow_log_.set_threshold_ns(
+      static_cast<std::int64_t>(env_u64_or("ZAB_SLOWLOG_US", 10'000)) * 1000);
+  g_slowlog_threshold_us_->set(slow_log_.threshold_ns() / 1000);
   c_stall_commit_ = &metrics_->counter("zab.stall.commit");
   c_stall_lag_ = &metrics_->counter("zab.stall.follower_lag");
   g_commit_stalled_ = &metrics_->gauge("zab.stall.commit_stalled");
@@ -96,6 +110,7 @@ void ZabNode::start() {
              << to_string(last_logged_)
              << " acceptedEpoch=" << storage_->accepted_epoch()
              << " currentEpoch=" << storage_->current_epoch();
+  trace_.set_epoch(storage_->current_epoch());
   arm_watchdog();
   start_election();
 }
@@ -123,6 +138,63 @@ void ZabNode::note_committed(Zxid z, TimePoint now) {
   if (auto it = propose_time_.find(z.packed()); it != propose_time_.end()) {
     h_propose_commit_->record(static_cast<std::uint64_t>(now - it->second));
   }
+  if (SpanState* st = find_span(z)) st->span.commit_ns = now;
+}
+
+// --- Request spans -----------------------------------------------------------
+
+ZabNode::SpanState* ZabNode::find_span(Zxid z) {
+  auto it = spans_.find(z.packed());
+  return it == spans_.end() ? nullptr : &it->second;
+}
+
+/// Feed a completed span into the per-stage histograms, the slow-op ring and
+/// (for tests/benches) the observer hook. Caller erases the map entry.
+void ZabNode::finalize_op_span(SpanState& st) {
+  const OpSpan& sp = st.span;
+  const OpSpan::Stages d = sp.stages();
+  const std::int64_t vals[kNumOpStages] = {d.queue_wait, d.log_fsync,
+                                           d.quorum_ack, d.commit,
+                                           d.deliver,    d.reply_write};
+  for (std::size_t i = 0; i < kNumOpStages; ++i) {
+    if (vals[i] >= 0) h_op_stage_[i]->record(static_cast<std::uint64_t>(vals[i]));
+  }
+  if (const std::int64_t total = sp.total_ns(); total >= 0) {
+    h_op_total_->record(static_cast<std::uint64_t>(total));
+    if (slow_log_.observe(sp)) {
+      g_slowlog_count_->set(static_cast<std::int64_t>(slow_log_.size()));
+    }
+  }
+  if (span_observer_) span_observer_(sp);
+}
+
+void ZabNode::annotate_op_span(Zxid z, std::uint64_t session_id,
+                               std::uint64_t cxid, std::int64_t ingress_ns,
+                               std::uint8_t op_kind, const std::string& path,
+                               std::uint32_t payload_bytes, bool expect_reply) {
+  SpanState* st = find_span(z);
+  if (!st) return;  // spans disabled, or the op completed inside broadcast()
+  st->span.session_id = session_id;
+  st->span.cxid = cxid;
+  st->span.op_kind = op_kind;
+  st->span.path = path;
+  st->span.payload_bytes = payload_bytes;
+  st->expect_reply = expect_reply;
+  if (ingress_ns >= 0) {
+    st->span.recv_ns = ingress_ns;
+    // Back-dated: the frame hit the origin's wire before we saw it here.
+    trace_.record(z, trace::Stage::kClientRecv, cfg_.id, ingress_ns);
+  }
+}
+
+void ZabNode::finish_op_span(Zxid z) {
+  auto it = spans_.find(z.packed());
+  if (it == spans_.end()) return;
+  const TimePoint now = env_->now();
+  it->second.span.reply_ns = now;
+  trace_.record(z, trace::Stage::kClientReply, cfg_.id, now);
+  finalize_op_span(it->second);
+  spans_.erase(it);
 }
 
 void ZabNode::drop_txn_timings_after(Zxid keep) {
@@ -130,6 +202,9 @@ void ZabNode::drop_txn_timings_after(Zxid keep) {
     return Zxid::from_packed(kv.first) > keep;
   });
   std::erase_if(commit_time_, [keep](const auto& kv) {
+    return Zxid::from_packed(kv.first) > keep;
+  });
+  std::erase_if(spans_, [keep](const auto& kv) {
     return Zxid::from_packed(kv.first) > keep;
   });
 }
@@ -247,6 +322,7 @@ std::string ZabNode::mntr_report() const {
   kv("zab_resyncs", std::to_string(stats_.resyncs));
   kv("zab_snapshots_taken", std::to_string(stats_.snapshots_taken));
   out += metrics_->to_text();
+  out += op_p99_decomposition(metrics_->snapshot());
   return out;
 }
 
@@ -343,6 +419,20 @@ std::string ZabNode::postmortem_bundle() const {
     out += json::key("stage") + json::str(trace::stage_name(e.stage)) + ',';
     out += json::key("node") + json::num(std::uint64_t{e.node}) + ',';
     out += json::key("t_ns") + json::num(std::int64_t{e.t});
+    out += '}';
+  }
+  out += "],";
+  out += json::key("slowlog");
+  out += '[';
+  // The handful of slowest recent ops: a stalled pipeline usually shows up
+  // here first, already attributed to its dominant stage.
+  const auto slow = slow_log_.entries(8);
+  for (std::size_t i = 0; i < slow.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '{';
+    out += json::key("id") + json::num(slow[i].id) + ',';
+    out += json::key("total_ns") + json::num(slow[i].total_ns) + ',';
+    out += json::key("span") + slow[i].span.to_json();
     out += '}';
   }
   out += "]}";
@@ -456,6 +546,7 @@ void ZabNode::go_to_election() {
   // decides; drop them rather than let abandoned zxids accumulate.
   propose_time_.clear();
   commit_time_.clear();
+  spans_.clear();
   // Stall/health state is leadership-scoped: a deposed leader stops
   // advertising quorum health it can no longer observe.
   stall_flagged_.clear();
@@ -498,7 +589,22 @@ void ZabNode::try_deliver() {
       h_propose_deliver_->record(static_cast<std::uint64_t>(now - it->second));
       propose_time_.erase(it);
     }
+    // Stamp the deliver time BEFORE the handlers run: for leader-connected
+    // clients the reply is written inside the handler chain (ReplicatedTree
+    // completes the waiter, which calls finish_op_span), and that path must
+    // see a filled deliver stage.
+    if (auto it = spans_.find(key); it != spans_.end()) {
+      it->second.span.deliver_ns = now;
+    }
     for (auto& h : deliver_handlers_) h(t);
+    // No reply will be written from this node (follower-forwarded op, or no
+    // client waiter): the span ends at delivery.
+    if (auto it = spans_.find(key); it != spans_.end()) {
+      if (!it->second.expect_reply) {
+        finalize_op_span(it->second);
+        spans_.erase(it);
+      }
+    }
     undelivered_.pop_front();
     delivered = true;
   }
@@ -523,6 +629,7 @@ void ZabNode::maybe_snapshot() {
 void ZabNode::note_append_durable(Zxid z) {
   if (z > last_durable_) last_durable_ = z;
   trace_stage(z, trace::Stage::kLogFsync, cfg_.id);
+  if (SpanState* st = find_span(z)) st->span.fsync_ns = env_->now();
 
   if (role_ == Role::kLeading) {
     // The leader's own history counts toward the NEWLEADER quorum...
@@ -567,6 +674,11 @@ Result<Zxid> ZabNode::broadcast(Bytes op) {
   trace_.record(z, trace::Stage::kPropose, cfg_.id, now);
   propose_time_.emplace(z.packed(), now);
   c_proposals_->add();
+  if (spans_enabled_) {
+    SpanState& st = spans_[z.packed()];
+    st.span.zxid = z.packed();
+    st.span.propose_ns = now;
+  }
 
   // Register the proposal BEFORE the append: with synchronous storage the
   // durability callback (our own ACK) fires inside append().
@@ -718,6 +830,7 @@ void ZabNode::on_snap(NodeId from, SnapMsg m) {
   undelivered_.clear();
   propose_time_.clear();
   commit_time_.clear();
+  spans_.clear();
   last_logged_ = snap.last_included;
   last_durable_ = snap.last_included;
   last_delivered_ = snap.last_included;
@@ -759,6 +872,7 @@ void ZabNode::follower_finish_sync() {
     go_to_election();
     return;
   }
+  trace_.set_epoch(pending_new_leader_epoch_);
   send_to(leader_, AckNewLeaderMsg{pending_new_leader_epoch_});
 }
 
@@ -774,6 +888,12 @@ void ZabNode::on_up_to_date(NodeId from, const UpToDateMsg& m) {
   last_leader_contact_ = env_->now();
   become(Role::kFollowing, Phase::kBroadcast);
   trace_stage(Zxid{}, trace::Stage::kFollowerActive, cfg_.id);
+  if (elected_time_ >= 0) {
+    const std::int64_t sync_ns = env_->now() - elected_time_;
+    h_recovery_sync_->record(static_cast<std::uint64_t>(sync_ns));
+    g_recovery_last_ns_->set(sync_ns);
+    elected_time_ = -1;
+  }
 
   // Periodic leader-liveness check.
   auto liveness = [this](auto&& self_fn) -> void {

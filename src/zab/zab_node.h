@@ -31,6 +31,8 @@
 #include "common/clock_sync.h"
 #include "common/env.h"
 #include "common/metrics_registry.h"
+#include "common/op_span.h"
+#include "common/slow_log.h"
 #include "common/status.h"
 #include "common/trace.h"
 #include "common/txn.h"
@@ -188,6 +190,41 @@ class ZabNode {
   /// watchdog cadence; call from the node's event-loop thread.
   [[nodiscard]] std::string postmortem_bundle() const;
 
+  // --- Request latency attribution (OpSpan / SlowLog) -----------------------
+  /// Invoked with every finalized span, after its histograms and slow-log
+  /// admission. Single (last call wins); benches/tests use it to reconcile
+  /// the per-stage decomposition against client-measured latency.
+  using SpanObserverFn = std::function<void(const OpSpan&)>;
+  void set_span_observer(SpanObserverFn fn) { span_observer_ = std::move(fn); }
+
+  /// Attach client context to the span broadcast() opened for `z`: identity,
+  /// op kind, payload size, and the wire-ingress stamp (back-dated into the
+  /// trace ring as kClientRecv). `expect_reply` keeps the span alive past
+  /// delivery until finish_op_span() stamps the reply hand-off; without it
+  /// the span finalizes at delivery. No-op when the span is gone (spans
+  /// disabled, or a single-node ensemble delivered inside broadcast()).
+  void annotate_op_span(Zxid z, std::uint64_t session_id, std::uint64_t cxid,
+                        std::int64_t ingress_ns, std::uint8_t op_kind,
+                        const std::string& path, std::uint32_t payload_bytes,
+                        bool expect_reply);
+  /// Stamp the reply hand-off (kClientReply) and finalize the span. Called
+  /// by the origin replica when the client response leaves the loop.
+  void finish_op_span(Zxid z);
+
+  /// Runtime toggle for span bookkeeping (initial state: ZAB_OP_SPANS).
+  /// Affects ops proposed after the call; in-flight spans still finalize.
+  void set_spans_enabled(bool on) { spans_enabled_ = on; }
+  [[nodiscard]] bool spans_enabled() const { return spans_enabled_; }
+
+  /// Ring of the slowest recent ops (threshold ZAB_SLOWLOG_US). Loop-owned,
+  /// like the trace ring.
+  [[nodiscard]] SlowLog& slow_log() { return slow_log_; }
+  [[nodiscard]] const SlowLog& slow_log() const { return slow_log_; }
+  /// Newest-first JSONL of the slow log; n == 0 returns everything retained.
+  [[nodiscard]] std::string slowlog_jsonl(std::size_t n = 0) const {
+    return slow_log_.to_jsonl(n);
+  }
+
  private:
   // --- Common helpers (zab_node.cpp) ---
   void send_to(NodeId to, const Message& m);
@@ -312,11 +349,37 @@ class ZabNode {
   Histogram* h_commit_deliver_ = nullptr;
   Histogram* h_propose_deliver_ = nullptr;
   Histogram* h_election_ = nullptr;
+  Histogram* h_recovery_sync_ = nullptr;
+  Gauge* g_election_last_ns_ = nullptr;
+  Gauge* g_recovery_last_ns_ = nullptr;
   /// First-seen stage timestamps for in-flight txns (packed zxid -> ns);
   /// entries die at delivery, truncation, snapshot install, or re-election.
   std::unordered_map<std::uint64_t, TimePoint> propose_time_;
   std::unordered_map<std::uint64_t, TimePoint> commit_time_;
   TimePoint election_started_ = -1;  // -1: no election in flight (t=0 is valid)
+  TimePoint elected_time_ = -1;      // kElected stamp; closes at activation
+
+  // --- Request latency attribution (see docs/PROTOCOL.md §13) ---
+  struct SpanState {
+    OpSpan span;
+    /// True when the origin replica is this node: the span stays open past
+    /// delivery so finish_op_span() can stamp the reply hand-off.
+    bool expect_reply = false;
+  };
+  [[nodiscard]] SpanState* find_span(Zxid z);
+  /// Record stage histograms, admit to the slow log, notify the observer.
+  void finalize_op_span(SpanState& st);
+  /// Spans for in-flight broadcasts (leader-side; packed zxid keyed). Same
+  /// lifecycle as propose_time_, except reply-expecting spans survive
+  /// delivery until the client response goes out.
+  std::unordered_map<std::uint64_t, SpanState> spans_;
+  bool spans_enabled_ = true;  // ZAB_OP_SPANS=0 disables span bookkeeping
+  SlowLog slow_log_;
+  SpanObserverFn span_observer_;
+  Histogram* h_op_stage_[kNumOpStages] = {};
+  Histogram* h_op_total_ = nullptr;
+  Gauge* g_slowlog_count_ = nullptr;
+  Gauge* g_slowlog_threshold_us_ = nullptr;
 
   // --- Health watchdog (watchdog_tick) ---
   AtomicCounter* c_stall_commit_ = nullptr;

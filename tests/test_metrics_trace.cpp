@@ -149,8 +149,8 @@ TEST(TraceRing, SnapshotIsOldestFirstBeforeAndAfterWrap) {
 TEST(TraceRing, SnapshotCodecRoundTrips) {
   trace::TraceSnapshot snap;
   snap.recorder = 7;
-  snap.events.push_back({Zxid{2, 9}, trace::Stage::kCommit, 3, 123456789});
-  snap.events.push_back({Zxid::zero(), trace::Stage::kElected, 7, -5});
+  snap.events.push_back({Zxid{2, 9}, trace::Stage::kCommit, 3, 123456789, 2});
+  snap.events.push_back({Zxid::zero(), trace::Stage::kElected, 7, -5, 0});
   const Bytes wire = trace::encode_trace_snapshot(snap);
   const auto back = trace::decode_trace_snapshot(wire);
   ASSERT_TRUE(back.has_value());
@@ -160,7 +160,9 @@ TEST(TraceRing, SnapshotCodecRoundTrips) {
   EXPECT_EQ(back->events[0].stage, trace::Stage::kCommit);
   EXPECT_EQ(back->events[0].node, 3u);
   EXPECT_EQ(back->events[0].t, 123456789);
+  EXPECT_EQ(back->events[0].epoch, 2u);
   EXPECT_EQ(back->events[1].t, -5);
+  EXPECT_EQ(back->events[1].epoch, 0u);
 
   // Malformed input: truncation and bad stage tags are rejected.
   for (std::size_t len = 0; len < wire.size(); ++len) {

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Compare a bench --json run against a checked-in baseline.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [options]
+
+Options:
+    --tol FRAC        allowed relative increase per numeric cell
+                      (default 0.03 = 3%; decreases always pass)
+    --tables I,J,...  table indices to compare (default: all shared indices)
+    --cols NAME[,..]  column headers to compare (default: every numeric
+                      column); names are matched exactly
+    --assert-max IDX:COL:MAX
+                      additionally require every numeric cell of column COL
+                      in CURRENT's table IDX to be <= MAX (repeatable); used
+                      for absolute gates like span overhead_pct
+    --list            print CURRENT's table layout and exit
+
+The documents are the JsonReport format written by bench_common.h:
+    {"bench":"...","tables":[{"headers":[...],"rows":[[...],...]},...]}
+
+Regression = a numeric cell grew by more than --tol relative to the
+baseline cell at the same (table, row, column). Table shape (headers, row
+count) must match for the compared tables — a layout change means the
+baseline needs regenerating, which is reported as such. Exit status 0 when
+clean, 1 with one diagnostic line per problem.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if "tables" not in doc or not isinstance(doc["tables"], list):
+        raise ValueError(f"{path}: not a bench JsonReport document")
+    return doc
+
+
+def as_number(cell):
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def compare_tables(base, cur, idx, cols, tol, problems):
+    if base["headers"] != cur["headers"]:
+        problems.append(
+            f"table {idx}: headers changed "
+            f"({base['headers']} -> {cur['headers']}); regenerate the baseline"
+        )
+        return
+    if len(base["rows"]) != len(cur["rows"]):
+        problems.append(
+            f"table {idx}: row count changed ({len(base['rows'])} -> "
+            f"{len(cur['rows'])}); regenerate the baseline"
+        )
+        return
+    headers = base["headers"]
+    for ri, (brow, crow) in enumerate(zip(base["rows"], cur["rows"])):
+        for ci, header in enumerate(headers):
+            if cols is not None and header not in cols:
+                continue
+            if ci >= len(brow) or ci >= len(crow):
+                continue
+            bv, cv = as_number(brow[ci]), as_number(crow[ci])
+            if bv is None or cv is None:
+                continue
+            if bv == 0:
+                continue  # no meaningful relative comparison
+            rel = (cv - bv) / abs(bv)
+            if rel > tol:
+                problems.append(
+                    f"table {idx} row {ri} [{header}]: "
+                    f"{bv:g} -> {cv:g} (+{100 * rel:.1f}%, tol "
+                    f"{100 * tol:.0f}%)"
+                )
+
+
+def assert_max(cur_tables, spec, problems):
+    try:
+        idx_s, col, max_s = spec.split(":")
+        idx, limit = int(idx_s), float(max_s)
+    except ValueError:
+        problems.append(f"bad --assert-max spec {spec!r} (want IDX:COL:MAX)")
+        return
+    if idx >= len(cur_tables):
+        problems.append(f"--assert-max {spec}: no table {idx} in current run")
+        return
+    table = cur_tables[idx]
+    if col not in table["headers"]:
+        problems.append(
+            f"--assert-max {spec}: no column {col!r} in table {idx} "
+            f"(has {table['headers']})"
+        )
+        return
+    ci = table["headers"].index(col)
+    for ri, row in enumerate(table["rows"]):
+        v = as_number(row[ci]) if ci < len(row) else None
+        if v is not None and v > limit:
+            problems.append(
+                f"table {idx} row {ri} [{col}]: {v:g} exceeds max {limit:g}"
+            )
+
+
+def main(argv):
+    paths, tol, tables, cols, maxes, list_only = [], 0.03, None, None, [], False
+    i = 1
+    while i < len(argv):
+        a = argv[i]
+        if a == "--tol":
+            i += 1
+            tol = float(argv[i])
+        elif a == "--tables":
+            i += 1
+            tables = [int(t) for t in argv[i].split(",")]
+        elif a == "--cols":
+            i += 1
+            cols = set(argv[i].split(","))
+        elif a == "--assert-max":
+            i += 1
+            maxes.append(argv[i])
+        elif a == "--list":
+            list_only = True
+        elif a.startswith("--"):
+            print(f"unknown option {a!r}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(a)
+        i += 1
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    base_doc, cur_doc = load(paths[0]), load(paths[1])
+    if list_only:
+        for idx, t in enumerate(cur_doc["tables"]):
+            print(f"table {idx}: {t['headers']} ({len(t['rows'])} rows)")
+        return 0
+
+    problems = []
+    shared = min(len(base_doc["tables"]), len(cur_doc["tables"]))
+    if len(base_doc["tables"]) != len(cur_doc["tables"]):
+        problems.append(
+            f"table count changed ({len(base_doc['tables'])} -> "
+            f"{len(cur_doc['tables'])}); regenerate the baseline"
+        )
+    for idx in tables if tables is not None else range(shared):
+        if idx >= shared:
+            problems.append(f"table {idx}: absent from one of the documents")
+            continue
+        compare_tables(
+            base_doc["tables"][idx], cur_doc["tables"][idx], idx, cols, tol,
+            problems,
+        )
+    for spec in maxes:
+        assert_max(cur_doc["tables"], spec, problems)
+
+    for p in problems:
+        print(p, file=sys.stderr)
+    if not problems:
+        which = tables if tables is not None else f"all {shared}"
+        print(f"ok: tables {which} within {100 * tol:.0f}% of baseline")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -15,6 +15,10 @@ Checks (text format 0.0.4):
   - every sample belongs to a declared metric family (exact name, or
     <family>_sum/_count for summaries/histograms, or <family>_bucket for
     histograms)
+  - request-attribution families: when any zab_op_stage_* family appears,
+    the full per-stage set (queue_wait, log_fsync, quorum_ack, commit,
+    deliver, reply_write) must be declared as summaries, alongside
+    zab_op_total_ns — a missing stage silently skews the p99 decomposition
 
 Exit status 0 when clean, 1 with one "line N: ..." diagnostic per problem.
 """
@@ -129,6 +133,40 @@ def lint(lines):
 
     if not sampled and not errors:
         errors.append("line 0: exposition contains no samples")
+
+    # Request-attribution families travel as a set: a scrape with some but
+    # not all zab_op_stage_* summaries would render a partial (and therefore
+    # wrong) p99 decomposition downstream.
+    op_stages = {
+        name
+        for name in types
+        if name.startswith("zab_op_stage_") and not name.endswith("_max")
+    }
+    if op_stages:
+        expected = {
+            "zab_op_stage_" + s
+            for s in (
+                "queue_wait",
+                "log_fsync",
+                "quorum_ack",
+                "commit",
+                "deliver",
+                "reply_write",
+            )
+        }
+        for name in sorted(expected - op_stages):
+            errors.append(f"line 0: incomplete op-stage set: missing {name}")
+        for name in sorted(op_stages - expected):
+            errors.append(f"line 0: unknown op-stage family {name}")
+        for name in sorted(op_stages & expected):
+            if types[name] != "summary":
+                errors.append(
+                    f"line 0: {name} must be a summary, is {types[name]}"
+                )
+        if "zab_op_total_ns" not in types:
+            errors.append(
+                "line 0: zab_op_stage_* present without zab_op_total_ns"
+            )
     return errors
 
 
