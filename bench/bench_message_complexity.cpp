@@ -22,7 +22,7 @@ struct Complexity {
   double commit_delays;  // commit latency / one-way delay
 };
 
-Complexity measure_zab(std::size_t n) {
+Complexity measure_zab(std::size_t n, std::size_t batch_txns = 1) {
   ClusterConfig cfg;
   cfg.n = n;
   cfg.seed = 80 + n;
@@ -31,6 +31,10 @@ Complexity measure_zab(std::size_t n) {
   cfg.net.jitter_mean = 0;
   cfg.net.egress_bytes_per_sec = 1e12;  // isolate delay counting
   cfg.disk.policy = sim::SyncPolicy::kNoSync;
+  // Pin the wire-batching knobs (1 = off) so the env cannot skew the run.
+  cfg.node.batch_max_txns = batch_txns;
+  cfg.node.batch_max_bytes = 128 * 1024;
+  cfg.node.batch_flush_timeout = micros(200);
   SimCluster c(cfg);
   const NodeId l = c.wait_for_leader();
 
@@ -165,5 +169,41 @@ int main(int argc, char** argv) {
       "commit takes ~2 one-way delays at the leader (propose -> ack) plus\n"
       "local work — identical asymptotics; Zab's commit message is\n"
       "id-only, which matters for bytes (E5), not message counts.\n");
+
+  // E8b — wire batching (docs/PROTOCOL.md §14): multi-txn PROPOSE frames,
+  // coalesced cumulative ACKs and watermark COMMITs amortise the per-txn
+  // message cost. Sweep the batch cap at n=3 and report the reduction in
+  // total wire messages per committed txn versus the unbatched protocol.
+  std::printf("\n");
+  banner("E8b", "message complexity with wire batching (n=3)",
+         "adaptive batching: frames per committed txn vs. batch cap");
+  Table bt({"batch txns", "leader msgs/op", "follower msgs/op",
+            "total msgs/op", "reduction vs unbatched"});
+  double base_total = 0;
+  double b8_total = 0;
+  for (std::size_t b : {1u, 8u, 32u}) {
+    const auto z = measure_zab(3, b);
+    if (b == 1) base_total = z.total_msgs_per_op;
+    if (b == 8) b8_total = z.total_msgs_per_op;
+    const double reduction =
+        z.total_msgs_per_op > 0 ? base_total / z.total_msgs_per_op : 0;
+    bt.row({fmt_int(b), fmt(z.leader_msgs_per_op, 2),
+            fmt(z.follower_msgs_per_op, 2), fmt(z.total_msgs_per_op, 2),
+            fmt(reduction, 2)});
+  }
+  bt.print();
+
+  // Acceptance gate: a batch cap of 8 must cut total wire messages per
+  // committed txn by at least 3x relative to the unbatched pipeline.
+  const double reduction8 = b8_total > 0 ? base_total / b8_total : 0;
+  std::printf("\nbatching reduction at cap 8: %.2fx (gate: >= 3.0x)\n",
+              reduction8);
+  if (reduction8 < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: batching at cap 8 reduced messages/op by only "
+                 "%.2fx (< 3.0x): %.2f -> %.2f msgs/op\n",
+                 reduction8, base_total, b8_total);
+    return 1;
+  }
   return 0;
 }

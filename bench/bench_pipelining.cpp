@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
     cfg.disk.policy = sim::SyncPolicy::kGroupCommit;
     cfg.disk.sync_latency = micros(200);
     cfg.node.max_outstanding = 4096;
+    cfg.node.batch_max_txns = 1;  // pin batching off regardless of env
     SimCluster c(cfg);
     const auto res = run_closed_loop(c, window, 1024, millis(300), seconds(1));
     const double msgs_per_op =
@@ -50,5 +51,43 @@ int main(int argc, char** argv) {
       "until the NIC saturates (~52k ops/s for 3 servers at 1 KiB), then\n"
       "flat throughput with linearly growing latency. Messages per op stay\n"
       "constant (~3 per follower), showing pipelining adds no message cost.\n");
+
+  // E3b — batch-size sweep at a fixed window (docs/PROTOCOL.md §14): wire
+  // batching trades per-txn frames for multi-txn ones, so at the same
+  // pipelining depth the message cost per op should fall with the batch cap
+  // while throughput holds or improves (fewer frames through the NIC model).
+  std::printf("\n");
+  banner("E3b", "throughput vs. batch cap at fixed window (64 outstanding)",
+         "adaptive wire batching riding the pipelined broadcast path");
+  Table bt({"batch txns", "ops/s", "mean latency ms", "p99 ms",
+            "msgs per committed op"});
+  for (std::size_t batch : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    ClusterConfig cfg;
+    cfg.n = 3;
+    cfg.seed = 2000 + batch;
+    cfg.enable_checker = false;
+    cfg.disk.policy = sim::SyncPolicy::kGroupCommit;
+    cfg.disk.sync_latency = micros(200);
+    cfg.node.max_outstanding = 4096;
+    cfg.node.batch_max_txns = batch;
+    cfg.node.batch_max_bytes = 128 * 1024;
+    cfg.node.batch_flush_timeout = micros(200);
+    SimCluster c(cfg);
+    const auto res = run_closed_loop(c, 64, 1024, millis(300), seconds(1));
+    const double msgs_per_op =
+        res.committed ? static_cast<double>(res.messages_sent) /
+                            static_cast<double>(res.committed)
+                      : 0;
+    bt.row({fmt_int(batch), fmt(res.throughput_ops, 0),
+            fmt(res.latency.mean() / 1e6, 3),
+            fmt(static_cast<double>(res.latency.quantile(0.99)) / 1e6, 3),
+            fmt(msgs_per_op, 2)});
+  }
+  bt.print();
+
+  std::printf(
+      "\nexpected: msgs/op falls roughly as 1/batch toward the floor set by\n"
+      "heartbeats; throughput at the same window holds or improves because\n"
+      "the same history crosses the wire in far fewer frames.\n");
   return 0;
 }

@@ -89,6 +89,7 @@ Status RuntimeCluster::start() {
     Slot* slot = s.get();
     slot->env->start([this, slot] {
       ZabConfig nc = cfg_.node;
+      if (cfg_.batch_txns != 0) nc.batch_max_txns = cfg_.batch_txns;
       nc.id = slot->id;
       nc.peers.clear();
       for (std::size_t i = 0; i < cfg_.n; ++i) {

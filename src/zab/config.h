@@ -59,6 +59,21 @@ struct ZabConfig {
   /// Back-pressure: max proposals in flight (not yet committed).
   std::size_t max_outstanding = 2048;
 
+  // --- Wire batching (Phase 3) ---
+  // The leader coalesces consecutive broadcast() txns into one
+  // ProposeBatchMsg frame, flushed when the batch reaches batch_max_txns
+  // txns or batch_max_bytes payload bytes, or when batch_flush_timeout
+  // elapses with the batch non-empty (bounds the latency cost at low load).
+  // A 0 here means "unresolved": ZabNode fills it from the matching env var
+  // (ZAB_BATCH_TXNS / ZAB_BATCH_BYTES / ZAB_BATCH_FLUSH_US) or its
+  // built-in default, so explicit programmatic settings always beat env.
+  // Batching is enabled iff the resolved batch_max_txns > 1; when disabled
+  // the wire carries exactly the legacy one-PROPOSE/one-ACK/one-COMMIT
+  // frame sequence.
+  std::size_t batch_max_txns = 0;   // resolved default: 1 (batching off)
+  std::size_t batch_max_bytes = 0;  // resolved default: 128 KiB
+  Duration batch_flush_timeout = 0; // resolved default: 200 us
+
   // --- Health watchdog ---
   /// Cadence of the stall watchdog (runs for the node's whole life, across
   /// role changes). 0 disables the watchdog entirely.

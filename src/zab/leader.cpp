@@ -303,28 +303,63 @@ void ZabNode::note_proposal_ack(Proposal& p, NodeId from) {
 }
 
 void ZabNode::leader_try_commit() {
-  // Commit strictly in zxid order: only the head of the pipeline may
-  // commit, guaranteeing followers see a gap-free commit sequence.
+  if (!batching_enabled()) {
+    // Commit strictly in zxid order: only the head of the pipeline may
+    // commit, guaranteeing followers see a gap-free commit sequence.
+    while (!proposals_.empty()) {
+      Proposal& p = proposals_.front();
+      if (p.acks.size() < quorum()) break;  // self is inserted when durable
+      const Zxid z = p.txn.zxid;
+      proposals_.pop_front();
+      ++stats_.txns_committed;
+      note_committed(z, env_->now());
+      c_commits_->add();
+      g_outstanding_->set(static_cast<std::int64_t>(proposals_.size()));
+
+      const Bytes wire = encode_message(CommitMsg{establishing_epoch_, z});
+      for (const auto& [nid, fs] : followers_) {
+        if (fs.stage == FollowerState::Stage::kSyncing ||
+            fs.stage == FollowerState::Stage::kActive) {
+          ++stats_.sent[static_cast<std::size_t>(MsgType::kCommit)];
+          env_->send(nid, wire);
+        }
+      }
+      advance_watermark(z);
+    }
+    return;
+  }
+
+  // Batched: drain every quorum-acked head first (same zxid-order rule),
+  // then announce the final watermark with ONE CommitMsg — on_commit /
+  // advance_watermark are cumulative, so a single frame at the last zxid
+  // commits the whole run on every follower.
+  std::size_t drained = 0;
+  Zxid last;
   while (!proposals_.empty()) {
     Proposal& p = proposals_.front();
     if (p.acks.size() < quorum()) break;  // self is inserted when durable
-    const Zxid z = p.txn.zxid;
+    last = p.txn.zxid;
     proposals_.pop_front();
     ++stats_.txns_committed;
-    note_committed(z, env_->now());
+    note_committed(last, env_->now());
     c_commits_->add();
-    g_outstanding_->set(static_cast<std::int64_t>(proposals_.size()));
-
-    const Bytes wire = encode_message(CommitMsg{establishing_epoch_, z});
-    for (const auto& [nid, fs] : followers_) {
-      if (fs.stage == FollowerState::Stage::kSyncing ||
-          fs.stage == FollowerState::Stage::kActive) {
-        ++stats_.sent[static_cast<std::size_t>(MsgType::kCommit)];
-        env_->send(nid, wire);
-      }
-    }
-    advance_watermark(z);
+    ++drained;
   }
+  if (drained == 0) return;
+  g_outstanding_->set(static_cast<std::int64_t>(proposals_.size()));
+  if (drained > 1) c_commit_coalesced_->add(drained - 1);
+
+  const Bytes wire = encode_message(CommitMsg{establishing_epoch_, last});
+  for (const auto& [nid, fs] : followers_) {
+    if (fs.stage == FollowerState::Stage::kSyncing ||
+        fs.stage == FollowerState::Stage::kActive) {
+      ++stats_.sent[static_cast<std::size_t>(MsgType::kCommit)];
+      env_->send(nid, wire);
+    }
+  }
+  // Deliver AFTER the fan-out: deliver handlers can re-enter broadcast(),
+  // and their new proposals must hit the wire after this COMMIT.
+  advance_watermark(last);
 }
 
 void ZabNode::on_pong(NodeId from, const PongMsg& m) {

@@ -38,6 +38,7 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kPing: return "PING";
     case MsgType::kPong: return "PONG";
     case MsgType::kRequest: return "REQUEST";
+    case MsgType::kProposeBatch: return "PROPOSEBATCH";
   }
   return "?";
 }
@@ -112,6 +113,11 @@ void encode_body(BufWriter& w, const PongMsg& m) {
   w.i64(m.t_reply);
 }
 void encode_body(BufWriter& w, const RequestMsg& m) { w.bytes(m.payload); }
+void encode_body(BufWriter& w, const ProposeBatchMsg& m) {
+  w.u32(m.epoch);
+  w.varint(m.txns.size());
+  for (const Txn& t : m.txns) encode_txn(w, t);
+}
 
 }  // namespace
 
@@ -133,6 +139,7 @@ MsgType message_type(const Message& m) {
           [](const PingMsg&) { return MsgType::kPing; },
           [](const PongMsg&) { return MsgType::kPong; },
           [](const RequestMsg&) { return MsgType::kRequest; },
+          [](const ProposeBatchMsg&) { return MsgType::kProposeBatch; },
       },
       m);
 }
@@ -261,6 +268,21 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> wire) {
       RequestMsg m;
       m.payload = r.bytes();
       out = m;
+      break;
+    }
+    case MsgType::kProposeBatch: {
+      ProposeBatchMsg m;
+      m.epoch = r.u32();
+      const std::uint64_t count = r.varint();
+      // Each txn costs at least 9 wire bytes (8 zxid + 1 length varint), so
+      // a count beyond the remaining bytes is a corrupt frame — reject it
+      // before reserving memory for it.
+      if (!r.ok() || count > r.remaining()) return std::nullopt;
+      m.txns.reserve(count);
+      for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+        m.txns.push_back(decode_txn(r));
+      }
+      out = std::move(m);
       break;
     }
     default:

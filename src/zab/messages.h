@@ -11,6 +11,7 @@
 
 #include <optional>
 #include <variant>
+#include <vector>
 
 #include "common/buffer.h"
 #include "common/txn.h"
@@ -35,10 +36,11 @@ enum class MsgType : std::uint8_t {
   kPing = 13,
   kPong = 14,
   kRequest = 15,
+  kProposeBatch = 16,
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType t);
-inline constexpr int kNumMsgTypes = 16;
+inline constexpr int kNumMsgTypes = 17;
 
 /// Fast-Leader-Election notification. The vote (proposed leader + that
 /// leader's history position) is totally ordered by
@@ -115,6 +117,17 @@ struct ProposeMsg {
   Txn txn;
 };
 
+/// Leader -> follower: a coalesced run of consecutive live transactions,
+/// encoded once and fanned out as a single frame. Txns appear in zxid order
+/// and are contiguous (each counter is predecessor's + 1); the follower
+/// appends the whole run in one pass and replies with ONE cumulative ACK at
+/// the last durable zxid. Only the live broadcast path uses batches — the
+/// sync/recovery replay stream keeps single prev-chained ProposeMsg frames.
+struct ProposeBatchMsg {
+  Epoch epoch = kNoEpoch;
+  std::vector<Txn> txns;
+};
+
 /// Follower -> leader: txn is on my stable storage.
 struct AckMsg {
   Epoch epoch = kNoEpoch;
@@ -156,7 +169,8 @@ struct RequestMsg {
 using Message =
     std::variant<VoteMsg, CEpochMsg, NewEpochMsg, AckEpochMsg, TruncMsg,
                  SnapMsg, NewLeaderMsg, AckNewLeaderMsg, UpToDateMsg,
-                 ProposeMsg, AckMsg, CommitMsg, PingMsg, PongMsg, RequestMsg>;
+                 ProposeMsg, AckMsg, CommitMsg, PingMsg, PongMsg, RequestMsg,
+                 ProposeBatchMsg>;
 
 [[nodiscard]] MsgType message_type(const Message& m);
 [[nodiscard]] Bytes encode_message(const Message& m);

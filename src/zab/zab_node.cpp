@@ -49,6 +49,21 @@ ZabNode::ZabNode(ZabConfig cfg, Env& env, storage::ZabStorage& storage,
   cfg_.stall_lag_zxids =
       env_u64_or("ZAB_STALL_LAG_ZXIDS", cfg_.stall_lag_zxids);
 
+  // Wire-batching knobs: a 0 in the config means "unset", resolved from the
+  // env here — so an explicit programmatic setting always beats env (tests
+  // rely on pinning batching on/off regardless of CI's ZAB_BATCH_TXNS).
+  if (cfg_.batch_max_txns == 0) {
+    cfg_.batch_max_txns = env_u64_or("ZAB_BATCH_TXNS", 1);
+    if (cfg_.batch_max_txns == 0) cfg_.batch_max_txns = 1;  // 0 == off
+  }
+  if (cfg_.batch_max_bytes == 0) {
+    cfg_.batch_max_bytes = env_u64_or("ZAB_BATCH_BYTES", 128 * 1024);
+  }
+  if (cfg_.batch_flush_timeout == 0) {
+    cfg_.batch_flush_timeout = micros(static_cast<std::int64_t>(
+        env_u64_or("ZAB_BATCH_FLUSH_US", 200)));
+  }
+
   // Resolve every hot-path metric once; references are stable for the
   // registry's lifetime.
   c_proposals_ = &metrics_->counter("zab.leader.proposals");
@@ -75,6 +90,13 @@ ZabNode::ZabNode(ZabConfig cfg, Env& env, storage::ZabStorage& storage,
   slow_log_.set_threshold_ns(
       static_cast<std::int64_t>(env_u64_or("ZAB_SLOWLOG_US", 10'000)) * 1000);
   g_slowlog_threshold_us_->set(slow_log_.threshold_ns() / 1000);
+  h_batch_txns_ = &metrics_->histogram("zab.batch.propose_txns");
+  h_batch_bytes_ = &metrics_->histogram("zab.batch.propose_bytes");
+  c_batch_flush_size_ = &metrics_->counter("zab.batch.flush_reason.size");
+  c_batch_flush_bytes_ = &metrics_->counter("zab.batch.flush_reason.bytes");
+  c_batch_flush_timer_ = &metrics_->counter("zab.batch.flush_reason.timer");
+  c_ack_coalesced_ = &metrics_->counter("zab.ack.coalesced");
+  c_commit_coalesced_ = &metrics_->counter("zab.commit.coalesced");
   c_stall_commit_ = &metrics_->counter("zab.stall.commit");
   c_stall_lag_ = &metrics_->counter("zab.stall.follower_lag");
   g_commit_stalled_ = &metrics_->gauge("zab.stall.commit_stalled");
@@ -506,6 +528,8 @@ void ZabNode::on_message(NodeId from, std::span<const std::uint8_t> wire) {
           on_pong(from, m);
         } else if constexpr (std::is_same_v<T, RequestMsg>) {
           on_request(from, std::move(m));
+        } else if constexpr (std::is_same_v<T, ProposeBatchMsg>) {
+          on_propose_batch(from, std::move(m));
         }
       },
       std::move(*decoded));
@@ -522,7 +546,7 @@ void ZabNode::become(Role r, Phase p) {
 void ZabNode::cancel_phase_timers() {
   for (TimerId* t : {&finalize_timer_, &rebroadcast_timer_,
                      &follower_liveness_timer_, &discovery_timer_,
-                     &heartbeat_timer_}) {
+                     &heartbeat_timer_, &batch_flush_timer_}) {
     if (*t != kNoTimer) {
       env_->cancel_timer(*t);
       *t = kNoTimer;
@@ -537,6 +561,12 @@ void ZabNode::go_to_election() {
   newleader_acks_.clear();
   synced_observers_.clear();
   proposals_.clear();
+  // Unflushed batched txns are outstanding proposals of the epoch we just
+  // left; their fate is the next epoch's to decide (they are in storage, so
+  // sync replay will resurrect whatever survives).
+  batch_.clear();
+  batch_bytes_ = 0;
+  last_acked_ = Zxid{};
   activated_ = false;
   new_epoch_sent_ = false;
   self_history_durable_ = false;
@@ -693,16 +723,81 @@ Result<Zxid> ZabNode::broadcast(Bytes op) {
     note_append_durable(z);
   });
 
-  const Bytes wire = encode_message(
-      ProposeMsg{establishing_epoch_, /*sync=*/false, Zxid{}, std::move(txn)});
+  if (!batching_enabled()) {
+    const Bytes wire = encode_message(ProposeMsg{establishing_epoch_,
+                                                 /*sync=*/false, Zxid{},
+                                                 std::move(txn)});
+    for (const auto& [nid, fs] : followers_) {
+      if (fs.stage == FollowerState::Stage::kSyncing ||
+          fs.stage == FollowerState::Stage::kActive) {
+        ++stats_.sent[static_cast<std::size_t>(MsgType::kPropose)];
+        env_->send(nid, wire);
+      }
+    }
+    return z;
+  }
+
+  // Batched: the txn is already registered (storage, proposals_, span) —
+  // only the wire fan-out waits. Flush on the size/bytes caps; otherwise
+  // the flush timer bounds how long a lone txn can sit here.
+  batch_bytes_ += txn_wire_size(txn);
+  batch_.push_back(std::move(txn));
+  if (batch_.size() >= cfg_.batch_max_txns) {
+    flush_propose_batch(FlushReason::kSize);
+  } else if (batch_bytes_ >= cfg_.batch_max_bytes) {
+    flush_propose_batch(FlushReason::kBytes);
+  } else if (batch_flush_timer_ == kNoTimer) {
+    batch_flush_timer_ = env_->set_timer(cfg_.batch_flush_timeout, [this] {
+      batch_flush_timer_ = kNoTimer;
+      flush_propose_batch(FlushReason::kTimer);
+    });
+  }
+  return z;
+}
+
+void ZabNode::flush_propose_batch(FlushReason reason) {
+  if (batch_flush_timer_ != kNoTimer) {
+    env_->cancel_timer(batch_flush_timer_);
+    batch_flush_timer_ = kNoTimer;
+  }
+  if (batch_.empty()) return;
+  if (role_ != Role::kLeading || !activated_) {
+    // Deposed between accept and flush; go_to_election() already handed the
+    // batch's fate to the next epoch (entries live on in storage).
+    batch_.clear();
+    batch_bytes_ = 0;
+    return;
+  }
+
+  h_batch_txns_->record(batch_.size());
+  h_batch_bytes_->record(batch_bytes_);
+  switch (reason) {
+    case FlushReason::kSize: c_batch_flush_size_->add(); break;
+    case FlushReason::kBytes: c_batch_flush_bytes_->add(); break;
+    case FlushReason::kTimer: c_batch_flush_timer_->add(); break;
+  }
+
+  // A singleton degenerates to the legacy frame: followers that predate
+  // PROPOSEBATCH still interoperate at low load, and the batch framing
+  // overhead is only paid when it amortizes.
+  const bool singleton = batch_.size() == 1;
+  const Bytes wire =
+      singleton
+          ? encode_message(ProposeMsg{establishing_epoch_, /*sync=*/false,
+                                      Zxid{}, std::move(batch_.front())})
+          : encode_message(
+                ProposeBatchMsg{establishing_epoch_, std::move(batch_)});
+  const auto t = static_cast<std::size_t>(singleton ? MsgType::kPropose
+                                                    : MsgType::kProposeBatch);
   for (const auto& [nid, fs] : followers_) {
     if (fs.stage == FollowerState::Stage::kSyncing ||
         fs.stage == FollowerState::Stage::kActive) {
-      ++stats_.sent[static_cast<std::size_t>(MsgType::kPropose)];
+      ++stats_.sent[t];
       env_->send(nid, wire);
     }
   }
-  return z;
+  batch_.clear();
+  batch_bytes_ = 0;
 }
 
 Status ZabNode::submit(Bytes op) {
@@ -873,6 +968,9 @@ void ZabNode::follower_finish_sync() {
     return;
   }
   trace_.set_epoch(pending_new_leader_epoch_);
+  // The ACK-dedup watermark is epoch-scoped: the new epoch starts with a
+  // clean slate (its zxids restart at counter 1).
+  last_acked_ = Zxid{};
   send_to(leader_, AckNewLeaderMsg{pending_new_leader_epoch_});
 }
 
@@ -928,7 +1026,7 @@ void ZabNode::on_propose(NodeId from, ProposeMsg m) {
     // from a stale sync stream (a previous attempt that lost messages)
     // cannot silently punch holes into the log.
     if (m.prev != last_logged_) return;
-    append_follower_entry(std::move(m.txn), /*want_ack=*/false, m.epoch);
+    append_follower_entry(std::move(m.txn), AckMode::kSyncReplay, m.epoch);
     return;
   }
 
@@ -950,12 +1048,48 @@ void ZabNode::on_propose(NodeId from, ProposeMsg m) {
     follower_resync();
     return;
   }
-  append_follower_entry(std::move(m.txn), /*want_ack=*/true, m.epoch);
+  append_follower_entry(std::move(m.txn), AckMode::kLiveAck, m.epoch);
 }
 
-void ZabNode::append_follower_entry(Txn txn, bool want_ack, Epoch epoch) {
+void ZabNode::on_propose_batch(NodeId from, ProposeBatchMsg m) {
+  if (role_ != Role::kFollowing || from != leader_) return;
+  // Batches only carry live proposals; same gate as the live ProposeMsg
+  // path: the epoch must already be established on this follower.
+  if (m.epoch != storage_->current_epoch() ||
+      (phase_ != Phase::kBroadcast && phase_ != Phase::kSynchronization)) {
+    return;
+  }
+  last_leader_contact_ = env_->now();
+
+  // Append the run in one pass. Entries arrive in zxid order, so any
+  // duplicates (a sync replay that overlapped an unflushed batch) form a
+  // prefix; once one entry is fresh, every later one must chain on. Only
+  // the final entry ACKs — its durability callback fires after all earlier
+  // appends completed, so one cumulative ACK covers the whole batch.
+  std::size_t appended = 0;
+  for (std::size_t i = 0; i < m.txns.size(); ++i) {
+    const Zxid z = m.txns[i].zxid;
+    if (z <= last_logged_) continue;  // duplicate
+    const bool contiguous =
+        (z.epoch == last_logged_.epoch &&
+         z.counter == last_logged_.counter + 1) ||
+        (z.epoch > last_logged_.epoch && z.counter == 1);
+    if (!contiguous) {
+      follower_resync();  // hole: a previous batch was lost on the wire
+      return;
+    }
+    const bool last = i + 1 == m.txns.size();
+    append_follower_entry(std::move(m.txns[i]),
+                          last ? AckMode::kLiveAck : AckMode::kLiveNoAck,
+                          m.epoch);
+    ++appended;
+  }
+  if (appended > 1) c_ack_coalesced_->add(appended - 1);
+}
+
+void ZabNode::append_follower_entry(Txn txn, AckMode mode, Epoch epoch) {
   const Zxid z = txn.zxid;
-  if (want_ack) {
+  if (mode != AckMode::kSyncReplay) {
     // Live proposal: start this txn's stage clock on the follower too.
     const TimePoint now = env_->now();
     trace_.record(z, trace::Stage::kPropose, cfg_.id, now);
@@ -965,13 +1099,18 @@ void ZabNode::append_follower_entry(Txn txn, bool want_ack, Epoch epoch) {
   last_logged_ = z;
   undelivered_.push_back(txn);
   ++pending_appends_;
-  storage_->append(txn, [this, z, want_ack, epoch] {
+  storage_->append(txn, [this, z, mode, epoch] {
     --pending_appends_;
-    if (want_ack && role_ == Role::kFollowing && leader_ != kNoNode &&
-        storage_->current_epoch() == epoch) {
-      send_to(leader_, AckMsg{epoch, z});
-    }
     note_append_durable(z);
+    // The ACK is cumulative: appends complete in order, so last_durable_
+    // here covers z and everything before it. The last_acked_ guard drops
+    // ACKs that would not advance the leader's view (resync replays).
+    if (mode == AckMode::kLiveAck && role_ == Role::kFollowing &&
+        leader_ != kNoNode && storage_->current_epoch() == epoch &&
+        last_durable_ > last_acked_) {
+      send_to(leader_, AckMsg{epoch, last_durable_});
+      last_acked_ = last_durable_;
+    }
   });
   try_deliver();  // commit may already cover it (watermark from PING)
 }

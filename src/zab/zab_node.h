@@ -264,7 +264,13 @@ class ZabNode {
   void follower_finish_sync();
   void on_up_to_date(NodeId from, const UpToDateMsg& m);
   void on_propose(NodeId from, ProposeMsg m);
-  void append_follower_entry(Txn txn, bool want_ack, Epoch epoch);
+  void on_propose_batch(NodeId from, ProposeBatchMsg m);
+  /// How an appended entry participates in the ACK protocol. Sync-replay
+  /// entries are covered by ACK-NEWLEADER; live entries get per-zxid
+  /// tracing, and only the LAST entry of a live run sends the (cumulative)
+  /// ACK — which covers its whole batch because appends complete in order.
+  enum class AckMode : std::uint8_t { kSyncReplay, kLiveNoAck, kLiveAck };
+  void append_follower_entry(Txn txn, AckMode mode, Epoch epoch);
   void on_commit(NodeId from, const CommitMsg& m);
   void on_ping(NodeId from, const PingMsg& m);
   [[nodiscard]] bool from_current_leader(NodeId from, Epoch epoch) const;
@@ -303,6 +309,16 @@ class ZabNode {
   void leader_record_acks(NodeId from, Zxid upto);
   void on_pong(NodeId from, const PongMsg& m);
   void on_request(NodeId from, RequestMsg m);
+  /// True once the resolved config asks for wire batching. When false every
+  /// coalescing path is bypassed and the wire carries the legacy
+  /// one-PROPOSE/one-ACK/one-COMMIT frame sequence, byte for byte.
+  [[nodiscard]] bool batching_enabled() const {
+    return cfg_.batch_max_txns > 1;
+  }
+  enum class FlushReason : std::uint8_t { kSize, kBytes, kTimer };
+  /// Encode the pending batch once (a single-txn batch degenerates to the
+  /// legacy ProposeMsg frame) and fan it out to syncing/active followers.
+  void flush_propose_batch(FlushReason reason);
   void leader_try_commit();
   void leader_heartbeat();
   void leader_check_quorum_liveness();
@@ -413,6 +429,23 @@ class ZabNode {
   std::map<NodeId, Vote> established_votes_;  // peers already FOLLOWING/LEADING
   TimerId finalize_timer_ = kNoTimer;
   TimerId rebroadcast_timer_ = kNoTimer;
+
+  // --- Wire batching (see docs/PROTOCOL.md §14) ---
+  Histogram* h_batch_txns_ = nullptr;
+  Histogram* h_batch_bytes_ = nullptr;
+  AtomicCounter* c_batch_flush_size_ = nullptr;
+  AtomicCounter* c_batch_flush_bytes_ = nullptr;
+  AtomicCounter* c_batch_flush_timer_ = nullptr;
+  AtomicCounter* c_ack_coalesced_ = nullptr;
+  AtomicCounter* c_commit_coalesced_ = nullptr;
+  /// Leader: txns accepted by broadcast() but not yet flushed to the wire
+  /// (they ARE already in storage and proposals_; only the fan-out waits).
+  std::vector<Txn> batch_;
+  std::size_t batch_bytes_ = 0;
+  TimerId batch_flush_timer_ = kNoTimer;
+  /// Follower: highest zxid ACKed in the current epoch; an ACK is sent only
+  /// when it would advance this watermark (dedup after resync replay).
+  Zxid last_acked_;
 
   // --- Follower state ---
   TimePoint last_leader_contact_ = 0;

@@ -95,6 +95,58 @@ TEST(Messages, BroadcastPhaseRoundTrips) {
             to_bytes("client-op"));
 }
 
+TEST(Messages, ProposeBatchRoundTrips) {
+  {
+    // Empty batch (the leader never sends one, but the codec is total).
+    const auto r = roundtrip(ProposeBatchMsg{7, {}});
+    EXPECT_EQ(r.epoch, 7u);
+    EXPECT_TRUE(r.txns.empty());
+  }
+  {
+    const auto r =
+        roundtrip(ProposeBatchMsg{7, {Txn{Zxid{7, 1}, to_bytes("solo")}}});
+    ASSERT_EQ(r.txns.size(), 1u);
+    EXPECT_EQ(r.txns[0].zxid, (Zxid{7, 1}));
+    EXPECT_EQ(r.txns[0].data, to_bytes("solo"));
+  }
+  {
+    ProposeBatchMsg m{7, {}};
+    for (std::uint32_t c = 1; c <= 100; ++c) {
+      m.txns.push_back(Txn{Zxid{7, c}, to_bytes("op" + std::to_string(c))});
+    }
+    const auto r = roundtrip(m);
+    ASSERT_EQ(r.txns.size(), 100u);
+    EXPECT_EQ(r.txns[0].data, to_bytes("op1"));
+    EXPECT_EQ(r.txns[99].zxid, (Zxid{7, 100}));
+    EXPECT_EQ(r.txns[99].data, to_bytes("op100"));
+    // Empty payloads survive inside a batch too.
+    m.txns[50].data.clear();
+    EXPECT_EQ(roundtrip(m).txns[50].data, Bytes{});
+  }
+}
+
+TEST(Messages, ProposeBatchCorruptFramesRejected) {
+  ProposeBatchMsg m{7, {Txn{Zxid{7, 1}, to_bytes("aa")},
+                        Txn{Zxid{7, 2}, to_bytes("bb")}}};
+  const Bytes wire = encode_message(Message{m});
+  // Truncation at every prefix length.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        decode_message(std::span<const std::uint8_t>(wire.data(), len))
+            .has_value())
+        << "len " << len;
+  }
+  // Trailing garbage.
+  Bytes trailing = wire;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(decode_message(trailing).has_value());
+  // A count far beyond the remaining bytes must be rejected up front
+  // (never trusted for a reservation). Frame: tag, epoch u32, varint count.
+  Bytes huge{static_cast<std::uint8_t>(MsgType::kProposeBatch), 7, 0, 0, 0,
+             0xff, 0xff, 0xff, 0xff, 0x7f};
+  EXPECT_FALSE(decode_message(huge).has_value());
+}
+
 TEST(Messages, EmptyPayloadsAllowed) {
   EXPECT_EQ(roundtrip(RequestMsg{{}}).payload, Bytes{});
   const auto r = roundtrip(SnapMsg{1, Zxid::zero(), {}});
@@ -147,6 +199,7 @@ TEST(Messages, TypeNamesCoverAllTags) {
   EXPECT_STREQ(msg_type_name(MsgType::kCEpoch), "CEPOCH");
   EXPECT_STREQ(msg_type_name(MsgType::kUpToDate), "UPTODATE");
   EXPECT_STREQ(msg_type_name(MsgType::kRequest), "REQUEST");
+  EXPECT_STREQ(msg_type_name(MsgType::kProposeBatch), "PROPOSEBATCH");
   EXPECT_STREQ(role_name(Role::kLeading), "LEADING");
   EXPECT_STREQ(phase_name(Phase::kSynchronization), "SYNCHRONIZATION");
 }

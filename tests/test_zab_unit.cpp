@@ -17,6 +17,10 @@ ZabConfig three_node_cfg(NodeId id) {
   ZabConfig cfg;
   cfg.id = id;
   cfg.peers = {1, 2, 3};
+  // These tests assert the exact legacy frame sequence; pin wire batching
+  // off so a ZAB_BATCH_TXNS env (the CI batching matrix leg) can't coalesce
+  // the frames under them. Batch-specific behavior has its own tests below.
+  cfg.batch_max_txns = 1;
   return cfg;
 }
 
@@ -31,7 +35,11 @@ struct Fixture {
   ZabNode node;
   std::vector<Txn> delivered;
 
-  explicit Fixture(NodeId id) : env(id), node(three_node_cfg(id), env, storage) {
+  explicit Fixture(NodeId id) : Fixture(three_node_cfg(id)) {}
+
+  /// Custom-config variant (the wire-batching tests pin their own knobs).
+  explicit Fixture(ZabConfig cfg)
+      : env(cfg.id), node(std::move(cfg), env, storage) {
     node.add_deliver_handler([this](const Txn& t) { delivered.push_back(t); });
   }
 
@@ -563,6 +571,150 @@ TEST(ZabUnit, MalformedMessageIsDropped) {
   Bytes junk{0xff, 0x00, 0x17};
   f.node.on_message(2, junk);  // must not crash or change state
   EXPECT_EQ(f.node.role(), Role::kLooking);
+}
+
+// --- Wire batching (docs/PROTOCOL.md §14) --------------------------------------
+
+ZabConfig batching_cfg(NodeId id, std::size_t batch_txns) {
+  ZabConfig cfg = three_node_cfg(id);
+  cfg.batch_max_txns = batch_txns;
+  cfg.batch_max_bytes = 128 * 1024;
+  cfg.batch_flush_timeout = micros(200);
+  return cfg;
+}
+
+TEST(ZabUnit, BatchFlushesAtSizeCapAndCommitsWithOneWatermark) {
+  Fixture f(batching_cfg(3, 4));
+  f.make_leader_of_epoch1();
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(f.node.broadcast(to_bytes("op")).is_ok());
+  }
+  EXPECT_TRUE(f.env.drain().empty());  // below the cap: nothing on the wire
+  ASSERT_TRUE(f.node.broadcast(to_bytes("op")).is_ok());
+
+  auto batches = f.env.drain_of<ProposeBatchMsg>();
+  ASSERT_EQ(batches.size(), 2u);  // one frame per synced follower
+  for (const auto& [to, b] : batches) {
+    ASSERT_EQ(b.txns.size(), 4u);
+    EXPECT_EQ(b.txns.front().zxid, (Zxid{1, 1}));
+    EXPECT_EQ(b.txns.back().zxid, (Zxid{1, 4}));
+  }
+
+  // One cumulative ACK commits all four; ONE watermark COMMIT announces it.
+  inject(f.node, 1, AckMsg{1, Zxid{1, 4}});
+  ASSERT_EQ(f.delivered.size(), 4u);
+  auto commits = f.env.drain_of<CommitMsg>();
+  ASSERT_EQ(commits.size(), 2u);  // one frame per follower, not per txn
+  EXPECT_EQ(commits[0].second.zxid, (Zxid{1, 4}));
+  EXPECT_EQ(f.node.metrics().counter("zab.commit.coalesced").value(), 3u);
+}
+
+TEST(ZabUnit, BatchTimerFlushesPartialBatchAsLegacyFrame) {
+  Fixture f(batching_cfg(3, 32));
+  f.make_leader_of_epoch1();
+
+  ASSERT_TRUE(f.node.broadcast(to_bytes("lone")).is_ok());
+  EXPECT_TRUE(f.env.drain().empty());
+  f.env.advance(millis(1));  // past the 200us flush timer
+
+  // A singleton batch degenerates to the legacy single-txn frame.
+  auto proposes = f.env.drain_of<ProposeMsg>();
+  ASSERT_EQ(proposes.size(), 2u);
+  EXPECT_FALSE(proposes[0].second.sync);
+  EXPECT_EQ(proposes[0].second.txn.zxid, (Zxid{1, 1}));
+  EXPECT_EQ(
+      f.node.metrics().counter("zab.batch.flush_reason.timer").value(), 1u);
+
+  // Two more: the timer re-arms and flushes a true batch this time.
+  ASSERT_TRUE(f.node.broadcast(to_bytes("a")).is_ok());
+  ASSERT_TRUE(f.node.broadcast(to_bytes("b")).is_ok());
+  f.env.advance(millis(1));
+  auto batches = f.env.drain_of<ProposeBatchMsg>();
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].second.txns.size(), 2u);
+}
+
+TEST(ZabUnit, BatchFlushesAtBytesCap) {
+  ZabConfig cfg = batching_cfg(3, 1000);
+  cfg.batch_max_bytes = 64;
+  Fixture f(cfg);
+  f.make_leader_of_epoch1();
+
+  ASSERT_TRUE(f.node.broadcast(Bytes(40, 0xab)).is_ok());
+  EXPECT_TRUE(f.env.drain().empty());
+  ASSERT_TRUE(f.node.broadcast(Bytes(40, 0xcd)).is_ok());
+  auto batches = f.env.drain_of<ProposeBatchMsg>();
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].second.txns.size(), 2u);
+  EXPECT_EQ(
+      f.node.metrics().counter("zab.batch.flush_reason.bytes").value(), 1u);
+}
+
+TEST(ZabUnit, FollowerAppendsBatchInOnePassAndAcksOnce) {
+  Fixture f(1);
+  f.make_follower_of_epoch1();
+
+  ProposeBatchMsg batch{1, {Txn{Zxid{1, 1}, to_bytes("a")},
+                            Txn{Zxid{1, 2}, to_bytes("b")},
+                            Txn{Zxid{1, 3}, to_bytes("c")}}};
+  inject(f.node, 3, batch);
+  auto acks = f.env.drain_of<AckMsg>();
+  ASSERT_EQ(acks.size(), 1u);  // cumulative: one ACK for the whole run
+  EXPECT_EQ(acks[0].second.zxid, (Zxid{1, 3}));
+  EXPECT_EQ(f.node.last_logged(), (Zxid{1, 3}));
+  EXPECT_EQ(f.node.metrics().counter("zab.ack.coalesced").value(), 2u);
+
+  // Redelivery of the same batch is a pure duplicate: no append, and no
+  // ACK at or below the last one sent (the last_acked_ dedup watermark).
+  inject(f.node, 3, batch);
+  EXPECT_TRUE(f.env.drain_of<AckMsg>().empty());
+
+  inject(f.node, 3, CommitMsg{1, Zxid{1, 3}});
+  ASSERT_EQ(f.delivered.size(), 3u);
+  EXPECT_EQ(f.delivered[2].zxid, (Zxid{1, 3}));
+}
+
+TEST(ZabUnit, FollowerSkipsDuplicatePrefixOfOverlappingBatch) {
+  Fixture f(1);
+  f.make_follower_of_epoch1();
+  inject(f.node, 3,
+         ProposeMsg{1, false, Zxid{}, Txn{Zxid{1, 1}, to_bytes("a")}});
+  (void)f.env.drain();
+
+  // Batch overlaps the entry already logged: only 2 and 3 append; the one
+  // cumulative ACK still lands at the batch end.
+  inject(f.node, 3, ProposeBatchMsg{1, {Txn{Zxid{1, 1}, to_bytes("a")},
+                                        Txn{Zxid{1, 2}, to_bytes("b")},
+                                        Txn{Zxid{1, 3}, to_bytes("c")}}});
+  auto acks = f.env.drain_of<AckMsg>();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].second.zxid, (Zxid{1, 3}));
+  EXPECT_EQ(f.node.last_logged(), (Zxid{1, 3}));
+}
+
+TEST(ZabUnit, FollowerResyncsOnBatchGap) {
+  Fixture f(1);
+  f.make_follower_of_epoch1();
+
+  // First batch lost on the wire; the next one does not chain onto the log.
+  inject(f.node, 3, ProposeBatchMsg{1, {Txn{Zxid{1, 3}, to_bytes("x")},
+                                        Txn{Zxid{1, 4}, to_bytes("y")}}});
+  EXPECT_EQ(f.node.stats().resyncs, 1u);
+  auto cepochs = f.env.drain_of<CEpochMsg>();
+  EXPECT_EQ(cepochs.size(), 1u);  // rejoining the leader through discovery
+  EXPECT_EQ(f.node.last_logged(), Zxid::zero());
+}
+
+TEST(ZabUnit, FollowerIgnoresBatchFromWrongEpochOrSender) {
+  Fixture f(1);
+  f.make_follower_of_epoch1();
+  ProposeBatchMsg wrong_epoch{2, {Txn{Zxid{2, 1}, to_bytes("a")}}};
+  inject(f.node, 3, wrong_epoch);
+  ProposeBatchMsg wrong_sender{1, {Txn{Zxid{1, 1}, to_bytes("a")}}};
+  inject(f.node, 2, wrong_sender);
+  EXPECT_TRUE(f.env.drain_of<AckMsg>().empty());
+  EXPECT_EQ(f.node.last_logged(), Zxid::zero());
 }
 
 }  // namespace

@@ -19,6 +19,11 @@ Checks (text format 0.0.4):
     the full per-stage set (queue_wait, log_fsync, quorum_ack, commit,
     deliver, reply_write) must be declared as summaries, alongside
     zab_op_total_ns — a missing stage silently skews the p99 decomposition
+  - wire-batching families: when any zab_batch_* family appears, the full
+    set must travel together — zab_batch_propose_txns / _bytes as
+    summaries, the three zab_batch_flush_reason_* counters, and the
+    zab_ack_coalesced / zab_commit_coalesced companions — a partial scrape
+    makes the frames-per-txn dashboards silently wrong
 
 Exit status 0 when clean, 1 with one "line N: ..." diagnostic per problem.
 """
@@ -167,6 +172,40 @@ def lint(lines):
             errors.append(
                 "line 0: zab_op_stage_* present without zab_op_total_ns"
             )
+
+    # Wire-batching families travel as a set too: frames-per-txn dashboards
+    # divide the propose summaries by the flush-reason counters, so a scrape
+    # with only part of the family renders silently wrong ratios.
+    batch = {
+        name
+        for name in types
+        if name.startswith("zab_batch_") and not name.endswith("_max")
+    }
+    if batch:
+        summaries = {"zab_batch_propose_txns", "zab_batch_propose_bytes"}
+        counters = {
+            "zab_batch_flush_reason_" + r for r in ("size", "bytes", "timer")
+        }
+        expected = summaries | counters
+        for name in sorted(expected - batch):
+            errors.append(f"line 0: incomplete batching set: missing {name}")
+        for name in sorted(batch - expected):
+            errors.append(f"line 0: unknown batching family {name}")
+        for name in sorted(batch & summaries):
+            if types[name] != "summary":
+                errors.append(
+                    f"line 0: {name} must be a summary, is {types[name]}"
+                )
+        for name in sorted(batch & counters):
+            if types[name] != "counter":
+                errors.append(
+                    f"line 0: {name} must be a counter, is {types[name]}"
+                )
+        for name in ("zab_ack_coalesced", "zab_commit_coalesced"):
+            if types.get(name) != "counter":
+                errors.append(
+                    f"line 0: zab_batch_* present without counter {name}"
+                )
     return errors
 
 
