@@ -137,7 +137,7 @@ int main(int argc, char** argv) {
       for (int i = 0; i < kKeys; ++i) {
         auto v = t.get("/kv" + std::to_string(i));
         if (v.is_ok() &&
-            v.value() == to_bytes("value-" + std::to_string(i))) {
+            v.value().value == to_bytes("value-" + std::to_string(i))) {
           ++present;
         }
       }

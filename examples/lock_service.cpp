@@ -74,7 +74,7 @@ std::string acquire(RuntimeCluster& cluster, NodeId id, int contender) {
     std::vector<std::string> kids;
     cluster.with_tree(id, [&](pb::ReplicatedTree& t) {
       auto k = t.children("/lock");
-      if (k.is_ok()) kids = std::move(k.value());
+      if (k.is_ok()) kids = std::move(k).take().value;
     });
     std::string predecessor;
     bool mine_present = false;
@@ -163,8 +163,8 @@ int main() {
           auto v = t.get("/counter");
           auto s = t.stat("/counter");
           if (v.is_ok() && s.is_ok()) {
-            value = std::atoi(to_string_copy(v.value()).c_str());
-            version = s.value().version;
+            value = std::atoi(to_string_copy(v.value().value).c_str());
+            version = s.value().value.version;
           }
         });
         auto res = sync_op(
@@ -186,7 +186,7 @@ int main() {
   int final_value = 0;
   cluster.with_tree(leader, [&](pb::ReplicatedTree& t) {
     auto v = t.get("/counter");
-    if (v.is_ok()) final_value = std::atoi(to_string_copy(v.value()).c_str());
+    if (v.is_ok()) final_value = std::atoi(to_string_copy(v.value().value).c_str());
   });
 
   const int expected = kContenders * kIncrementsEach;

@@ -86,7 +86,7 @@ int main() {
     cluster.with_tree(n, [&](pb::ReplicatedTree& t) {
       auto v = t.get("/config");
       std::printf("  node %u reads /config = %s\n", n,
-                  v.is_ok() ? to_string_copy(v.value()).c_str() : "<missing>");
+                  v.is_ok() ? to_string_copy(v.value().value).c_str() : "<missing>");
     });
   }
 
@@ -123,7 +123,8 @@ int main() {
   cluster.with_tree(leader, [](pb::ReplicatedTree& t) {
     auto stat = t.stat("/config");
     std::printf("\nfinal: /config version=%u, value committed at %s\n",
-                stat.value().version, to_string(stat.value().mzxid).c_str());
+                stat.value().value.version,
+                to_string(stat.value().value.mzxid).c_str());
   });
 
   cluster.stop();

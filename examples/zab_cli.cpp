@@ -6,6 +6,11 @@
 //   zab_cli --servers ...            rm <path> [version]
 //   zab_cli --servers ...            ls <path>
 //   zab_cli --servers ...            stat <path>
+//   zab_cli --servers ...            sync          (flush a barrier; prints
+//                                      its commit zxid)
+//
+// Reads (get/ls/stat) accept --consistency local|session|linearizable
+// (default session) and print the zxid they are consistent with.
 //   zab_cli --servers ...            watch <path>  (block until it changes)
 //   zab_cli --servers ...            leader      (which server leads?)
 //   zab_cli --servers ...            mntr [--json]  (per-server stats dump)
@@ -66,6 +71,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args;
   bool sequential = false;
   bool json = false;
+  pb::ReadConsistency consistency = pb::ReadConsistency::kSession;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--servers" && i + 1 < argc) {
@@ -74,6 +80,19 @@ int main(int argc, char** argv) {
       admin_servers = parse_servers(argv[++i]);
     } else if (a == "--seq") {
       sequential = true;
+    } else if (a == "--consistency" && i + 1 < argc) {
+      const std::string tier = argv[++i];
+      if (tier == "local") {
+        consistency = pb::ReadConsistency::kLocal;
+      } else if (tier == "session") {
+        consistency = pb::ReadConsistency::kSession;
+      } else if (tier == "linearizable") {
+        consistency = pb::ReadConsistency::kLinearizable;
+      } else {
+        std::fprintf(stderr,
+                     "--consistency must be local|session|linearizable\n");
+        return 2;
+      }
     } else if (a == "--json") {
       json = true;
     } else {
@@ -83,7 +102,7 @@ int main(int argc, char** argv) {
   if (args.empty() || (servers.empty() && admin_servers.empty())) {
     std::fprintf(stderr,
                  "usage: %s --servers p1,p2,... "
-                 "<create|get|set|rm|ls|stat|leader|mntr|slowlog|dump_trace>"
+                 "<create|get|set|rm|ls|stat|sync|leader|mntr|slowlog|dump_trace>"
                  " [args]\n"
                  "       %s --admin-servers p1,p2,... admin [/metrics|/readyz"
                  "|/status|/tracez|/slowlog]\n",
@@ -129,9 +148,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cmd == "get" && args.size() == 2) {
-    auto r = client.get(args[1]);
+    auto r = client.get(args[1], pb::ReadOptions{.consistency = consistency});
     if (!r.is_ok()) return fail(r.status());
-    std::printf("%s\n", to_string_copy(r.value()).c_str());
+    std::printf("%s\t(at %s)\n", to_string_copy(r.value().value).c_str(),
+                to_string(r.value().zxid).c_str());
     return 0;
   }
   if (cmd == "set" && args.size() >= 3) {
@@ -151,27 +171,36 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cmd == "ls" && args.size() == 2) {
-    auto r = client.get_children(args[1]);
+    auto r = client.get_children(args[1],
+                                 pb::ReadOptions{.consistency = consistency});
     if (!r.is_ok()) return fail(r.status());
-    for (const auto& k : r.value()) std::printf("%s\n", k.c_str());
+    for (const auto& k : r.value().value) std::printf("%s\n", k.c_str());
     return 0;
   }
   if (cmd == "stat" && args.size() == 2) {
-    auto r = client.stat(args[1]);
+    auto r = client.stat(args[1], pb::ReadOptions{.consistency = consistency});
     if (!r.is_ok()) return fail(r.status());
-    const auto& s = r.value();
-    std::printf("czxid=%s mzxid=%s version=%u cversion=%u children=%u len=%llu\n",
+    const auto& s = r.value().value;
+    std::printf("czxid=%s mzxid=%s version=%u cversion=%u children=%u len=%llu"
+                " (at %s)\n",
                 to_string(s.czxid).c_str(), to_string(s.mzxid).c_str(),
                 s.version, s.cversion, s.num_children,
-                static_cast<unsigned long long>(s.data_length));
+                static_cast<unsigned long long>(s.data_length),
+                to_string(r.value().zxid).c_str());
+    return 0;
+  }
+  if (cmd == "sync" && args.size() == 1) {
+    auto r = client.sync();
+    if (!r.is_ok()) return fail(r.status());
+    std::printf("synced at %s\n", to_string(r.value()).c_str());
     return 0;
   }
   if (cmd == "watch" && args.size() == 2) {
     // Register a data/exists watch and block until it fires.
-    auto ex = client.exists(args[1], /*watch=*/true);
+    auto ex = client.exists(args[1], pb::ReadOptions{.watch = true});
     if (!ex.is_ok()) return fail(ex.status());
     std::printf("watching %s (currently %s) ...\n", args[1].c_str(),
-                ex.value() ? "exists" : "absent");
+                ex.value().value ? "exists" : "absent");
     auto ev = client.wait_watch_event(seconds(3600));
     if (!ev.is_ok()) return fail(ev.status());
     const char* what = "changed";

@@ -24,8 +24,8 @@ Status check_header(BufReader& r, std::uint8_t tag, const char* what) {
   const std::uint8_t b0 = r.u8();
   if (b0 == kReqTag || b0 == kRespTag || b0 == kWatchTag) {
     return Status::corruption(
-        "unversioned v1 client frame; this server speaks protocol v2 "
-        "(sessions) — upgrade the client library");
+        "unversioned v1 client frame; this server speaks protocol v3 "
+        "(sessions + fenced reads) — upgrade the client library");
   }
   if (b0 != kWireMagic) {
     return Status::corruption(std::string("not a client frame (bad magic), "
@@ -99,6 +99,8 @@ Bytes encode_client_request(const ClientRequest& r) {
     w.boolean(op.ephemeral);
   }
   w.boolean(r.watch);
+  w.u8(static_cast<std::uint8_t>(r.consistency));
+  w.u64(r.fence_zxid);
   return std::move(w).take();
 }
 
@@ -111,7 +113,7 @@ Result<ClientRequest> decode_client_request(
   ClientRequest out;
   out.xid = r.u64();
   const auto kind = r.u8();
-  if (kind < 1 || kind > 10) return Status::corruption("bad request kind");
+  if (kind < 1 || kind > 11) return Status::corruption("bad request kind");
   out.kind = static_cast<ClientOpKind>(kind);
   out.path = r.str();
   const auto n = r.varint();
@@ -129,6 +131,12 @@ Result<ClientRequest> decode_client_request(
     out.ops.push_back(std::move(op));
   }
   out.watch = r.boolean();
+  const auto tier = r.u8();
+  if (tier > static_cast<std::uint8_t>(ReadConsistency::kLinearizable)) {
+    return Status::corruption("bad read consistency tier");
+  }
+  out.consistency = static_cast<ReadConsistency>(tier);
+  out.fence_zxid = r.u64();
   if (!r.ok() || !r.at_end()) return Status::corruption("short request");
   return out;
 }

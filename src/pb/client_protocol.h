@@ -6,17 +6,21 @@
 // misparse. Version history:
 //
 //   v1  (retired)  bare tag byte, no session handshake
-//   v2             versioned header; ConnectRequest/ConnectResponse session
+//   v2  (retired)  versioned header; ConnectRequest/ConnectResponse session
 //                  handshake, PingRequest/PingResponse heartbeats, per-op
 //                  xid replay after reconnect
+//   v3             tiered read consistency: requests carry a consistency
+//                  byte + fence zxid, responses carry the answering
+//                  replica's delivered zxid, and kSync flushes a barrier
+//                  through the broadcast pipeline
 //
 // Every request carries a client-chosen xid echoed in the response; for
 // writes the xid doubles as the session's cxid (assigned once per logical
 // op, reused across retries) so a replayed in-flight write is answered from
 // the recorded outcome instead of re-executed. Writes are executed through
 // the replicated pipeline (any server forwards to the primary); reads are
-// served from the contacted server's local tree (ZooKeeper's consistency:
-// sequential per client, not linearizable).
+// served from the contacted server's local tree, fenced per request at the
+// client's chosen consistency tier (PROTOCOL.md §15).
 #pragma once
 
 #include <optional>
@@ -32,7 +36,26 @@ namespace zab::pb {
 
 /// First two bytes of every v2 frame.
 inline constexpr std::uint8_t kWireMagic = 0x5A;  // 'Z'
-inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::uint8_t kWireVersion = 3;
+
+/// How stale an answer a read is willing to accept (PROTOCOL.md §15).
+enum class ReadConsistency : std::uint8_t {
+  /// Serve from the contacted replica's tree immediately — may predate
+  /// writes this same client already saw committed. Explicit opt-in.
+  kLocal = 0,
+  /// Default. The request carries the highest zxid the client has observed
+  /// (`fence_zxid`); the server answers only once its delivered watermark
+  /// has reached it, parking the read until the deliver path catches up
+  /// (bounded by ZAB_READ_FENCE_TIMEOUT_MS, then kNotReady so the client
+  /// rotates). Session reads therefore never travel backwards in zxid
+  /// order and always observe the client's own writes.
+  kSession = 1,
+  /// The server first flushes a sync barrier through the broadcast
+  /// pipeline and serves the read at (or after) the barrier's zxid: the
+  /// answer reflects every write committed before the read was issued.
+  /// Costs one commit round; reads still never fan out to the ensemble.
+  kLinearizable = 2,
+};
 
 /// What a received frame is, decided from the 3-byte header alone.
 enum class FrameType : std::uint8_t {
@@ -65,6 +88,10 @@ enum class ClientOpKind : std::uint8_t {
   kSlowLog = 10,     // slow-op ring pull: response.data carries newest-first
                      // JSONL (one span per line); request.path optionally
                      // carries the entry limit as decimal text
+  kSync = 11,        // flush a barrier through the broadcast pipeline;
+                     // response.zxid is the barrier's commit zxid — a read
+                     // fenced at it observes every write committed before
+                     // the sync was issued (ZooKeeper's sync())
 };
 
 /// Opens (or resumes) a session on a connection; must be the first frame.
@@ -105,7 +132,16 @@ struct ClientRequest {
   /// Reads only: also register a one-shot watch (kGetData -> data watch,
   /// kExists -> exists/creation watch, kGetChildren -> child watch). The
   /// server pushes a WatchEventMsg frame on this connection when it fires.
+  /// The watch is registered at the fenced read's apply point, so it cannot
+  /// fire for — or swallow — txns ordered before the read's answer.
   bool watch = false;
+  /// Reads only: staleness tier (see ReadConsistency). Writes ignore it.
+  ReadConsistency consistency = ReadConsistency::kSession;
+  /// Reads at kSession: highest packed zxid this client has observed; the
+  /// server's delivered watermark must reach it before answering. Unused
+  /// (0) for kLocal; kLinearizable derives its fence from the sync barrier
+  /// server-side.
+  std::uint64_t fence_zxid = 0;
 };
 
 /// Server -> client push notification (one-shot watch fired).
@@ -122,7 +158,11 @@ struct ClientResponse {
   Stat stat;                        // kStat / kExists
   bool exists = false;
   std::int32_t failed_index = -1;   // failing sub-op of a write
-  Zxid zxid;                        // commit zxid of a write
+  /// Writes: the txn's commit zxid. Reads: the answering replica's
+  /// delivered watermark when the read was served — the client ratchets
+  /// its observed zxid from it so session reads never travel backwards.
+  /// kSync: the barrier's commit zxid.
+  Zxid zxid;
   bool is_leader = false;           // kPing: does this server lead?
 };
 

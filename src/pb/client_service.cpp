@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/op_span.h"
 
 namespace zab::pb {
 
@@ -29,7 +30,25 @@ bool set_nonblocking(int fd) {
 
 ClientService::ClientService(net::RuntimeEnv& env, ReplicatedTree& tree)
     : env_(&env), tree_(&tree) {
-  c_reconnects_ = &tree.node().metrics().counter("pb.client.reconnects");
+  auto& m = tree.node().metrics();
+  c_reconnects_ = &m.counter("pb.client.reconnects");
+  c_reads_local_ = &m.counter("zab.read.served_local");
+  c_reads_fenced_ = &m.counter("zab.read.fenced");
+  c_reads_not_ready_ = &m.counter("zab.read.not_ready");
+  h_read_parked_ns_ = &m.histogram("zab.read.parked_ns");
+  h_sync_barrier_ns_ = &m.histogram("zab.sync.barrier_ns");
+  read_fence_timeout_ = millis(static_cast<std::int64_t>(std::strtoull(
+      env_var_or("ZAB_READ_FENCE_TIMEOUT_MS", "1000").c_str(), nullptr, 10)));
+  // Wake parked reads from the deliver path. The handler list is loop-owned
+  // and this service is constructed after the node started, so the
+  // registration itself must hop onto the loop. Ordering inside a delivery:
+  // the tree's own deliver handler was registered first (ReplicatedTree
+  // ctor), so by the time this one runs the txn is already applied and the
+  // watermark already advanced — a woken read observes the new state.
+  env_->post([this] {
+    tree_->node().add_deliver_handler(
+        [this](const Txn&) { wake_parked_reads(); });
+  });
 }
 
 ClientService::~ClientService() { stop(); }
@@ -71,6 +90,13 @@ void ClientService::stop() {
     if (io_thread_.joinable()) io_thread_.join();
     return;
   }
+  // Drop parked reads on the loop first: their fence timers capture `this`
+  // and must not fire after teardown. The loop is still running here (the
+  // service always stops before its node's env).
+  env_->run_sync([this] {
+    for (auto& [fence, pr] : parked_) env_->cancel_timer(pr.timer);
+    parked_.clear();
+  });
   wake();
   if (io_thread_.joinable()) io_thread_.join();
   for (auto& c : conns_) {
@@ -134,6 +160,178 @@ void ClientService::register_watch(std::uint64_t conn_id, ClientOpKind kind,
     default:
       break;
   }
+}
+
+// --- Tiered read path -------------------------------------------------------
+
+void ClientService::handle_read(std::uint64_t conn_id,
+                                const ClientRequest& req,
+                                std::int64_t ingress_ns) {
+  if (req.consistency == ReadConsistency::kLinearizable) {
+    // Server-driven barrier: one client round trip. By the time the
+    // barrier's callback runs, the barrier txn has delivered locally, so
+    // the watermark covers every write committed before this read arrived
+    // and the read can be served straight from the callback.
+    const std::int64_t start_ns = env_->now();
+    const ClientRequest copy = req;
+    tree_->sync_barrier(
+        [this, conn_id, copy, ingress_ns, start_ns](const OpResult& r) {
+          h_sync_barrier_ns_->record(env_->now() - start_ns);
+          if (!r.status.is_ok()) {
+            ClientResponse resp;
+            resp.xid = copy.xid;
+            resp.code = r.status.code();
+            respond(conn_id, resp);
+            return;
+          }
+          serve_read(conn_id, copy, ingress_ns, /*parked_since_ns=*/-1);
+        });
+    return;
+  }
+  const std::uint64_t fence =
+      req.consistency == ReadConsistency::kLocal ? 0 : req.fence_zxid;
+  if (tree_->node().last_delivered().packed() >= fence) {
+    c_reads_local_->add();
+    serve_read(conn_id, req, ingress_ns, /*parked_since_ns=*/-1);
+    return;
+  }
+  park_read(conn_id, req, ingress_ns);
+}
+
+void ClientService::serve_read(std::uint64_t conn_id, const ClientRequest& req,
+                               std::int64_t ingress_ns,
+                               std::int64_t parked_since_ns) {
+  ClientResponse resp;
+  resp.xid = req.xid;
+  switch (req.kind) {
+    case ClientOpKind::kGetData: {
+      auto v = tree_->get(req.path);
+      resp.code = v.status().code();
+      if (v.is_ok()) resp.data = std::move(v.value().value);
+      if (req.watch && v.is_ok()) {
+        register_watch(conn_id, req.kind, req.path);
+      }
+      break;
+    }
+    case ClientOpKind::kExists: {
+      resp.exists = tree_->exists(req.path);
+      if (resp.exists) {
+        if (auto s = tree_->stat(req.path); s.is_ok()) {
+          resp.stat = s.value().value;
+        }
+      }
+      if (req.watch) register_watch(conn_id, req.kind, req.path);
+      break;
+    }
+    case ClientOpKind::kGetChildren: {
+      auto kids = tree_->children(req.path);
+      resp.code = kids.status().code();
+      if (kids.is_ok()) {
+        resp.paths = std::move(kids.value().value);
+        if (req.watch) register_watch(conn_id, req.kind, req.path);
+      }
+      break;
+    }
+    case ClientOpKind::kStat: {
+      auto s = tree_->stat(req.path);
+      resp.code = s.status().code();
+      if (s.is_ok()) resp.stat = s.value().value;
+      break;
+    }
+    default:
+      resp.code = Code::kInvalidArgument;
+      break;
+  }
+  // Every read answer carries this replica's delivered watermark: the
+  // client's session fence ratchets forward from it, so a later read — here
+  // or at another replica — can never observe older state.
+  resp.zxid = tree_->node().last_delivered();
+  if (parked_since_ns >= 0) {
+    const std::int64_t now_ns = env_->now();
+    c_reads_fenced_->add();
+    h_read_parked_ns_->record(now_ns - parked_since_ns);
+    note_parked_read(req, session_of(conn_id), ingress_ns, parked_since_ns,
+                     now_ns);
+  }
+  respond(conn_id, resp);
+}
+
+void ClientService::handle_sync(std::uint64_t conn_id,
+                                const ClientRequest& req) {
+  const std::uint64_t xid = req.xid;
+  const std::int64_t start_ns = env_->now();
+  tree_->sync_barrier([this, conn_id, xid, start_ns](const OpResult& r) {
+    h_sync_barrier_ns_->record(env_->now() - start_ns);
+    ClientResponse resp;
+    resp.xid = xid;
+    resp.code = r.status.code();
+    resp.zxid = r.zxid;
+    respond(conn_id, resp);
+  });
+}
+
+void ClientService::park_read(std::uint64_t conn_id, const ClientRequest& req,
+                              std::int64_t ingress_ns) {
+  ParkedRead pr;
+  pr.park_id = next_park_id_++;
+  pr.conn_id = conn_id;
+  pr.req = req;
+  pr.ingress_ns = ingress_ns;
+  pr.parked_at_ns = env_->now();
+  const std::uint64_t park_id = pr.park_id;
+  pr.timer = env_->set_timer(read_fence_timeout_,
+                             [this, park_id] { expire_parked_read(park_id); });
+  parked_.emplace(req.fence_zxid, std::move(pr));
+}
+
+void ClientService::wake_parked_reads() {
+  if (parked_.empty()) return;
+  const std::uint64_t watermark = tree_->node().last_delivered().packed();
+  while (!parked_.empty() && parked_.begin()->first <= watermark) {
+    ParkedRead pr = std::move(parked_.begin()->second);
+    parked_.erase(parked_.begin());
+    env_->cancel_timer(pr.timer);
+    serve_read(pr.conn_id, pr.req, pr.ingress_ns, pr.parked_at_ns);
+  }
+}
+
+void ClientService::expire_parked_read(std::uint64_t park_id) {
+  for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+    if (it->second.park_id != park_id) continue;
+    const ParkedRead pr = std::move(it->second);
+    parked_.erase(it);
+    c_reads_not_ready_->add();
+    h_read_parked_ns_->record(env_->now() - pr.parked_at_ns);
+    // The client rotates to a replica whose watermark covers its fence.
+    ClientResponse resp;
+    resp.xid = pr.req.xid;
+    resp.code = Code::kNotReady;
+    resp.zxid = tree_->node().last_delivered();
+    respond(pr.conn_id, resp);
+    return;
+  }
+}
+
+void ClientService::note_parked_read(const ClientRequest& req,
+                                     std::uint64_t session,
+                                     std::int64_t ingress_ns,
+                                     std::int64_t parked_since_ns,
+                                     std::int64_t now_ns) {
+  // Reads normally never touch the slow-op machinery; one that sat in the
+  // fence queue is exactly the kind of tail the log exists for. Synthesize
+  // a span whose queue_wait stage carries the park duration (the serve
+  // itself is microseconds) and let the ring's threshold decide admission.
+  OpSpan span;
+  span.session_id = session;
+  span.cxid = req.xid;
+  span.zxid = req.fence_zxid;  // the fence it waited for
+  span.op_kind = static_cast<std::uint8_t>(req.kind);
+  span.path = req.path;
+  span.recv_ns = ingress_ns >= 0 ? ingress_ns : parked_since_ns;
+  span.propose_ns = now_ns;  // queue_wait = recv -> propose = the park
+  span.deliver_ns = now_ns;
+  span.reply_ns = now_ns;
+  tree_->node().slow_log().observe(span);
 }
 
 void ClientService::on_disconnect(std::uint64_t conn_id) {
@@ -281,37 +479,16 @@ void ClientService::execute(std::uint64_t conn_id, const ClientRequest& req,
   resp.xid = req.xid;
 
   switch (req.kind) {
-    case ClientOpKind::kGetData: {
-      auto v = tree_->get(req.path);
-      resp.code = v.status().code();
-      if (v.is_ok()) resp.data = v.value();
-      if (req.watch && v.is_ok()) {
-        register_watch(conn_id, req.kind, req.path);
-      }
-      break;
-    }
-    case ClientOpKind::kExists: {
-      resp.exists = tree_->exists(req.path);
-      if (resp.exists) {
-        if (auto s = tree_->stat(req.path); s.is_ok()) resp.stat = s.value();
-      }
-      if (req.watch) register_watch(conn_id, req.kind, req.path);
-      break;
-    }
-    case ClientOpKind::kGetChildren: {
-      auto kids = tree_->children(req.path);
-      resp.code = kids.status().code();
-      if (kids.is_ok()) {
-        resp.paths = kids.value();
-        if (req.watch) register_watch(conn_id, req.kind, req.path);
-      }
-      break;
-    }
+    case ClientOpKind::kGetData:
+    case ClientOpKind::kExists:
+    case ClientOpKind::kGetChildren:
     case ClientOpKind::kStat: {
-      auto s = tree_->stat(req.path);
-      resp.code = s.status().code();
-      if (s.is_ok()) resp.stat = s.value();
-      break;
+      handle_read(conn_id, req, ingress_ns);
+      return;  // reply happens at (or after) the consistency fence
+    }
+    case ClientOpKind::kSync: {
+      handle_sync(conn_id, req);
+      return;  // reply happens when the barrier txn commits
     }
     case ClientOpKind::kPing: {
       resp.is_leader = tree_->node().is_active_leader();

@@ -9,12 +9,19 @@
 // within the session timeout. PING frames refresh the lease without
 // entering the pipeline.
 //
-// Reads (getData/exists/getChildren/stat) are answered from the local tree;
-// writes enter the replicated pipeline (forwarded to the primary if this
-// server follows) and are answered when the txn commits. Request execution
-// happens on the replica's event loop; a dedicated IO thread owns the
-// sockets — the same single-threaded-core discipline as the rest of the
-// stack.
+// Reads (getData/exists/getChildren/stat) are answered from the local tree
+// at the request's consistency tier (PROTOCOL.md §15): kLocal serves
+// immediately; kSession parks the read in a watermark-keyed wait queue
+// until this replica's delivered zxid reaches the client's fence (woken
+// from the deliver path, bounded by ZAB_READ_FENCE_TIMEOUT_MS, then
+// kNotReady so the client rotates); kLinearizable first flushes a sync
+// barrier through the broadcast pipeline and serves at the barrier's zxid.
+// Reads never fan out to the ensemble — follower read capacity scales with
+// server count. Writes enter the replicated pipeline (forwarded to the
+// primary if this server follows) and are answered when the txn commits.
+// Request execution happens on the replica's event loop; a dedicated IO
+// thread owns the sockets — the same single-threaded-core discipline as
+// the rest of the stack.
 #pragma once
 
 #include <atomic>
@@ -81,6 +88,33 @@ class ClientService {
   void register_watch(std::uint64_t conn_id, ClientOpKind kind,
                       const std::string& path);
 
+  // --- Tiered read path (all on the replica loop) ---------------------------
+  /// Answer a read at its consistency fence: serve now if the delivered
+  /// watermark already covers it, otherwise park (kSession) or flush a sync
+  /// barrier first (kLinearizable).
+  void handle_read(std::uint64_t conn_id, const ClientRequest& req,
+                   std::int64_t ingress_ns);
+  /// Serve from the local tree at the current watermark. The accompanying
+  /// watch registers here — the fenced read's apply point — so it cannot
+  /// fire for (or swallow) txns ordered before the read's answer.
+  /// `parked_since_ns` >= 0 marks a read that waited in the fence queue.
+  void serve_read(std::uint64_t conn_id, const ClientRequest& req,
+                  std::int64_t ingress_ns, std::int64_t parked_since_ns);
+  /// kSync: flush a barrier txn, answer with its commit zxid.
+  void handle_sync(std::uint64_t conn_id, const ClientRequest& req);
+  /// Queue a read until the delivered watermark reaches `fence`.
+  void park_read(std::uint64_t conn_id, const ClientRequest& req,
+                 std::int64_t ingress_ns);
+  /// Deliver-path hook: serve every parked read whose fence is now covered.
+  void wake_parked_reads();
+  /// A parked read waited out ZAB_READ_FENCE_TIMEOUT_MS: kNotReady.
+  void expire_parked_read(std::uint64_t park_id);
+  /// Synthetic span for a read that sat in the fence queue, so parked reads
+  /// surface in the slow-op log with their wait charged to queue_wait.
+  void note_parked_read(const ClientRequest& req, std::uint64_t session,
+                        std::int64_t ingress_ns, std::int64_t parked_since_ns,
+                        std::int64_t now_ns);
+
   net::RuntimeEnv* env_;
   ReplicatedTree* tree_;
 
@@ -100,6 +134,29 @@ class ClientService {
   // Replica-loop local: which session each connection authenticated as.
   std::unordered_map<std::uint64_t, std::uint64_t> conn_session_;
   AtomicCounter* c_reconnects_ = nullptr;  // handshakes that re-attached
+
+  // Replica-loop local: reads parked until the delivered watermark reaches
+  // their fence, keyed by packed fence zxid (woken in fence order from the
+  // deliver path).
+  struct ParkedRead {
+    std::uint64_t park_id = 0;
+    std::uint64_t conn_id = 0;
+    ClientRequest req;
+    std::int64_t ingress_ns = -1;
+    std::int64_t parked_at_ns = -1;
+    TimerId timer = 0;
+  };
+  std::multimap<std::uint64_t, ParkedRead> parked_;
+  std::uint64_t next_park_id_ = 1;
+  Duration read_fence_timeout_;
+
+  // Read-path observability. Counters are thread-safe; the histograms are
+  // loop-owned and only ever recorded on the replica loop.
+  AtomicCounter* c_reads_local_ = nullptr;    // answered at current watermark
+  AtomicCounter* c_reads_fenced_ = nullptr;   // parked, then served
+  AtomicCounter* c_reads_not_ready_ = nullptr;  // parked, timed out
+  Histogram* h_read_parked_ns_ = nullptr;     // time spent in the fence queue
+  Histogram* h_sync_barrier_ns_ = nullptr;    // kSync / linearizable barrier
 };
 
 }  // namespace zab::pb

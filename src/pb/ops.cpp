@@ -19,7 +19,7 @@ void encode_op(BufWriter& w, const Op& op) {
 Result<Op> decode_op(BufReader& r) {
   Op op;
   const auto type = r.u8();
-  if (type < 1 || type > 6) return Status::corruption("bad op type");
+  if (type < 1 || type > 7) return Status::corruption("bad op type");
   op.type = static_cast<OpType>(type);
   op.path = r.str();
   op.data = r.bytes();
@@ -88,7 +88,7 @@ Result<TreeTxn> decode_tree_txn(std::span<const std::uint8_t> wire) {
   if (r.u8() != kTreeTxnTag) return Status::corruption("not a TreeTxn");
   TreeTxn out;
   const auto kind = r.u8();
-  if (kind < 1 || kind > 8) return Status::corruption("bad txn kind");
+  if (kind < 1 || kind > 9) return Status::corruption("bad txn kind");
   out.kind = static_cast<TxnKind>(kind);
   out.origin = r.u32();
   out.req_id = r.u64();

@@ -24,6 +24,8 @@ enum class OpType : std::uint8_t {
   kCloseSession = 4,    // delete the session + every ephemeral it owns
   kCreateSession = 5,   // mint a durable session (primary resolves the id)
   kTouchSession = 6,    // re-attach / liveness: fails if the session expired
+  kSync = 7,            // flush a no-op barrier through the pipeline; the
+                        // result's zxid fences linearizable reads
 };
 
 /// A client write request.
@@ -74,6 +76,8 @@ enum class TxnKind : std::uint8_t {
                        // and all its ephemerals go at this txn's zxid
   kCreateSession = 7,  // `owner` = resolved id, `timeout_ms` = granted lease
   kTouchSession = 8,   // `owner` re-validated; no tree change on backups
+  kSyncBarrier = 9,    // pure ordering barrier: applied as a no-op, its
+                       // zxid marks "everything committed before the sync"
 };
 
 /// Fully resolved state change, idempotent by construction.
@@ -108,6 +112,17 @@ struct OpResult {
   std::int32_t failed_index = -1;
   /// kCreateSession / kTouchSession: the (resolved) session id.
   std::uint64_t session_id = 0;
+};
+
+/// A read's payload plus the zxid it is consistent with: for local tree
+/// reads the replica's delivered watermark at answer time, for remote reads
+/// the answering server's watermark echoed in the response. Callers fence
+/// follow-up reads (theirs or another client's, handed off out of band)
+/// at `zxid` to never observe older state.
+template <typename T>
+struct ReadResult {
+  T value{};
+  Zxid zxid;
 };
 
 [[nodiscard]] Bytes encode_op_request(const OpRequest& r);

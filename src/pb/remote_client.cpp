@@ -141,6 +141,11 @@ Status RemoteClient::reregister_watches(TimePoint deadline) {
       req.kind = kind;
       req.path = path;
       req.watch = true;
+      // Fenced like any session read: the new server may not register this
+      // watch against a tree older than what we already observed, or it
+      // could fire for (or miss) events we have already seen.
+      req.consistency = ReadConsistency::kSession;
+      req.fence_zxid = last_seen_zxid_;
       req.xid = next_xid_++;
       auto resp = roundtrip(req, deadline);
       if (!resp.is_ok()) return resp.status();
@@ -336,56 +341,101 @@ Result<std::string> RemoteClient::create(const std::string& path,
   return resp.value().paths.empty() ? path : resp.value().paths.front();
 }
 
-Result<Bytes> RemoteClient::get(const std::string& path, bool watch) {
+Result<ClientResponse> RemoteClient::read_call(ClientOpKind kind,
+                                               const std::string& path,
+                                               const ReadOptions& opts) {
   ClientRequest req;
-  req.kind = ClientOpKind::kGetData;
+  req.kind = kind;
   req.path = path;
-  req.watch = watch;
+  req.watch = opts.watch;
+  req.consistency = opts.consistency;
+  // Session reads carry our observed high-water mark; the server answers
+  // only once its delivered watermark reaches it (or kNotReady after the
+  // fence timeout, which call() turns into a rotation). kLocal reads fence
+  // at nothing; kLinearizable fences server-side at a fresh sync barrier.
+  if (opts.consistency == ReadConsistency::kSession) {
+    req.fence_zxid = last_seen_zxid_;
+  }
   auto resp = call(std::move(req));
+  if (resp.is_ok() && resp.value().code == Code::kOk && opts.watch) {
+    note_watch_registered(kind, path);
+  }
+  return resp;
+}
+
+Result<ReadResult<Bytes>> RemoteClient::get(const std::string& path,
+                                            const ReadOptions& opts) {
+  auto resp = read_call(ClientOpKind::kGetData, path, opts);
   if (!resp.is_ok()) return resp.status();
   if (resp.value().code != Code::kOk) {
     return Status(resp.value().code, "get failed");
   }
-  if (watch) note_watch_registered(ClientOpKind::kGetData, path);
-  return resp.value().data;
+  return ReadResult<Bytes>{std::move(resp.value().data), resp.value().zxid};
 }
 
-Result<bool> RemoteClient::exists(const std::string& path, bool watch) {
-  ClientRequest req;
-  req.kind = ClientOpKind::kExists;
-  req.path = path;
-  req.watch = watch;
-  auto resp = call(std::move(req));
+Result<ReadResult<bool>> RemoteClient::exists(const std::string& path,
+                                              const ReadOptions& opts) {
+  auto resp = read_call(ClientOpKind::kExists, path, opts);
   if (!resp.is_ok()) return resp.status();
-  if (watch) note_watch_registered(ClientOpKind::kExists, path);
-  return resp.value().exists;
+  return ReadResult<bool>{resp.value().exists, resp.value().zxid};
 }
 
-Result<std::vector<std::string>> RemoteClient::get_children(
-    const std::string& path, bool watch) {
-  ClientRequest req;
-  req.kind = ClientOpKind::kGetChildren;
-  req.path = path;
-  req.watch = watch;
-  auto resp = call(std::move(req));
+Result<ReadResult<std::vector<std::string>>> RemoteClient::get_children(
+    const std::string& path, const ReadOptions& opts) {
+  auto resp = read_call(ClientOpKind::kGetChildren, path, opts);
   if (!resp.is_ok()) return resp.status();
   if (resp.value().code != Code::kOk) {
     return Status(resp.value().code, "getChildren failed");
   }
-  if (watch) note_watch_registered(ClientOpKind::kGetChildren, path);
-  return resp.value().paths;
+  return ReadResult<std::vector<std::string>>{std::move(resp.value().paths),
+                                              resp.value().zxid};
 }
 
-Result<Stat> RemoteClient::stat(const std::string& path) {
-  ClientRequest req;
-  req.kind = ClientOpKind::kStat;
-  req.path = path;
-  auto resp = call(std::move(req));
+Result<ReadResult<Stat>> RemoteClient::stat(const std::string& path,
+                                            const ReadOptions& opts) {
+  auto resp = read_call(ClientOpKind::kStat, path, opts);
   if (!resp.is_ok()) return resp.status();
   if (resp.value().code != Code::kOk) {
     return Status(resp.value().code, "stat failed");
   }
-  return resp.value().stat;
+  return ReadResult<Stat>{resp.value().stat, resp.value().zxid};
+}
+
+// Deprecated positional-watch shims: forward to the ReadOptions overloads,
+// shedding the zxid for callers that predate ReadResult.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+Result<Bytes> RemoteClient::get(const std::string& path, bool watch) {
+  auto r = get(path, ReadOptions{.watch = watch});
+  if (!r.is_ok()) return r.status();
+  return std::move(r.value().value);
+}
+
+Result<bool> RemoteClient::exists(const std::string& path, bool watch) {
+  auto r = exists(path, ReadOptions{.watch = watch});
+  if (!r.is_ok()) return r.status();
+  return r.value().value;
+}
+
+Result<std::vector<std::string>> RemoteClient::get_children(
+    const std::string& path, bool watch) {
+  auto r = get_children(path, ReadOptions{.watch = watch});
+  if (!r.is_ok()) return r.status();
+  return std::move(r.value().value);
+}
+#pragma GCC diagnostic pop
+
+Result<Zxid> RemoteClient::sync() {
+  ClientRequest req;
+  req.kind = ClientOpKind::kSync;
+  auto resp = call(std::move(req));
+  if (!resp.is_ok()) return resp.status();
+  if (resp.value().code != Code::kOk) {
+    return Status(resp.value().code, "sync failed");
+  }
+  // call() already ratcheted last_seen_zxid_ to the barrier zxid, so every
+  // subsequent kSession read observes the pre-sync state of the world.
+  return resp.value().zxid;
 }
 
 Result<Zxid> RemoteClient::set(const std::string& path, const Bytes& data,

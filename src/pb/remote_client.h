@@ -9,11 +9,17 @@
 // against the session's recorded outcome, so a write that committed just
 // before the old connection died is answered, not re-executed.
 //
-// Reads are answered by the contacted server locally; writes travel through
-// the replicated pipeline. One outstanding request at a time (simple,
-// synchronous — the style of most coordination-service client bindings'
-// sync APIs). No background threads: the session lease is refreshed by
-// ordinary traffic, by ping(), and while blocked in wait_watch_event().
+// Reads are answered by the contacted server locally at a per-read
+// consistency tier (ReadOptions): the client tracks the highest zxid it has
+// observed — from write commits, connect acks, and every read response —
+// and fences kSession reads (the default) at it, so its reads never travel
+// backwards and always observe its own writes, even across endpoint
+// rotation and failover. sync() flushes a barrier through the broadcast
+// pipeline for linearizable fencing. Writes travel through the replicated
+// pipeline. One outstanding request at a time (simple, synchronous — the
+// style of most coordination-service client bindings' sync APIs). No
+// background threads: the session lease is refreshed by ordinary traffic,
+// by ping(), and while blocked in wait_watch_event().
 #pragma once
 
 #include <deque>
@@ -50,6 +56,16 @@ struct ClientConfig {
   std::uint32_t max_reconnects = 0;
 };
 
+/// Per-read options. Replaces the old positional `bool watch` parameter so
+/// the consistency tier rides along without another signature change.
+struct ReadOptions {
+  /// Also register a one-shot watch (get -> data watch, exists ->
+  /// exists/creation watch, get_children -> child watch).
+  bool watch = false;
+  /// Staleness tier; kSession (read-your-writes, monotonic) by default.
+  ReadConsistency consistency = ReadConsistency::kSession;
+};
+
 class RemoteClient {
  public:
   using Endpoint = pb::Endpoint;  // compat alias for pre-config callers
@@ -80,14 +96,35 @@ class RemoteClient {
   /// reconnects and die at session close or expiry.
   Result<std::string> create(const std::string& path, const Bytes& data,
                              bool sequential = false, bool ephemeral = false);
-  /// Reads may register a one-shot watch; the event arrives via
-  /// poll_watch_event()/wait_watch_event(). Watches survive reconnects: the
-  /// client re-registers outstanding ones after re-attaching its session.
-  Result<Bytes> get(const std::string& path, bool watch = false);
-  Result<bool> exists(const std::string& path, bool watch = false);
+  /// Reads return the payload plus the zxid it is consistent with (the
+  /// answering replica's delivered watermark) — hand that zxid to another
+  /// client (see ReadOptions) or compare it across reads to reason about
+  /// staleness; this client's own fence ratchets from it automatically.
+  /// Reads may register a one-shot watch (ReadOptions::watch); the event
+  /// arrives via poll_watch_event()/wait_watch_event(). Watches survive
+  /// reconnects: the client re-registers outstanding ones — fenced at its
+  /// observed zxid — after re-attaching its session.
+  Result<ReadResult<Bytes>> get(const std::string& path,
+                                const ReadOptions& opts = {});
+  Result<ReadResult<bool>> exists(const std::string& path,
+                                  const ReadOptions& opts = {});
+  Result<ReadResult<std::vector<std::string>>> get_children(
+      const std::string& path, const ReadOptions& opts = {});
+  Result<ReadResult<Stat>> stat(const std::string& path,
+                                const ReadOptions& opts = {});
+  /// Deprecated positional-watch shims (one release): value-only results.
+  [[deprecated("use get(path, ReadOptions{...})")]]
+  Result<Bytes> get(const std::string& path, bool watch);
+  [[deprecated("use exists(path, ReadOptions{...})")]]
+  Result<bool> exists(const std::string& path, bool watch);
+  [[deprecated("use get_children(path, ReadOptions{...})")]]
   Result<std::vector<std::string>> get_children(const std::string& path,
-                                                bool watch = false);
-  Result<Stat> stat(const std::string& path);
+                                                bool watch);
+  /// Flush a barrier through the broadcast pipeline and return its commit
+  /// zxid. After sync() returns, this client's fence covers every write
+  /// committed before the call — ZooKeeper's recipe for clients that learn
+  /// of writes out of band. Costs one commit round.
+  Result<Zxid> sync();
   /// Write ops return the commit zxid on success.
   Result<Zxid> set(const std::string& path, const Bytes& data,
                    std::int64_t expected_version = -1);
@@ -140,6 +177,12 @@ class RemoteClient {
   [[nodiscard]] std::size_t current_endpoint() const { return current_; }
   /// Session id granted by the handshake (0 before the first request).
   [[nodiscard]] std::uint64_t session_id() const { return session_id_; }
+  /// Highest packed zxid this client has observed — the fence kSession
+  /// reads carry. Ratchets from write commits, connect acks, and every
+  /// read/sync response; never decreases.
+  [[nodiscard]] std::uint64_t last_seen_zxid() const {
+    return last_seen_zxid_;
+  }
   /// Lease granted by the primary (zero before the handshake).
   [[nodiscard]] Duration session_timeout() const {
     return millis(static_cast<std::int64_t>(negotiated_timeout_ms_));
@@ -159,6 +202,10 @@ class RemoteClient {
   /// no reconnect, no rotation (used by the handshake itself).
   Result<ClientResponse> roundtrip(const ClientRequest& req,
                                    TimePoint deadline);
+  /// Build + issue one read at `opts`' tier (kSession reads are fenced at
+  /// last_seen_zxid_) and record the watch registration on success.
+  Result<ClientResponse> read_call(ClientOpKind kind, const std::string& path,
+                                   const ReadOptions& opts);
   void note_watch_registered(ClientOpKind kind, const std::string& path);
   void note_watch_fired(const WatchEventMsg& ev);
   Status reregister_watches(TimePoint deadline);

@@ -109,6 +109,12 @@ void ReplicatedTree::touch_session(std::uint64_t session) {
   (void)node_->submit(encode_op_request(req));
 }
 
+void ReplicatedTree::sync_barrier(ResultFn cb) {
+  Op op;
+  op.type = OpType::kSync;
+  submit(std::move(op), std::move(cb));
+}
+
 void ReplicatedTree::close_session(std::uint64_t session, ResultFn cb) {
   Op op;
   op.type = OpType::kCloseSession;
@@ -445,6 +451,14 @@ TreeTxn ReplicatedTree::prep(const Op& op, NodeId origin,
       txn.path.clear();
       return txn;
     }
+    case OpType::kSync: {
+      // Pure ordering barrier: no preconditions, no state change. Its zxid
+      // is the fence — everything committed before the sync is ordered (and
+      // therefore applied on every replica) before this txn delivers.
+      txn.kind = TxnKind::kSyncBarrier;
+      txn.path.clear();
+      return txn;
+    }
     case OpType::kTouchSession: {
       // Re-attach / liveness through the pipeline. Losing the race against
       // an ordered kCloseSession fails here — before broadcasting — so the
@@ -645,7 +659,8 @@ void ReplicatedTree::apply_one(const TreeTxn& t, Zxid zxid) {
       st = tree_.apply_create_session(t.owner, t.timeout_ms);
       break;
     case TxnKind::kTouchSession:
-      break;  // liveness only; no replica state changes
+    case TxnKind::kSyncBarrier:
+      break;  // liveness / ordering only; no replica state changes
     case TxnKind::kDelete:
       st = tree_.apply_delete(t.path);
       break;

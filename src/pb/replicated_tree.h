@@ -6,9 +6,10 @@
 // effects of still-uncommitted txns, ZooKeeper's outstanding-change table —
 // and broadcasts the resulting idempotent transaction. Every replica applies
 // delivered transactions in zxid order; the origin replica additionally
-// completes the client's callback. Reads are served locally (ZooKeeper's
-// consistency model: sequential consistency per client, not linearizable
-// reads).
+// completes the client's callback. Reads are served locally and stamped
+// with the replica's delivered watermark (ReadResult), so callers can fence
+// later reads; sync_barrier() flushes a no-op txn through the pipeline for
+// linearizable read fencing (PROTOCOL.md §15).
 #pragma once
 
 #include <functional>
@@ -60,6 +61,12 @@ class ReplicatedTree {
   void submit_multi(std::vector<Op> ops, ResultFn cb,
                     std::uint64_t session = 0, std::uint64_t cxid = 0,
                     std::int64_t ingress_ns = -1);
+  /// Flush a kSyncBarrier no-op through the broadcast pipeline. The callback
+  /// fires when the barrier delivers locally, so at that point this
+  /// replica's watermark >= the result's zxid and a read served from the
+  /// callback observes every write committed before the sync was issued.
+  /// Works from followers too (forwarded to the primary like any write).
+  void sync_barrier(ResultFn cb);
 
   // --- Sessions (replicated state; the primary owns the expiry clock) -------
   /// Mint a durable session: the primary resolves a cluster-unique id
@@ -85,18 +92,28 @@ class ReplicatedTree {
   [[nodiscard]] bool session_alive(std::uint64_t session) const;
 
   // --- Local reads ------------------------------------------------------------
-  [[nodiscard]] Result<Bytes> get(const std::string& path) const {
-    return tree_.get_data(path);
+  // Answered from this replica's applied tree and stamped with its delivered
+  // watermark: `zxid` is the fence a caller passes to later reads (here or
+  // at another replica) to never observe older state.
+  [[nodiscard]] Result<ReadResult<Bytes>> get(const std::string& path) const {
+    auto v = tree_.get_data(path);
+    if (!v.is_ok()) return v.status();
+    return ReadResult<Bytes>{std::move(v).take(), node_->last_delivered()};
   }
   [[nodiscard]] bool exists(const std::string& path) const {
     return tree_.exists(path);
   }
-  [[nodiscard]] Result<std::vector<std::string>> children(
+  [[nodiscard]] Result<ReadResult<std::vector<std::string>>> children(
       const std::string& path) const {
-    return tree_.get_children(path);
+    auto v = tree_.get_children(path);
+    if (!v.is_ok()) return v.status();
+    return ReadResult<std::vector<std::string>>{std::move(v).take(),
+                                                node_->last_delivered()};
   }
-  [[nodiscard]] Result<Stat> stat(const std::string& path) const {
-    return tree_.stat(path);
+  [[nodiscard]] Result<ReadResult<Stat>> stat(const std::string& path) const {
+    auto v = tree_.stat(path);
+    if (!v.is_ok()) return v.status();
+    return ReadResult<Stat>{v.value(), node_->last_delivered()};
   }
   [[nodiscard]] DataTree& tree() { return tree_; }
   [[nodiscard]] const TreeStats& stats() const { return stats_; }

@@ -43,34 +43,31 @@ TEST(ClientServer, CrudThroughAnyServer) {
   auto created = client.create("/app", to_bytes("hello"));
   ASSERT_TRUE(created.is_ok()) << created.status().to_string();
   EXPECT_EQ(created.value(), "/app");
+  const std::uint64_t created_zxid = client.last_seen_zxid();
 
-  // Read back — possibly from a follower; retry until replicated.
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  Result<Bytes> got = Status::not_found("");
-  while (std::chrono::steady_clock::now() < deadline) {
-    got = client.get("/app");
-    if (got.is_ok()) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  ASSERT_TRUE(got.is_ok());
-  EXPECT_EQ(got.value(), to_bytes("hello"));
+  // Read back — possibly from a follower. The default kSession tier fences
+  // the read at the create's commit zxid, so even a lagging follower answers
+  // with the write (read-your-writes; no retry loop needed).
+  auto got = client.get("/app");
+  ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+  EXPECT_EQ(got.value().value, to_bytes("hello"));
+  EXPECT_GE(got.value().zxid.packed(), created_zxid);
 
   // Conditional set + stat.
   ASSERT_TRUE(client.set("/app", to_bytes("world"), 0).is_ok());
   auto st = client.stat("/app");
   ASSERT_TRUE(st.is_ok());
-  EXPECT_EQ(st.value().version, 1u);
+  EXPECT_EQ(st.value().value.version, 1u);
   EXPECT_EQ(client.set("/app", to_bytes("stale"), 0).status().code(),
             Code::kBadVersion);
 
   // exists / children / delete.
-  EXPECT_TRUE(client.exists("/app").value_or(false));
+  EXPECT_TRUE(client.exists("/app").value().value);
   auto kids = client.get_children("/");
   ASSERT_TRUE(kids.is_ok());
-  EXPECT_EQ(kids.value().size(), 1u);
+  EXPECT_EQ(kids.value().value.size(), 1u);
   ASSERT_TRUE(client.remove("/app").is_ok());
-  EXPECT_FALSE(client.exists("/app").value_or(true));
+  EXPECT_FALSE(client.exists("/app").value().value);
 
   f.cluster.stop();
 }
@@ -113,7 +110,7 @@ TEST(ClientServer, MultiIsAtomicOverTheWire) {
   ASSERT_TRUE(fail.is_ok());
   EXPECT_EQ(fail.value().code, Code::kExists);
   EXPECT_EQ(fail.value().failed_index, 1);
-  EXPECT_FALSE(client.exists("/base/z").value_or(true));  // atomic: no /base/z
+  EXPECT_FALSE(client.exists("/base/z").value().value);  // atomic: no /base/z
   f.cluster.stop();
 }
 
@@ -168,7 +165,7 @@ TEST(ClientServer, GarbageFrameDoesNotCrashServer) {
   ::close(fd);
 
   // Server still works.
-  EXPECT_TRUE(probe.exists("/sane").value_or(false));
+  EXPECT_TRUE(probe.exists("/sane").value().value);
   f.cluster.stop();
 }
 
@@ -179,14 +176,10 @@ TEST(ClientServer, DataWatchPushedOverTheWire) {
   RemoteClient writer(ClientConfig{.servers = {{"127.0.0.1", f.cluster.client_port(2)}}});
 
   ASSERT_TRUE(writer.create("/watched", to_bytes("v0")).is_ok());
-  // Replicate to server 1 before registering the watch there.
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  while (std::chrono::steady_clock::now() < deadline &&
-         !watcher.exists("/watched").value_or(false)) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  ASSERT_TRUE(watcher.get("/watched", /*watch=*/true).is_ok());
+  // sync() fences the watcher past the other client's write before the
+  // watch registers — no replication-wait polling.
+  ASSERT_TRUE(watcher.sync().is_ok());
+  ASSERT_TRUE(watcher.get("/watched", ReadOptions{.watch = true}).is_ok());
 
   ASSERT_TRUE(writer.set("/watched", to_bytes("v1")).is_ok());
   auto ev = watcher.wait_watch_event(seconds(5));
@@ -202,9 +195,9 @@ TEST(ClientServer, ExistsWatchFiresOnCreation) {
   RemoteClient watcher(ClientConfig{.servers = {{"127.0.0.1", f.cluster.client_port(1)}}});
   RemoteClient writer(ClientConfig{.servers = {{"127.0.0.1", f.cluster.client_port(1)}}});
 
-  auto ex = watcher.exists("/future", /*watch=*/true);
+  auto ex = watcher.exists("/future", ReadOptions{.watch = true});
   ASSERT_TRUE(ex.is_ok());
-  EXPECT_FALSE(ex.value());
+  EXPECT_FALSE(ex.value().value);
 
   ASSERT_TRUE(writer.create("/future", to_bytes("now")).is_ok());
   auto ev = watcher.wait_watch_event(seconds(5));
@@ -221,9 +214,9 @@ TEST(ClientServer, ChildWatchFiresOnMembershipChange) {
   RemoteClient writer(ClientConfig{.servers = {{"127.0.0.1", f.cluster.client_port(1)}}});
 
   ASSERT_TRUE(writer.create("/dir", {}).is_ok());
-  auto kids = watcher.get_children("/dir", /*watch=*/true);
+  auto kids = watcher.get_children("/dir", ReadOptions{.watch = true});
   ASSERT_TRUE(kids.is_ok());
-  EXPECT_TRUE(kids.value().empty());
+  EXPECT_TRUE(kids.value().value.empty());
 
   ASSERT_TRUE(writer.create("/dir/kid", {}).is_ok());
   auto ev = watcher.wait_watch_event(seconds(5));

@@ -145,7 +145,7 @@ TEST(Ephemeral, RequiresASession) {
   while (!done && c.sim().now() < deadline) c.run_for(millis(2));
   ASSERT_TRUE(out.status.is_ok());
   c.run_for(millis(100));
-  EXPECT_EQ(trees[l]->stat("/e").value().ephemeral_owner, sid);
+  EXPECT_EQ(trees[l]->stat("/e").value().value.ephemeral_owner, sid);
 
   done = false;
   trees[l]->close_session(sid, [&](const OpResult& r) {
@@ -207,15 +207,15 @@ TEST(Ephemeral, MembershipRecipe) {
 
   ASSERT_TRUE(eventually([&] {
     auto kids = admin.get_children("/members");
-    return kids.is_ok() && kids.value().size() == 2;
+    return kids.is_ok() && kids.value().value.size() == 2;
   }));
 
   // A member "crashes" (drops its connection): it leaves the group.
   m1.reset();
   ASSERT_TRUE(eventually([&] {
     auto kids = admin.get_children("/members");
-    return kids.is_ok() && kids.value().size() == 1 &&
-           kids.value()[0] == "m2";
+    return kids.is_ok() && kids.value().value.size() == 1 &&
+           kids.value().value[0] == "m2";
   }));
   f.cluster.stop();
 }
@@ -230,9 +230,10 @@ TEST(Ephemeral, WatchFiresWhenSessionDies) {
   // Observer watches the ephemeral; when the holder dies, the deletion
   // event announces the vacancy (leader-election recipe).
   ASSERT_TRUE(eventually([&] {
-    return observer.exists("/leader-slot").value_or(false);
+    auto ex = observer.exists("/leader-slot");
+    return ex.is_ok() && ex.value().value;
   }));
-  ASSERT_TRUE(observer.get("/leader-slot", /*watch=*/true).is_ok());
+  ASSERT_TRUE(observer.get("/leader-slot", ReadOptions{.watch = true}).is_ok());
   holder.reset();
   auto ev = observer.wait_watch_event(seconds(5));
   ASSERT_TRUE(ev.is_ok()) << ev.status().to_string();

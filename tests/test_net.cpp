@@ -366,7 +366,7 @@ TEST(RuntimeCluster, FileBackedStateSurvivesRestart) {
     bool value_ok = false;
     c.with_tree(l, [&](pb::ReplicatedTree& t) {
       auto v = t.get("/durable");
-      value_ok = v.is_ok() && v.value() == to_bytes("gold");
+      value_ok = v.is_ok() && v.value().value == to_bytes("gold");
     });
     EXPECT_TRUE(value_ok);
     c.stop();

@@ -219,7 +219,7 @@ TEST_P(PbModel, ReplicasConvergeToIdenticalTrees) {
       ASSERT_TRUE(st.is_ok());
       // Deletion+recreation resets versions; only check paths never deleted:
       // approximate by >= (recreations only lower the final version).
-      EXPECT_LE(st.value().version, expected) << path << " seed " << p.seed;
+      EXPECT_LE(st.value().value.version, expected) << path << " seed " << p.seed;
     }
   }
 

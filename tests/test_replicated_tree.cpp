@@ -85,7 +85,7 @@ TEST(ReplicatedTree, WriteAtLeaderVisibleEverywhere) {
   tc.c().run_for(millis(200));
   for (NodeId n = 1; n <= 3; ++n) {
     EXPECT_TRUE(tc.tree(n).exists("/cfg")) << "node " << n;
-    EXPECT_EQ(tc.tree(n).get("/cfg").value(), to_bytes("v0"));
+    EXPECT_EQ(tc.tree(n).get("/cfg").value().value, to_bytes("v0"));
   }
 }
 
@@ -111,7 +111,7 @@ TEST(ReplicatedTree, VersionPreconditionEnforced) {
   auto stale = tc.set(l, "/n", "c", 0);                     // stale version
   EXPECT_EQ(stale.status.code(), Code::kBadVersion);
   ASSERT_TRUE(tc.set(l, "/n", "c", 1).status.is_ok());      // v1 -> v2
-  EXPECT_EQ(tc.tree(l).stat("/n").value().version, 2u);
+  EXPECT_EQ(tc.tree(l).stat("/n").value().value.version, 2u);
 }
 
 TEST(ReplicatedTree, CreateErrors) {
@@ -144,7 +144,7 @@ TEST(ReplicatedTree, SequentialNodesGetUniqueOrderedNames) {
   }
   auto kids = tc.tree(l).children("/queue");
   ASSERT_TRUE(kids.is_ok());
-  EXPECT_EQ(kids.value().size(), 5u);
+  EXPECT_EQ(kids.value().value.size(), 5u);
 }
 
 TEST(ReplicatedTree, PipelinedWritesSeeSpeculativeState) {
@@ -173,7 +173,7 @@ TEST(ReplicatedTree, PipelinedWritesSeeSpeculativeState) {
   while (done < 5 && tc.c().sim().now() < deadline) tc.c().run_for(millis(2));
   ASSERT_EQ(done, 5);
   for (const auto& r : results) EXPECT_TRUE(r.status.is_ok());
-  EXPECT_EQ(tc.tree(l).stat("/k").value().version, 5u);
+  EXPECT_EQ(tc.tree(l).stat("/k").value().value.version, 5u);
 }
 
 TEST(ReplicatedTree, StateSurvivesLeaderFailover) {
@@ -187,13 +187,13 @@ TEST(ReplicatedTree, StateSurvivesLeaderFailover) {
   const NodeId l2 = tc.c().wait_for_leader();
   ASSERT_NE(l2, kNoNode);
   ASSERT_NE(l2, l);
-  EXPECT_EQ(tc.tree(l2).get("/persist").value(), to_bytes("before-crash"));
+  EXPECT_EQ(tc.tree(l2).get("/persist").value().value, to_bytes("before-crash"));
 
   ASSERT_TRUE(tc.set(l2, "/persist", "after-crash").status.is_ok());
   // Old leader rejoins (fresh ReplicatedTree via boot hook) and catches up.
   tc.c().restart(l);
   tc.c().run_for(seconds(1));
-  EXPECT_EQ(tc.tree(l).get("/persist").value(), to_bytes("after-crash"));
+  EXPECT_EQ(tc.tree(l).get("/persist").value().value, to_bytes("after-crash"));
 }
 
 TEST(ReplicatedTree, WatchFiresOnReplicatedChange) {
@@ -335,8 +335,8 @@ TEST(ReplicatedTreeMulti, LaterSubOpsSeeEarlierEffects) {
   ASSERT_TRUE(out.status.is_ok()) << out.status.to_string();
 
   tc.c().run_for(millis(200));
-  EXPECT_EQ(tc.tree(l).get("/x").value(), to_bytes("v1"));
-  EXPECT_EQ(tc.tree(l).stat("/x").value().version, 1u);
+  EXPECT_EQ(tc.tree(l).get("/x").value().value, to_bytes("v1"));
+  EXPECT_EQ(tc.tree(l).stat("/x").value().value.version, 1u);
   EXPECT_FALSE(tc.tree(l).exists("/tmp"));
 }
 

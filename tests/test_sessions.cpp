@@ -424,7 +424,7 @@ TEST(SessionsE2E, ReconnectAcrossLeaderKillKeepsEphemeralsAndWatches) {
                                    .op_timeout = seconds(15)});
   ASSERT_TRUE(client.create("/eph", to_bytes("mine"), false, true).is_ok());
   ASSERT_TRUE(client.create("/watched", to_bytes("v0")).is_ok());
-  ASSERT_TRUE(client.get("/watched", /*watch=*/true).is_ok());
+  ASSERT_TRUE(client.get("/watched", ReadOptions{.watch = true}).is_ok());
   const std::uint64_t sid = client.session_id();
   ASSERT_NE(sid, 0u);
 
@@ -437,7 +437,8 @@ TEST(SessionsE2E, ReconnectAcrossLeaderKillKeepsEphemeralsAndWatches) {
   // The next operation transparently rotates, re-attaches the session, and
   // re-registers the watch. Same session id: the ephemeral is still ours.
   ASSERT_TRUE(eventually([&] {
-    return client.exists("/eph").value_or(false);
+    auto ex = client.exists("/eph");
+    return ex.is_ok() && ex.value().value;
   }));
   EXPECT_EQ(client.session_id(), sid);
   EXPECT_GE(client.stats().reconnects, 1u);
@@ -526,7 +527,7 @@ TEST(SessionsE2E, ReplayedWriteAnsweredFromRecordNotReExecuted) {
 
   auto kids = client.get_children("/seq");
   ASSERT_TRUE(kids.is_ok());
-  EXPECT_EQ(kids.value().size(), 1u);  // executed once, answered twice
+  EXPECT_EQ(kids.value().value.size(), 1u);  // executed once, answered twice
   f.cluster.stop();
 }
 

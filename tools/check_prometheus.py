@@ -24,6 +24,12 @@ Checks (text format 0.0.4):
     summaries, the three zab_batch_flush_reason_* counters, and the
     zab_ack_coalesced / zab_commit_coalesced companions — a partial scrape
     makes the frames-per-txn dashboards silently wrong
+  - tiered-read families: when any zab_read_* or zab_sync_* family
+    appears, the whole read-path set must travel together — the
+    zab_read_served_local / _fenced / _not_ready counters plus the
+    zab_read_parked_ns and zab_sync_barrier_ns summaries — a scrape with
+    only part of the set makes the served-vs-parked read dashboards (and
+    the not-ready rotation alarm) silently wrong
 
 Exit status 0 when clean, 1 with one "line N: ..." diagnostic per problem.
 """
@@ -205,6 +211,38 @@ def lint(lines):
             if types.get(name) != "counter":
                 errors.append(
                     f"line 0: zab_batch_* present without counter {name}"
+                )
+
+    # Tiered-read families travel as a set as well: the read dashboards
+    # plot served_local vs fenced vs not_ready against the parked/barrier
+    # latency summaries, so a partial scrape misrepresents the read path.
+    read = {
+        name
+        for name in types
+        if (name.startswith("zab_read_") or name.startswith("zab_sync_"))
+        and not name.endswith("_max")
+    }
+    if read:
+        counters = {
+            "zab_read_served_local",
+            "zab_read_fenced",
+            "zab_read_not_ready",
+        }
+        summaries = {"zab_read_parked_ns", "zab_sync_barrier_ns"}
+        expected = counters | summaries
+        for name in sorted(expected - read):
+            errors.append(f"line 0: incomplete tiered-read set: missing {name}")
+        for name in sorted(read - expected):
+            errors.append(f"line 0: unknown tiered-read family {name}")
+        for name in sorted(read & counters):
+            if types[name] != "counter":
+                errors.append(
+                    f"line 0: {name} must be a counter, is {types[name]}"
+                )
+        for name in sorted(read & summaries):
+            if types[name] != "summary":
+                errors.append(
+                    f"line 0: {name} must be a summary, is {types[name]}"
                 )
     return errors
 
