@@ -17,8 +17,8 @@ using namespace zab::bench;
 
 namespace {
 
-ClusterConfig cfg_for(Duration follower_timeout, std::uint64_t seed) {
-  ClusterConfig cfg;
+harness::ClusterConfig cfg_for(Duration follower_timeout, std::uint64_t seed) {
+  harness::ClusterConfig cfg;
   cfg.n = 5;
   cfg.seed = seed;
   cfg.enable_checker = false;
@@ -61,7 +61,7 @@ double failover_ms(Duration follower_timeout) {
 /// network (heavy jitter + light loss, WAN-ish) — the regime where an
 /// aggressive detector misfires.
 std::uint64_t spurious_elections(Duration follower_timeout) {
-  ClusterConfig harsh = cfg_for(follower_timeout, 700);
+  harness::ClusterConfig harsh = cfg_for(follower_timeout, 700);
   harsh.net.jitter_mean = millis(3);
   harsh.net.loss_probability = 0.002;
   SimCluster c(harsh);

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
          "DSN'11 evaluation: time series of committed ops/s with injected "
          "follower crash, leader crash, and recoveries (5 servers)");
 
-  ClusterConfig cfg;
+  harness::ClusterConfig cfg;
   cfg.n = 5;
   cfg.seed = 4242;
   cfg.enable_checker = true;  // failures: keep the safety net on

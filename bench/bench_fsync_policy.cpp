@@ -26,7 +26,7 @@ using namespace zab::bench;
 namespace {
 
 double measure(sim::SyncPolicy policy, Duration sync_latency) {
-  ClusterConfig cfg;
+  harness::ClusterConfig cfg;
   cfg.n = 3;
   cfg.seed = 7000 + static_cast<std::uint64_t>(sync_latency / kMicrosecond);
   cfg.enable_checker = false;

@@ -119,7 +119,7 @@ int main(int argc, char** argv) {
     const double sat = 125e6 / (1088.0 * static_cast<double>(n - 1));
     for (double frac : {0.1, 0.25, 0.5, 0.7, 0.85, 0.95, 1.05}) {
       const double rate = sat * frac;
-      ClusterConfig cfg;
+      harness::ClusterConfig cfg;
       cfg.n = n;
       cfg.seed = 7 * n + static_cast<std::uint64_t>(frac * 100);
       cfg.enable_checker = false;

@@ -23,7 +23,7 @@ struct Complexity {
 };
 
 Complexity measure_zab(std::size_t n, std::size_t batch_txns = 1) {
-  ClusterConfig cfg;
+  harness::ClusterConfig cfg;
   cfg.n = n;
   cfg.seed = 80 + n;
   cfg.enable_checker = false;
@@ -67,7 +67,7 @@ Complexity measure_zab(std::size_t n, std::size_t batch_txns = 1) {
   // Commit latency in one-way delays: measure a single isolated op.
   Histogram lat;
   {
-    ClusterConfig cfg2 = cfg;
+    harness::ClusterConfig cfg2 = cfg;
     cfg2.seed += 1;
     SimCluster c2(cfg2);
     const auto r2 = run_closed_loop(c2, 1, 64, millis(200), seconds(1));

@@ -17,7 +17,7 @@ using namespace zab::bench;
 namespace {
 
 LoadResult measure(std::size_t voting, std::size_t observers) {
-  ClusterConfig cfg;
+  harness::ClusterConfig cfg;
   cfg.n = voting;
   cfg.n_observers = observers;
   cfg.seed = 300 + voting * 10 + observers;

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
            "msgs per committed op"});
   for (std::size_t window : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u,
                              1024u}) {
-    ClusterConfig cfg;
+    harness::ClusterConfig cfg;
     cfg.n = 3;
     cfg.seed = 1000 + window;
     cfg.enable_checker = false;
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   Table bt({"batch txns", "ops/s", "mean latency ms", "p99 ms",
             "msgs per committed op"});
   for (std::size_t batch : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-    ClusterConfig cfg;
+    harness::ClusterConfig cfg;
     cfg.n = 3;
     cfg.seed = 2000 + batch;
     cfg.enable_checker = false;

@@ -22,7 +22,7 @@ using namespace zab::bench;
 namespace {
 
 struct Arm {
-  ClusterConfig cfg;
+  harness::ClusterConfig cfg;
   std::map<NodeId, std::unique_ptr<pb::ReplicatedTree>> trees;
   std::unique_ptr<SimCluster> c;
   NodeId leader = kNoNode;

@@ -31,7 +31,7 @@ struct SyncCost {
 
 SyncCost measure_lag(std::size_t lag_ops, bool with_snapshots,
                      bool diverged_tail) {
-  ClusterConfig cfg;
+  harness::ClusterConfig cfg;
   // The diverged-tail scenario needs leader+follower to be a *minority*
   // (their proposals must not commit), hence 5 nodes there.
   cfg.n = diverged_tail ? 5 : 3;

@@ -16,8 +16,8 @@ using namespace zab::bench;
 
 namespace {
 
-ClusterConfig make_cfg(std::size_t n, sim::SyncPolicy policy) {
-  ClusterConfig cfg;
+harness::ClusterConfig make_cfg(std::size_t n, sim::SyncPolicy policy) {
+  harness::ClusterConfig cfg;
   cfg.n = n;
   cfg.seed = 42 + n;
   cfg.enable_checker = false;  // measurement runs; checked runs live in tests

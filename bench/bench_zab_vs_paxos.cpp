@@ -83,7 +83,7 @@ bool paxos_figure1_violates() {
 // ---- Part (a'): the same adversity against Zab --------------------------------
 
 bool zab_figure1_violates() {
-  ClusterConfig cfg;
+  harness::ClusterConfig cfg;
   cfg.n = 3;
   cfg.seed = 99;
   cfg.enable_checker = false;
@@ -144,7 +144,7 @@ int main(int argc, char** argv) {
   int zab_violations = 0;
   constexpr int kTrials = 60;
   for (int trial = 0; trial < kTrials; ++trial) {
-    ClusterConfig cfg;
+    harness::ClusterConfig cfg;
     cfg.n = 3;
     cfg.seed = 1000 + static_cast<std::uint64_t>(trial);
     cfg.enable_checker = false;
@@ -184,7 +184,7 @@ int main(int argc, char** argv) {
   Table tb({"protocol", "servers", "ops/s", "mean latency ms", "p99 ms"});
   for (std::size_t n : {3u, 5u}) {
     {
-      ClusterConfig cfg;
+      harness::ClusterConfig cfg;
       cfg.n = n;
       cfg.seed = 5 + n;
       cfg.enable_checker = false;

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   std::printf("== Zab failure walkthrough (seed %llu) ==\n",
               static_cast<unsigned long long>(seed));
 
-  ClusterConfig cfg;
+  harness::ClusterConfig cfg;
   cfg.n = 5;
   cfg.seed = seed;
   SimCluster c(cfg);

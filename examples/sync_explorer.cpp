@@ -98,7 +98,7 @@ int main() {
   // ---------- 3. Lag beyond retention: SNAP -----------------------------------
   {
     std::printf("[3] follower lags far beyond the leader's log retention\n");
-    ClusterConfig cfg;
+    harness::ClusterConfig cfg;
     cfg.n = 3;
     cfg.seed = 3;
     cfg.node.snapshot_every = 100;  // checkpoint often

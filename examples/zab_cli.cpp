@@ -13,6 +13,13 @@
 // (default session) and print the zxid they are consistent with.
 //   zab_cli --servers ...            watch <path>  (block until it changes)
 //   zab_cli --servers ...            leader      (which server leads?)
+//   zab_cli --servers ...            config      (active replicated cluster
+//                                      config of the contacted server)
+//   zab_cli --servers ...            reconfig show
+//   zab_cli --servers ...            reconfig add <id> <host:port> [--observer]
+//   zab_cli --servers ...            reconfig remove <id>
+//                                      (membership changes commit through the
+//                                      broadcast pipeline; see PROTOCOL.md §16)
 //   zab_cli --servers ...            mntr [--json]  (per-server stats dump)
 //   zab_cli --servers ...            slowlog [n]  (per-server slow-op ring,
 //                                      newest first, one span per line)
@@ -71,6 +78,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args;
   bool sequential = false;
   bool json = false;
+  bool observer = false;
   pb::ReadConsistency consistency = pb::ReadConsistency::kSession;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -80,6 +88,8 @@ int main(int argc, char** argv) {
       admin_servers = parse_servers(argv[++i]);
     } else if (a == "--seq") {
       sequential = true;
+    } else if (a == "--observer") {
+      observer = true;
     } else if (a == "--consistency" && i + 1 < argc) {
       const std::string tier = argv[++i];
       if (tier == "local") {
@@ -102,8 +112,8 @@ int main(int argc, char** argv) {
   if (args.empty() || (servers.empty() && admin_servers.empty())) {
     std::fprintf(stderr,
                  "usage: %s --servers p1,p2,... "
-                 "<create|get|set|rm|ls|stat|sync|leader|mntr|slowlog|dump_trace>"
-                 " [args]\n"
+                 "<create|get|set|rm|ls|stat|sync|leader|config|reconfig"
+                 "|mntr|slowlog|dump_trace> [args]\n"
                  "       %s --admin-servers p1,p2,... admin [/metrics|/readyz"
                  "|/status|/tracez|/slowlog]\n",
                  argv[0], argv[0]);
@@ -223,6 +233,51 @@ int main(int argc, char** argv) {
                                     : "follower");
     }
     return 0;
+  }
+
+  if (cmd == "config" || (cmd == "reconfig" && args.size() >= 2 &&
+                          args[1] == "show")) {
+    // Active replicated cluster config of whichever server answers. The
+    // endpoint list is NOT rewritten here: an operator asking "what does
+    // this server think the ensemble is" wants that server's answer.
+    auto r = client.config(/*refresh_endpoints=*/false);
+    if (!r.is_ok()) return fail(r.status());
+    if (json) {
+      std::printf("%s\n", r.value().json.c_str());
+      return 0;
+    }
+    std::printf("config_zxid=%s\n", to_string(r.value().config_zxid).c_str());
+    for (const auto& m : r.value().members) {
+      std::printf("  %u\t%s\t%s\n", m.id, m.voter ? "voter" : "observer",
+                  m.addr.empty() ? "-" : m.addr.c_str());
+    }
+    return 0;
+  }
+  if (cmd == "reconfig" && args.size() >= 2) {
+    const std::string& sub = args[1];
+    if (sub == "add" && args.size() == 4) {
+      const NodeId id = static_cast<NodeId>(
+          std::strtoul(args[2].c_str(), nullptr, 10));
+      auto r = client.reconfig_add(id, args[3], observer);
+      if (!r.is_ok()) return fail(r.status());
+      std::printf("added %u as %s; config active at %s\n", id,
+                  observer ? "observer" : "voter",
+                  to_string(r.value()).c_str());
+      return 0;
+    }
+    if (sub == "remove" && args.size() == 3) {
+      const NodeId id = static_cast<NodeId>(
+          std::strtoul(args[2].c_str(), nullptr, 10));
+      auto r = client.reconfig_remove(id);
+      if (!r.is_ok()) return fail(r.status());
+      std::printf("removed %u; config active at %s\n", id,
+                  to_string(r.value()).c_str());
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "usage: reconfig show | reconfig add <id> <host:port> "
+                 "[--observer] | reconfig remove <id>\n");
+    return 2;
   }
 
   if (cmd == "mntr") {

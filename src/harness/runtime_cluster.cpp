@@ -160,6 +160,7 @@ void RuntimeCluster::stop() {
   if (!started_) return;
   recorder_.uninstall();
   for (auto& s : slots_) {
+    if (!s) continue;  // tombstone left by remove_server
     // Admin servers go first: their collectors post onto loops that are
     // about to stop.
     if (s->admin) s->admin->stop();
@@ -167,13 +168,19 @@ void RuntimeCluster::stop() {
   }
   // Silence nodes first (on their own loops), then stop loops & transports.
   for (auto& s : slots_) {
+    if (!s) continue;
     s->env->run_sync([&s] {
       if (s->node) s->node->shutdown();
     });
   }
-  for (auto& s : slots_) s->transport->shutdown();
-  for (auto& s : slots_) s->env->stop();
   for (auto& s : slots_) {
+    if (s) s->transport->shutdown();
+  }
+  for (auto& s : slots_) {
+    if (s) s->env->stop();
+  }
+  for (auto& s : slots_) {
+    if (!s) continue;
     s->node.reset();
     s->tree.reset();
   }
@@ -181,11 +188,115 @@ void RuntimeCluster::stop() {
   started_ = false;
 }
 
+Status RuntimeCluster::add_server(NodeId id) {
+  if (!started_) return Status::not_ready("cluster not started");
+  if (cfg_.use_tcp) {
+    return Status::invalid_argument(
+        "add_server supports the in-process transport only");
+  }
+  if (id != static_cast<NodeId>(slots_.size() + 1)) {
+    return Status::invalid_argument("server ids must stay contiguous");
+  }
+
+  // Same slot recipe as start(), for one server.
+  auto slot = std::make_unique<Slot>();
+  slot->id = id;
+  slot->metrics = std::make_unique<MetricsRegistry>();
+  slot->transport = std::make_unique<net::InprocTransport>(hub_, id);
+  if (!cfg_.storage_dir.empty()) {
+    storage::FileStorageOptions opts;
+    opts.dir = cfg_.storage_dir + "/node" + std::to_string(id);
+    opts.fsync = cfg_.fsync;
+    if (cfg_.group_commit) {
+      opts.sync_mode = storage::FileStorageOptions::SyncMode::kGroupCommit;
+    }
+    opts.metrics = slot->metrics.get();
+    auto fs = storage::FileStorage::open(opts);
+    if (!fs.is_ok()) return fs.status();
+    slot->file_storage = fs.value().get();
+    slot->storage = std::move(fs).take();
+  } else {
+    slot->storage = std::make_unique<storage::MemStorage>();
+  }
+  slot->env = std::make_unique<net::RuntimeEnv>(id, cfg_.seed + id,
+                                                *slot->transport);
+  if (slot->file_storage) {
+    net::RuntimeEnv* env = slot->env.get();
+    slot->file_storage->set_completion_poster(
+        [env](std::function<void()> fn) { env->post(std::move(fn)); });
+  }
+
+  Slot* raw = slot.get();
+  slots_.push_back(std::move(slot));
+  raw->env->start([this, raw, id] {
+    ZabConfig nc = cfg_.node;
+    if (cfg_.batch_txns != 0) nc.batch_max_txns = cfg_.batch_txns;
+    nc.id = id;
+    // Seed config: learner. The original voting ensemble stays in `peers`;
+    // the joiner itself boots as an observer, so it locates the leader and
+    // DIFF/SNAP-syncs without voting or counting toward any quorum. The
+    // committed reconfig txn — not this seed — is what makes it a voter.
+    nc.peers.clear();
+    for (std::size_t i = 0; i < cfg_.n; ++i) {
+      nc.peers.push_back(static_cast<NodeId>(i + 1));
+    }
+    nc.observers.clear();
+    nc.observers.push_back(id);
+    raw->node = std::make_unique<ZabNode>(nc, *raw->env, *raw->storage,
+                                          raw->metrics.get());
+    if (cfg_.with_trees) {
+      raw->tree = std::make_unique<pb::ReplicatedTree>(*raw->node);
+    }
+    raw->transport->set_handler([raw](NodeId from, Bytes payload) {
+      if (raw->muted.load(std::memory_order_relaxed)) return;
+      raw->env->post([raw, from, payload = std::move(payload)] {
+        if (raw->node) raw->node->on_message(from, payload);
+      });
+    });
+    raw->node->start();
+  });
+
+  if (cfg_.with_client_service) {
+    raw->env->run_sync([] {});  // barrier: tree constructed on the loop
+    raw->client = std::make_unique<pb::ClientService>(*raw->env, *raw->tree);
+    ZAB_RETURN_IF_ERROR(raw->client->start("127.0.0.1", 0));
+  }
+  if (cfg_.with_admin) {
+    raw->env->run_sync([] {});
+    net::AdminConfig ac;
+    ac.port = cfg_.admin_base_port == 0
+                  ? 0
+                  : static_cast<std::uint16_t>(cfg_.admin_base_port + id);
+    raw->admin = std::make_unique<net::AdminServer>(
+        ac, pb::make_admin_collector(*raw->env, *raw->node, raw->tree.get(),
+                                     *raw->storage));
+    ZAB_RETURN_IF_ERROR(raw->admin->start());
+  }
+  return Status::ok();
+}
+
+void RuntimeCluster::remove_server(NodeId id) {
+  if (id == kNoNode || id > slots_.size()) return;
+  auto& s = slots_.at(id - 1);
+  if (!s) return;
+  if (s->admin) s->admin->stop();
+  if (s->client) s->client->stop();
+  s->env->run_sync([&s] {
+    if (s->node) s->node->shutdown();
+  });
+  s->transport->shutdown();
+  s->env->stop();
+  s->node.reset();
+  s->tree.reset();
+  s.reset();  // tombstone: ids of surviving slots stay stable
+}
+
 NodeId RuntimeCluster::wait_for_leader(Duration max_wait) {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::nanoseconds(max_wait);
   while (std::chrono::steady_clock::now() < deadline) {
     for (auto& s : slots_) {
+      if (!s) continue;
       bool leader = false;
       s->env->run_sync([&s, &leader] {
         leader = s->node && s->node->is_active_leader();
@@ -241,6 +352,7 @@ TraceCollector RuntimeCluster::collect_traces() {
   std::map<NodeId, std::int64_t> offsets;
   NodeId leader = kNoNode;
   for (auto& s : slots_) {
+    if (!s) continue;
     bool is_leader = false;
     s->env->run_sync([&] {
       if (s->node && s->node->is_active_leader()) {
@@ -256,6 +368,7 @@ TraceCollector RuntimeCluster::collect_traces() {
   (void)leader;
   TraceCollector tc;
   for (auto& s : slots_) {
+    if (!s) continue;
     std::int64_t correction = 0;
     if (auto it = offsets.find(s->id); it != offsets.end()) {
       correction = -it->second;

@@ -145,6 +145,23 @@ class RuntimeCluster {
   /// must rotate to another replica and re-attach their sessions.
   void stop_client_service(NodeId id);
 
+  /// Boot one additional server mid-run as a non-voting learner (its seed
+  /// config lists it as an observer of the existing ensemble, so it finds
+  /// the leader, syncs, and serves — promotion to voter happens through the
+  /// replicated reconfig pipeline, not here). Ids must stay contiguous:
+  /// the new id is size() + 1. In-process transport only; the slot gets the
+  /// same storage/client-service/admin treatment the config asked for at
+  /// start(). Call `reconfig add` (via client or tree) separately to make
+  /// it a voter.
+  Status add_server(NodeId id);
+
+  /// Stop and destroy one server's slot (loop, transport, storage handle,
+  /// services). The protocol-level removal — committing the config without
+  /// it — is the caller's job and should normally happen FIRST, so the
+  /// remaining ensemble does not wait on a dead member. The slot becomes a
+  /// tombstone: per-node accessors for this id are invalid afterwards.
+  void remove_server(NodeId id);
+
  private:
   struct Slot {
     NodeId id = kNoNode;

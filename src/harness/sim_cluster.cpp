@@ -46,7 +46,13 @@ void SimCluster::boot(Slot& s) {
   ZabNode* node = s.node.get();
   const NodeId id = s.id;
   node->add_deliver_handler([this, id](const Txn& t) {
-    if (cfg_.enable_checker) checker_.on_deliver(id, t);
+    if (cfg_.enable_checker) {
+      // Reconfig txns originate inside the leader (propose_reconfig), not
+      // through submit(); register them on first sight so the integrity
+      // property stays meaningful for client ops.
+      if (try_decode_reconfig_txn(t.data)) checker_.note_injected(t.data);
+      checker_.on_deliver(id, t);
+    }
     for (auto& [hid, hook] : hooks_) hook(id, t);
   });
   node->add_snapshot_installer([this, id](Zxid z, const Bytes&) {

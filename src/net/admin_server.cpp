@@ -142,6 +142,13 @@ std::string AdminServer::handle(const HttpRequest& req,
   if (req.target == "/status") {
     return response(200, "OK", "application/json", snap.status_json + "\n");
   }
+  if (req.target == "/config") {
+    if (snap.config_json.empty()) {
+      return response(503, "Service Unavailable", kTextPlain,
+                      "no cluster config collected\n");
+    }
+    return response(200, "OK", "application/json", snap.config_json + "\n");
+  }
   if (req.target == "/tracez") {
     const std::string want_zxid = query_param(req.query, "zxid");
     const std::string want_epoch = query_param(req.query, "epoch");

@@ -19,6 +19,8 @@
 //   GET /slowlog   slow-op ring as JSONL, newest first, one request span per
 //                  line with its per-stage decomposition; ?n=<k> limits to
 //                  the k most recent entries.
+//   GET /config    the active replicated cluster config as one JSON object:
+//                  version, activation zxid, voters, observers, addresses.
 //
 // Freshness contract: protocol state (histograms, readiness, traces) is
 // owned by the node's event loop, so every request asks a Collector to
@@ -48,6 +50,7 @@ struct AdminSnapshot {
   std::string status_json;  // complete /status body (one JSON object)
   std::string trace_jsonl;  // one JSON object per trace event, \n-separated
   std::string slowlog_jsonl;  // slow-op ring, newest first, one span per line
+  std::string config_json;  // active cluster config (/config body)
   bool ready = false;
   std::string not_ready_reason = "unknown";  // "electing" etc.
 };

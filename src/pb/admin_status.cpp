@@ -7,6 +7,39 @@
 
 namespace zab::pb {
 
+std::string cluster_config_json(const ClusterConfig& c) {
+  std::string out = "{";
+  out += json::key("version") + json::num(c.version) + ',';
+  out += json::key("config_zxid") + json::str(to_string(c.config_zxid)) + ',';
+  out += json::key("config_zxid_packed") + json::num(c.config_zxid.packed()) +
+         ',';
+  out += json::key("quorum_size") +
+         json::num(std::uint64_t{c.quorum_size()}) + ',';
+  auto id_list = [](const std::vector<NodeId>& ids) {
+    std::string s = "[";
+    bool first = true;
+    for (const NodeId n : ids) {
+      if (!first) s += ',';
+      first = false;
+      s += json::num(std::uint64_t{n});
+    }
+    s += ']';
+    return s;
+  };
+  out += json::key("voters") + id_list(c.voters) + ',';
+  out += json::key("observers") + id_list(c.observers) + ',';
+  out += json::key("addrs");
+  out += '{';
+  bool first = true;
+  for (const auto& [nid, addr] : c.addrs) {
+    if (!first) out += ',';
+    first = false;
+    out += json::key(std::to_string(nid)) + json::str(addr);
+  }
+  out += "}}";
+  return out;
+}
+
 std::string admin_status_json(ZabNode& node, ReplicatedTree* tree,
                               storage::ZabStorage& storage) {
   const ZabNode::Readiness r = node.readiness();
@@ -43,6 +76,9 @@ std::string admin_status_json(ZabNode& node, ReplicatedTree* tree,
     out += json::num(std::uint64_t{p});
   }
   out += "],";
+
+  out += json::key("ensemble") + cluster_config_json(node.cluster_config()) +
+         ',';
 
   out += json::key("sessions") +
          json::num(std::uint64_t{tree ? tree->active_sessions() : 0}) + ',';
@@ -127,6 +163,7 @@ net::AdminSnapshot collect_admin_snapshot(ZabNode& node, ReplicatedTree* tree,
   snap.status_json = admin_status_json(node, tree, storage);
   snap.trace_jsonl = admin_trace_jsonl(node);
   snap.slowlog_jsonl = node.slowlog_jsonl();
+  snap.config_json = cluster_config_json(node.cluster_config());
   const ZabNode::Readiness r = node.readiness();
   snap.ready = r.ready;
   snap.not_ready_reason = r.reason;

@@ -29,6 +29,11 @@ class ReplicatedTree;
                                             ReplicatedTree* tree,
                                             storage::ZabStorage& storage);
 
+/// The active replicated cluster config as a JSON object (version,
+/// config_zxid, voters, observers, addrs). Embedded in /status as
+/// "ensemble", served whole at /config, and returned by kConfig.
+[[nodiscard]] std::string cluster_config_json(const ClusterConfig& c);
+
 /// Trace ring as JSONL, one event per line, oldest first. Each line carries
 /// the packed zxid as `"packed":N,` and the recorder's epoch as `"epoch":E,`
 /// — /tracez?zxid=N and /tracez?epoch=E filter on them.

@@ -113,7 +113,7 @@ Result<ClientRequest> decode_client_request(
   ClientRequest out;
   out.xid = r.u64();
   const auto kind = r.u8();
-  if (kind < 1 || kind > 11) return Status::corruption("bad request kind");
+  if (kind < 1 || kind > 13) return Status::corruption("bad request kind");
   out.kind = static_cast<ClientOpKind>(kind);
   out.path = r.str();
   const auto n = r.varint();
@@ -121,7 +121,13 @@ Result<ClientRequest> decode_client_request(
   for (std::uint64_t i = 0; i < n; ++i) {
     Op op;
     const auto type = r.u8();
-    if (type < 1 || type > 3) return Status::corruption("bad op type");
+    // Writes carry tree ops (create/delete/set); a kReconfig request
+    // carries exactly one OpType::kReconfig op whose data holds the
+    // ReconfigRequest.
+    if ((type < 1 || type > 3) &&
+        type != static_cast<std::uint8_t>(OpType::kReconfig)) {
+      return Status::corruption("bad op type");
+    }
     op.type = static_cast<OpType>(type);
     op.path = r.str();
     op.data = r.bytes();

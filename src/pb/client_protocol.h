@@ -92,6 +92,14 @@ enum class ClientOpKind : std::uint8_t {
                      // response.zxid is the barrier's commit zxid — a read
                      // fenced at it observes every write committed before
                      // the sync was issued (ZooKeeper's sync())
+  kReconfig = 12,    // membership change: ops[0].type == OpType::kReconfig
+                     // and ops[0].data carries a ReconfigRequest; routed to
+                     // the primary, response.zxid is the new config's
+                     // activation zxid (PROTOCOL.md §16)
+  kConfig = 13,      // read the contacted server's active cluster config:
+                     // response.data carries it as JSON and response.paths
+                     // carries one "id:role:addr" entry per member so
+                     // clients can refresh their endpoint list
 };
 
 /// Opens (or resumes) a session on a connection; must be the first frame.

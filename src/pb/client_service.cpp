@@ -14,6 +14,7 @@
 
 #include "common/logging.h"
 #include "common/op_span.h"
+#include "pb/admin_status.h"
 
 namespace zab::pb {
 
@@ -570,6 +571,46 @@ void ClientService::execute(std::uint64_t conn_id, const ClientRequest& req,
           },
           /*session=*/sid, /*cxid=*/req.xid, ingress_ns);
       return;  // reply happens at commit time
+    }
+    case ClientOpKind::kReconfig: {
+      if (req.ops.size() != 1 ||
+          req.ops.front().type != OpType::kReconfig) {
+        resp.code = Code::kInvalidArgument;
+        break;
+      }
+      const std::uint64_t xid = req.xid;
+      // No (session, cxid) stamping: a replayed reconfig re-resolves against
+      // the then-active config, and duplicates fail cleanly (kExists /
+      // kNotFound) instead of splicing a stale member list back in.
+      tree_->submit(
+          req.ops.front(),
+          [this, conn_id, xid](const OpResult& r) {
+            ClientResponse out;
+            out.xid = xid;
+            out.code = r.status.code();
+            out.zxid = r.zxid;
+            respond(conn_id, out);
+          },
+          /*session=*/0, /*cxid=*/0, ingress_ns);
+      return;  // reply happens when the config txn commits
+    }
+    case ClientOpKind::kConfig: {
+      const ClusterConfig& c = tree_->node().cluster_config();
+      const std::string text = cluster_config_json(c);
+      resp.data.assign(text.begin(), text.end());
+      auto addr_of = [&c](NodeId n) {
+        auto it = c.addrs.find(n);
+        return it == c.addrs.end() ? std::string() : it->second;
+      };
+      for (const NodeId v : c.voters) {
+        resp.paths.push_back(std::to_string(v) + ":voter:" + addr_of(v));
+      }
+      for (const NodeId o : c.observers) {
+        resp.paths.push_back(std::to_string(o) + ":observer:" + addr_of(o));
+      }
+      resp.zxid = c.config_zxid;
+      resp.is_leader = tree_->node().is_active_leader();
+      break;
     }
     case ClientOpKind::kCloseSession: {
       const std::uint64_t sid = session_of(conn_id);

@@ -19,7 +19,7 @@ void encode_op(BufWriter& w, const Op& op) {
 Result<Op> decode_op(BufReader& r) {
   Op op;
   const auto type = r.u8();
-  if (type < 1 || type > 7) return Status::corruption("bad op type");
+  if (type < 1 || type > 8) return Status::corruption("bad op type");
   op.type = static_cast<OpType>(type);
   op.path = r.str();
   op.data = r.bytes();
@@ -32,6 +32,31 @@ Result<Op> decode_op(BufReader& r) {
 }
 
 }  // namespace
+
+Bytes encode_reconfig_request(const ReconfigRequest& r) {
+  BufWriter w(16 + r.addr.size());
+  w.u8(static_cast<std::uint8_t>(r.action));
+  w.u32(r.node);
+  w.str(r.addr);
+  return std::move(w).take();
+}
+
+Result<ReconfigRequest> decode_reconfig_request(
+    std::span<const std::uint8_t> wire) {
+  BufReader r(wire);
+  ReconfigRequest out;
+  const auto action = r.u8();
+  if (action < 1 || action > 3) {
+    return Status::corruption("bad reconfig action");
+  }
+  out.action = static_cast<ReconfigAction>(action);
+  out.node = r.u32();
+  out.addr = r.str();
+  if (!r.ok() || !r.at_end()) {
+    return Status::corruption("short ReconfigRequest");
+  }
+  return out;
+}
 
 Bytes encode_op_request(const OpRequest& r) {
   BufWriter w(64);

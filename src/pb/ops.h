@@ -26,6 +26,23 @@ enum class OpType : std::uint8_t {
   kTouchSession = 6,    // re-attach / liveness: fails if the session expired
   kSync = 7,            // flush a no-op barrier through the pipeline; the
                         // result's zxid fences linearizable reads
+  kReconfig = 8,        // membership change; `data` holds a ReconfigRequest,
+                        // resolved by the primary into a cluster-config txn
+};
+
+/// What a kReconfig op asks for. The primary resolves this delta against
+/// its ACTIVE committed config into a full target ClusterConfig, so
+/// concurrent requests cannot splice stale member lists together.
+enum class ReconfigAction : std::uint8_t {
+  kAddVoter = 1,     // add as voter; promotes an existing observer
+  kAddObserver = 2,  // add as non-voting observer
+  kRemove = 3,       // drop from voters/observers (refused for last voter)
+};
+
+struct ReconfigRequest {
+  ReconfigAction action = ReconfigAction::kAddVoter;
+  NodeId node = kNoNode;
+  std::string addr;  // advertised endpoint of a joining server ("" = keep)
 };
 
 /// A client write request.
@@ -124,6 +141,10 @@ struct ReadResult {
   T value{};
   Zxid zxid;
 };
+
+[[nodiscard]] Bytes encode_reconfig_request(const ReconfigRequest& r);
+[[nodiscard]] Result<ReconfigRequest> decode_reconfig_request(
+    std::span<const std::uint8_t> wire);
 
 [[nodiscard]] Bytes encode_op_request(const OpRequest& r);
 [[nodiscard]] Result<OpRequest> decode_op_request(

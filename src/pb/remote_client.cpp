@@ -628,6 +628,94 @@ Result<std::string> RemoteClient::slowlog(std::size_t n) {
   return std::string(d.begin(), d.end());
 }
 
+Result<RemoteClient::ClusterInfo> RemoteClient::config(
+    bool refresh_endpoints) {
+  ClientRequest req;
+  req.kind = ClientOpKind::kConfig;
+  auto resp = call(std::move(req));
+  if (!resp.is_ok()) return resp.status();
+  if (resp.value().code != Code::kOk) {
+    return Status(resp.value().code, "config read failed");
+  }
+  ClusterInfo out;
+  out.json.assign(resp.value().data.begin(), resp.value().data.end());
+  out.config_zxid = resp.value().zxid;
+  for (const std::string& entry : resp.value().paths) {
+    // "id:role:addr"; addr itself may contain ':' (host:port).
+    const std::size_t c1 = entry.find(':');
+    if (c1 == std::string::npos) continue;
+    const std::size_t c2 = entry.find(':', c1 + 1);
+    if (c2 == std::string::npos) continue;
+    MemberInfo m;
+    m.id = static_cast<NodeId>(
+        std::strtoul(entry.substr(0, c1).c_str(), nullptr, 10));
+    m.voter = entry.compare(c1 + 1, c2 - c1 - 1, "voter") == 0;
+    m.addr = entry.substr(c2 + 1);
+    if (m.id != kNoNode) out.members.push_back(std::move(m));
+  }
+  if (refresh_endpoints) {
+    std::vector<Endpoint> servers;
+    for (const MemberInfo& m : out.members) {
+      const std::size_t colon = m.addr.rfind(':');
+      if (colon == std::string::npos || colon == 0) continue;
+      const auto port = std::strtoul(m.addr.c_str() + colon + 1, nullptr, 10);
+      if (port == 0 || port > 65535) continue;
+      servers.push_back(Endpoint{m.addr.substr(0, colon),
+                                 static_cast<std::uint16_t>(port)});
+    }
+    // Only adopt a list we can actually dial; a config without advertised
+    // addresses (in-process harness clusters) leaves the endpoints alone.
+    if (!servers.empty()) {
+      cfg_.servers = std::move(servers);
+      if (current_ >= cfg_.servers.size()) current_ = 0;
+    }
+  }
+  return out;
+}
+
+Result<Zxid> RemoteClient::reconfig_add(NodeId id, const std::string& addr,
+                                        bool observer) {
+  ClientRequest req;
+  req.kind = ClientOpKind::kReconfig;
+  Op op;
+  op.type = OpType::kReconfig;
+  ReconfigRequest rc;
+  rc.action = observer ? ReconfigAction::kAddObserver
+                       : ReconfigAction::kAddVoter;
+  rc.node = id;
+  rc.addr = addr;
+  op.data = encode_reconfig_request(rc);
+  req.ops.push_back(std::move(op));
+  auto resp = call(std::move(req));
+  if (!resp.is_ok()) return resp.status();
+  if (resp.value().code != Code::kOk) {
+    return Status(resp.value().code, "reconfig add failed");
+  }
+  const Zxid z = resp.value().zxid;
+  (void)config();  // learn the new ensemble we just created
+  return z;
+}
+
+Result<Zxid> RemoteClient::reconfig_remove(NodeId id) {
+  ClientRequest req;
+  req.kind = ClientOpKind::kReconfig;
+  Op op;
+  op.type = OpType::kReconfig;
+  ReconfigRequest rc;
+  rc.action = ReconfigAction::kRemove;
+  rc.node = id;
+  op.data = encode_reconfig_request(rc);
+  req.ops.push_back(std::move(op));
+  auto resp = call(std::move(req));
+  if (!resp.is_ok()) return resp.status();
+  if (resp.value().code != Code::kOk) {
+    return Status(resp.value().code, "reconfig remove failed");
+  }
+  const Zxid z = resp.value().zxid;
+  (void)config();  // drop the departed server from our endpoint list
+  return z;
+}
+
 Result<RemoteClient::TraceResult> RemoteClient::trace_snapshot() {
   ClientRequest req;
   req.kind = ClientOpKind::kTrace;

@@ -149,6 +149,33 @@ class RemoteClient {
   /// per line (n = 0 returns everything retained).
   Result<std::string> slowlog(std::size_t n = 0);
 
+  // --- Membership (PROTOCOL.md §16) -------------------------------------------
+  struct MemberInfo {
+    NodeId id = kNoNode;
+    bool voter = false;
+    std::string addr;  // advertised client endpoint ("" = unknown)
+  };
+  struct ClusterInfo {
+    std::string json;  // the server's config as one JSON object
+    std::vector<MemberInfo> members;
+    Zxid config_zxid;  // activation point of this config
+  };
+  /// Read the contacted server's active cluster config. When
+  /// `refresh_endpoints` (default), the client's endpoint list is replaced
+  /// by the members' advertised addresses — after a reconfig this keeps
+  /// rotation pointed at the live ensemble instead of departed servers.
+  Result<ClusterInfo> config(bool refresh_endpoints = true);
+  /// Add `id` to the ensemble (voter, or observer with observer=true).
+  /// `addr` is the server's advertised client endpoint, distributed to every
+  /// member through the config txn. Returns the new config's activation
+  /// zxid; the endpoint list refreshes on success.
+  Result<Zxid> reconfig_add(NodeId id, const std::string& addr,
+                            bool observer = false);
+  /// Remove `id` from the ensemble (refused for the last voter). Returns
+  /// the new config's activation zxid; the endpoint list refreshes on
+  /// success.
+  Result<Zxid> reconfig_remove(NodeId id);
+
   /// Pull the contacted server's trace ring. A leader also reports its
   /// clock-offset estimate per follower (follower_clock - leader_clock, ns)
   /// for the cross-node merge (harness/trace_collector.h).

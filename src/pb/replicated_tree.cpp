@@ -115,6 +115,13 @@ void ReplicatedTree::sync_barrier(ResultFn cb) {
   submit(std::move(op), std::move(cb));
 }
 
+void ReplicatedTree::reconfig(const ReconfigRequest& rc, ResultFn cb) {
+  Op op;
+  op.type = OpType::kReconfig;
+  op.data = encode_reconfig_request(rc);
+  submit(std::move(op), std::move(cb));
+}
+
 void ReplicatedTree::close_session(std::uint64_t session, ResultFn cb) {
   Op op;
   op.type = OpType::kCloseSession;
@@ -187,6 +194,14 @@ void ReplicatedTree::handle_request(Bytes payload) {
   // Any session-stamped request is evidence of client liveness.
   if (r.session_id != 0 && tracker_valid_) {
     tracker_.touch(r.session_id, node_->env().now());
+  }
+
+  // Membership changes do not touch the tree: resolve the delta against the
+  // node's active cluster config and hand off to the zab layer. Never part
+  // of a multi — a reconfig txn is its own envelope on the wire.
+  if (r.ops.size() == 1 && r.ops.front().type == OpType::kReconfig) {
+    handle_reconfig(r);
+    return;
   }
 
   // Execute every op against (applied state + outstanding changes + the
@@ -262,6 +277,96 @@ void ReplicatedTree::handle_request(Bytes payload) {
     } else {
       record_outstanding_for(out, overlay);
       record_session_effects(out);
+    }
+  }
+}
+
+void ReplicatedTree::handle_reconfig(const OpRequest& r) {
+  // A rejected reconfig answers through the pipeline as a kError txn, like
+  // a failed write precondition: remote origins get their callback from the
+  // committed error, and the order of answer vs. competing reconfigs is the
+  // zxid order everyone agrees on.
+  auto reject = [this, &r](Code code) {
+    TreeTxn err;
+    err.kind = TxnKind::kError;
+    err.origin = r.origin;
+    err.req_id = r.req_id;
+    err.session = r.session_id;
+    err.cxid = r.cxid;
+    err.error = code;
+    const auto res = node_->broadcast(encode_tree_txn(err));
+    if (!res.is_ok() && r.origin == node_->id()) {
+      auto it = pending_.find(r.req_id);
+      if (it != pending_.end()) {
+        OpResult fail;
+        fail.status = res.status();
+        it->second.cb(fail);
+        pending_.erase(it);
+        ++stats_.writes_failed;
+      }
+    }
+  };
+
+  auto req = decode_reconfig_request(r.ops.front().data);
+  if (!req.is_ok()) {
+    reject(Code::kInvalidArgument);
+    return;
+  }
+  const ReconfigRequest& rc = req.value();
+  ClusterConfig target = node_->cluster_config();
+  switch (rc.action) {
+    case ReconfigAction::kAddVoter:
+      if (rc.node == kNoNode) {
+        reject(Code::kInvalidArgument);
+        return;
+      }
+      if (target.is_voter(rc.node)) {
+        reject(Code::kExists);
+        return;
+      }
+      std::erase(target.observers, rc.node);  // observer promotion
+      target.voters.push_back(rc.node);
+      if (!rc.addr.empty()) target.addrs[rc.node] = rc.addr;
+      break;
+    case ReconfigAction::kAddObserver:
+      if (rc.node == kNoNode) {
+        reject(Code::kInvalidArgument);
+        return;
+      }
+      if (target.is_member(rc.node)) {
+        reject(Code::kExists);
+        return;
+      }
+      target.observers.push_back(rc.node);
+      if (!rc.addr.empty()) target.addrs[rc.node] = rc.addr;
+      break;
+    case ReconfigAction::kRemove:
+      if (!target.is_member(rc.node)) {
+        reject(Code::kNotFound);
+        return;
+      }
+      if (target.is_voter(rc.node) && target.voters.size() == 1) {
+        reject(Code::kInvalidArgument);  // never remove the last voter
+        return;
+      }
+      std::erase(target.voters, rc.node);
+      std::erase(target.observers, rc.node);
+      target.addrs.erase(rc.node);
+      break;
+  }
+
+  const auto res = node_->propose_reconfig(std::move(target), r.origin,
+                                           r.req_id);
+  if (!res.is_ok() && r.origin == node_->id()) {
+    // Leadership lost mid-call or another reconfig in flight: a remote
+    // origin's client retries via its own timeout, ours completes now.
+    auto it = pending_.find(r.req_id);
+    if (it != pending_.end()) {
+      OpResult fail;
+      fail.status = res.status();
+      it->second.cb(fail);
+      pending_.erase(it);
+      ++stats_.writes_failed;
     }
   }
 }
@@ -524,6 +629,24 @@ void ReplicatedTree::rebuild_tracker(TimePoint now) {
 // --- Replica-side apply ---------------------------------------------------------------
 
 void ReplicatedTree::on_deliver(const Txn& txn) {
+  // Reconfig txns are zab-layer envelopes, not TreeTxns: the node applied
+  // the new config before running deliver handlers, so all that is left
+  // here is answering the origin's client.
+  if (auto rc = try_decode_reconfig_txn(txn.data)) {
+    if (rc->origin == node_->id() && rc->req_id != 0) {
+      auto it = pending_.find(rc->req_id);
+      if (it != pending_.end()) {
+        OpResult res;
+        res.status = Status::ok();
+        res.zxid = txn.zxid;
+        it->second.cb(res);
+        pending_.erase(it);
+        ++stats_.writes_completed;
+      }
+    }
+    ++stats_.txns_applied;
+    return;
+  }
   auto decoded = decode_tree_txn(txn.data);
   if (!decoded.is_ok()) {
     ZAB_WARN() << "undecodable txn at " << to_string(txn.zxid)

@@ -67,6 +67,11 @@ class ReplicatedTree {
   /// callback observes every write committed before the sync was issued.
   /// Works from followers too (forwarded to the primary like any write).
   void sync_barrier(ResultFn cb);
+  /// Membership change (PROTOCOL.md §16). Routed to the primary like any
+  /// write; the primary resolves the delta against its active config and
+  /// pushes the new config through the broadcast pipeline. The callback's
+  /// zxid is the activation point of the new config.
+  void reconfig(const ReconfigRequest& rc, ResultFn cb);
 
   // --- Sessions (replicated state; the primary owns the expiry clock) -------
   /// Mint a durable session: the primary resolves a cluster-unique id
@@ -137,6 +142,10 @@ class ReplicatedTree {
   using Overlay = std::map<std::string, ChangeRecord>;
 
   void handle_request(Bytes payload);  // leader-side prep
+  /// Leader-side kReconfig resolution: delta -> full target config ->
+  /// ZabNode::propose_reconfig. Validation failures answer through the
+  /// pipeline as kError txns, like failed write preconditions.
+  void handle_reconfig(const OpRequest& r);
   /// Validate one op against applied state + outstanding_ + overlay and
   /// produce its resolved txn (kError on failed precondition). On success
   /// the op's effects are folded into `overlay` so later ops of the same

@@ -1,0 +1,92 @@
+// Replicated cluster membership.
+//
+// The paper assumes a static ensemble; here the member set is itself a
+// versioned, replicated object (DESIGN.md "Dynamic membership"). A
+// ClusterConfig names the voters (quorum participants), the observers
+// (non-voting learners), optional client-visible addresses, and the zxid of
+// the reconfiguration transaction that activated it. Membership changes ride
+// the ordinary PROPOSE/ACK/COMMIT pipeline as a ReconfigTxn — primary order
+// gives every replica the same config sequence with no second consensus
+// path — and the latest config found in the log (committed or not) governs
+// quorum evaluation, exactly as in Raft/ZooKeeper reconfiguration.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/types.h"
+
+namespace zab {
+
+struct ClusterConfig {
+  /// Quorum participants, ascending ids.
+  std::vector<NodeId> voters;
+  /// Non-voting learners: receive the broadcast stream, never counted.
+  std::vector<NodeId> observers;
+  /// Optional client endpoint per member ("host:port"); informational —
+  /// the protocol routes by NodeId, clients refresh their server list here.
+  std::map<NodeId, std::string> addrs;
+  /// Monotonic config version; the seed (constructed) config is version 0.
+  std::uint64_t version = 0;
+  /// Zxid of the reconfig txn that proposed this config (zero for the seed).
+  Zxid config_zxid;
+
+  [[nodiscard]] bool is_voter(NodeId id) const {
+    return std::find(voters.begin(), voters.end(), id) != voters.end();
+  }
+  [[nodiscard]] bool is_observer(NodeId id) const {
+    return std::find(observers.begin(), observers.end(), id) !=
+           observers.end();
+  }
+  [[nodiscard]] bool is_member(NodeId id) const {
+    return is_voter(id) || is_observer(id);
+  }
+  /// Majority of the voter set.
+  [[nodiscard]] std::size_t quorum_size() const {
+    return voters.size() / 2 + 1;
+  }
+  /// Voters then observers (deduped, voters first).
+  [[nodiscard]] std::vector<NodeId> all_members() const;
+
+  friend bool operator==(const ClusterConfig&, const ClusterConfig&) = default;
+};
+
+void encode_cluster_config(BufWriter& w, const ClusterConfig& c);
+[[nodiscard]] bool decode_cluster_config(BufReader& r, ClusterConfig& out);
+
+/// A membership change travelling the broadcast pipeline. The payload is
+/// opaque to the pipeline like any txn, but tagged with a magic prefix so
+/// the zab layer can recognize it at delivery, during log recovery, and
+/// inside snapshots without depending on any application codec.
+struct ReconfigTxn {
+  ClusterConfig config;  // the complete new config (not a delta)
+  NodeId origin = kNoNode;
+  std::uint64_t req_id = 0;
+};
+
+[[nodiscard]] Bytes encode_reconfig_txn(const ReconfigTxn& t);
+/// Returns nullopt when `wire` is not a reconfig payload (wrong magic or
+/// malformed) — the sniff callers use on every delivered/logged txn.
+[[nodiscard]] std::optional<ReconfigTxn> try_decode_reconfig_txn(
+    std::span<const std::uint8_t> wire);
+
+/// Snapshot envelope: [magic][config][app bytes]. The active config must
+/// survive snapshots — a replica whose whole prefix was compacted away
+/// otherwise boots (and votes) with a stale member set.
+[[nodiscard]] Bytes wrap_snapshot_state(const ClusterConfig& c,
+                                        const Bytes& app_state);
+/// Splits a snapshot body. Wrapped: returns the config and copies the app
+/// bytes into `app_out`. Legacy/unwrapped (no magic): returns nullopt and
+/// copies the whole body into `app_out` — the caller keeps its seed config.
+[[nodiscard]] std::optional<ClusterConfig> unwrap_snapshot_state(
+    const Bytes& wire, Bytes& app_out);
+
+[[nodiscard]] std::string to_string(const ClusterConfig& c);
+
+}  // namespace zab

@@ -27,9 +27,10 @@ bool ZabNode::vote_gt(const Vote& a, const Vote& b) {
 }
 
 ZabNode::Vote ZabNode::self_vote() const {
-  // Observers never stand for election: their base vote is the null
+  // Non-voters (observers, learners awaiting promotion, members removed by
+  // reconfig) never stand for election: their base vote is the null
   // candidate, which any voting member's vote supersedes.
-  if (cfg_.is_observer(cfg_.id)) {
+  if (!active_config_.is_voter(cfg_.id)) {
     return Vote{kNoNode, Zxid::zero(), kNoEpoch};
   }
   return Vote{cfg_.id, last_logged_, storage_->current_epoch()};
@@ -37,12 +38,13 @@ ZabNode::Vote ZabNode::self_vote() const {
 
 VoteMsg ZabNode::current_vote_msg() const {
   if (phase_ == Phase::kElection) {
-    return VoteMsg{my_vote_.leader, my_vote_.zxid, my_vote_.epoch, round_,
-                   Role::kLooking};
+    return VoteMsg{my_vote_.leader,          my_vote_.zxid, my_vote_.epoch,
+                   round_,                   Role::kLooking,
+                   active_config_.config_zxid};
   }
   // Established belief: tell lookers who we follow (or that we lead).
-  return VoteMsg{leader_, last_logged_, storage_->current_epoch(), round_,
-                 role_};
+  return VoteMsg{leader_,       last_logged_, storage_->current_epoch(),
+                 round_,        role_,        active_config_.config_zxid};
 }
 
 void ZabNode::start_election() {
@@ -55,7 +57,7 @@ void ZabNode::start_election() {
   my_vote_ = self_vote();
   election_votes_.clear();
   established_votes_.clear();
-  if (cfg_.is_voting(cfg_.id)) election_votes_[cfg_.id] = my_vote_;
+  if (active_config_.is_voter(cfg_.id)) election_votes_[cfg_.id] = my_vote_;
 
   ZAB_DEBUG() << "node " << cfg_.id << ": election round " << round_
               << " voting for " << my_vote_.leader;
@@ -88,20 +90,28 @@ void ZabNode::on_vote(NodeId from, const VoteMsg& m) {
   }
 
   if (m.sender_role == Role::kLooking) {
-    if (cfg_.is_observer(from)) return;  // observer probes carry no vote
+    // Drop votes from senders outside our voter set — observers, learners,
+    // and members removed by reconfig carry no vote — UNLESS the sender's
+    // config is strictly newer than ours: then the sender may be a voter
+    // added by a reconfig we have not yet learned, and ignoring it could
+    // wedge the election.
+    if (!active_config_.is_voter(from) &&
+        m.config_zxid <= active_config_.config_zxid) {
+      return;
+    }
     if (m.round > round_) {
       // Join the newer round; restart our tally.
       round_ = m.round;
       election_votes_.clear();
       my_vote_ = vote_gt(v, self_vote()) ? v : self_vote();
-      if (cfg_.is_voting(cfg_.id)) election_votes_[cfg_.id] = my_vote_;
+      if (active_config_.is_voter(cfg_.id)) election_votes_[cfg_.id] = my_vote_;
       broadcast_vote();
     } else if (m.round < round_) {
       send_to(from, current_vote_msg());  // pull the sender forward
       return;
     } else if (vote_gt(v, my_vote_)) {
       my_vote_ = v;
-      if (cfg_.is_voting(cfg_.id)) election_votes_[cfg_.id] = my_vote_;
+      if (active_config_.is_voter(cfg_.id)) election_votes_[cfg_.id] = my_vote_;
       broadcast_vote();
     }
     election_votes_[from] = v;
@@ -111,7 +121,10 @@ void ZabNode::on_vote(NodeId from, const VoteMsg& m) {
 
   // Sender is FOLLOWING or LEADING an established leader. Adopt that leader
   // once a quorum of VOTING members (including the leader itself) vouches.
-  if (!cfg_.is_voting(from)) return;
+  if (!active_config_.is_voter(from) &&
+      m.config_zxid <= active_config_.config_zxid) {
+    return;
+  }
   established_votes_[from] = v;
   std::size_t support = 0;
   bool leader_vouches = false;
@@ -138,7 +151,7 @@ void ZabNode::check_election_quorum() {
   }
   if (count < quorum()) return;
 
-  if (count == cfg_.peers.size()) {
+  if (count == active_config_.voters.size()) {
     // Unanimous: no better vote can arrive this round.
     finalize_election();
     return;

@@ -26,6 +26,10 @@
 namespace zab {
 
 void ZabNode::leader_begin_discovery() {
+  // Lead under the latest config found in our log/snapshot, committed or
+  // not: if the previous leader got a reconfig durable on a quorum it may
+  // already be committed elsewhere, and quorum arithmetic must honor it.
+  rescan_cluster_config();
   followers_.clear();
   newleader_acks_.clear();
   synced_observers_.clear();
@@ -162,6 +166,7 @@ void ZabNode::leader_sync_follower(NodeId f) {
   // From this moment every new proposal also flows to f (FIFO order puts
   // them after NEWLEADER), so the stream stays gap-free.
   fs.stage = FollowerState::Stage::kSyncing;
+  fs.sync_started = env_->now();
 }
 
 void ZabNode::on_ack_new_leader(NodeId from, const AckNewLeaderMsg& m) {
@@ -173,8 +178,17 @@ void ZabNode::on_ack_new_leader(NodeId from, const AckNewLeaderMsg& m) {
   }
   it->second.last_contact = env_->now();
 
-  if (cfg_.is_observer(from)) {
-    // Observers never count toward the NEWLEADER quorum.
+  // A learner joining the established epoch (reconfig add) finishes its
+  // catch-up here; how long that took bounds the window where the cluster
+  // carried the extra sync load.
+  if (activated_ && it->second.sync_started >= 0) {
+    h_reconfig_join_sync_->record(
+        static_cast<std::uint64_t>(env_->now() - it->second.sync_started));
+  }
+
+  if (!active_config_.is_voter(from)) {
+    // Observers and not-yet-promoted learners never count toward the
+    // NEWLEADER quorum.
     if (activated_) {
       leader_activate_follower(from);
     } else {
@@ -269,7 +283,10 @@ void ZabNode::on_ack(NodeId from, const AckMsg& m) {
   it->second.last_contact = env_->now();
   if (m.zxid > it->second.last_zxid) it->second.last_zxid = m.zxid;
 
-  if (cfg_.is_voting(from)) leader_record_acks(from, m.zxid);
+  if (active_config_.is_voter(from) ||
+      (pending_config_ && pending_config_->config.is_voter(from))) {
+    leader_record_acks(from, m.zxid);
+  }
 }
 
 void ZabNode::leader_record_acks(NodeId from, Zxid upto) {
@@ -287,12 +304,36 @@ void ZabNode::leader_record_acks(NodeId from, Zxid upto) {
   leader_try_commit();
 }
 
+// Joint-quorum rule: a proposal at or past a pending reconfig's activation
+// zxid must gather a quorum of the NEW voter set in addition to the active
+// one. Otherwise a leader could commit the reconfig plus later txns to a
+// majority of the old ensemble only, and a successor elected under the new
+// config could miss them. Acks from non-voters (observers, learners still
+// syncing, departed members) never count.
+bool ZabNode::proposal_quorum_met(const Proposal& p) const {
+  const auto count_in = [&p](const std::vector<NodeId>& voters) {
+    std::size_t n = 0;
+    for (NodeId v : voters) n += p.acks.count(v);
+    return n;
+  };
+  if (count_in(active_config_.voters) < active_config_.quorum_size()) {
+    return false;
+  }
+  if (pending_config_ && p.txn.zxid >= pending_config_->zxid &&
+      count_in(pending_config_->config.voters) <
+          pending_config_->config.quorum_size()) {
+    return false;
+  }
+  return true;
+}
+
 void ZabNode::note_proposal_ack(Proposal& p, NodeId from) {
   p.acks.insert(from);
   // Trace ACK at the moment the proposal reaches quorum: that is the
   // protocol-relevant event, and it keeps PROPOSE <= ACK <= COMMIT
   // monotone per zxid on the leader's timeline.
-  if (p.acks.size() != quorum()) return;
+  if (p.quorum_traced || !proposal_quorum_met(p)) return;
+  p.quorum_traced = true;
   const Zxid z = p.txn.zxid;
   const TimePoint now = env_->now();
   trace_.record(z, trace::Stage::kAck, from, now);
@@ -308,7 +349,7 @@ void ZabNode::leader_try_commit() {
     // commit, guaranteeing followers see a gap-free commit sequence.
     while (!proposals_.empty()) {
       Proposal& p = proposals_.front();
-      if (p.acks.size() < quorum()) break;  // self is inserted when durable
+      if (!proposal_quorum_met(p)) break;  // self is inserted when durable
       const Zxid z = p.txn.zxid;
       proposals_.pop_front();
       ++stats_.txns_committed;
@@ -337,7 +378,7 @@ void ZabNode::leader_try_commit() {
   Zxid last;
   while (!proposals_.empty()) {
     Proposal& p = proposals_.front();
-    if (p.acks.size() < quorum()) break;  // self is inserted when durable
+    if (!proposal_quorum_met(p)) break;  // self is inserted when durable
     last = p.txn.zxid;
     proposals_.pop_front();
     ++stats_.txns_committed;
@@ -383,7 +424,8 @@ void ZabNode::on_pong(NodeId from, const PongMsg& m) {
       metrics_->gauge(base + ".rtt_ns").set(it->second.clock.rtt_ns());
     }
   }
-  if (activated_ && cfg_.is_voting(from)) {
+  if (activated_ && (active_config_.is_voter(from) ||
+                     (pending_config_ && pending_config_->config.is_voter(from)))) {
     leader_record_acks(from, m.last_durable);
   }
 }
@@ -415,9 +457,10 @@ void ZabNode::leader_heartbeat() {
 
 void ZabNode::leader_check_quorum_liveness() {
   const TimePoint now = env_->now();
-  std::size_t live = 1;  // self
+  std::size_t live = active_config_.is_voter(cfg_.id) ? 1 : 0;  // self
   for (const auto& [nid, fs] : followers_) {
-    if (cfg_.is_voting(nid) && fs.stage == FollowerState::Stage::kActive &&
+    if (active_config_.is_voter(nid) &&
+        fs.stage == FollowerState::Stage::kActive &&
         now - fs.last_contact <= cfg_.follower_timeout) {
       ++live;
     }
@@ -454,7 +497,8 @@ void ZabNode::update_health_gauges(TimePoint now) {
     }
     metrics_->gauge(base + ".outstanding")
         .set(static_cast<std::int64_t>(outstanding));
-    if (cfg_.is_voting(nid) && now - fs.last_contact <= cfg_.follower_timeout &&
+    if (active_config_.is_voter(nid) &&
+        now - fs.last_contact <= cfg_.follower_timeout &&
         lag_zxids(fs.last_zxid, commit_watermark_) == 0) {
       ++synced;
     }
@@ -463,9 +507,10 @@ void ZabNode::update_health_gauges(TimePoint now) {
   // Healthy = a quorum (counting ourselves) is live, synced or not: the
   // cluster can still commit. synced_followers dropping while healthy stays
   // 1 is the "degraded but serving" signal operators alert on.
-  std::size_t live = 1;
+  std::size_t live = active_config_.is_voter(cfg_.id) ? 1 : 0;
   for (const auto& [nid, fs] : followers_) {
-    if (cfg_.is_voting(nid) && fs.stage == FollowerState::Stage::kActive &&
+    if (active_config_.is_voter(nid) &&
+        fs.stage == FollowerState::Stage::kActive &&
         now - fs.last_contact <= cfg_.follower_timeout) {
       ++live;
     }

@@ -58,6 +58,7 @@ void encode_body(BufWriter& w, const VoteMsg& m) {
   w.u32(m.proposed_epoch);
   w.u64(m.round);
   w.u8(static_cast<std::uint8_t>(m.sender_role));
+  w.zxid(m.config_zxid);
 }
 void encode_body(BufWriter& w, const CEpochMsg& m) {
   w.u32(m.accepted_epoch);
@@ -165,6 +166,7 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> wire) {
       const std::uint8_t role = r.u8();
       if (role > static_cast<std::uint8_t>(Role::kLeading)) return std::nullopt;
       m.sender_role = static_cast<Role>(role);
+      m.config_zxid = r.zxid();
       out = m;
       break;
     }

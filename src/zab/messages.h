@@ -51,6 +51,11 @@ struct VoteMsg {
   Epoch proposed_epoch = kNoEpoch;  // currentEpoch of the proposed leader
   ElectionEpoch round = 0;
   Role sender_role = Role::kLooking;
+  /// Activation zxid of the sender's cluster config. Receivers drop votes
+  /// from senders outside their voter set unless the sender's config is
+  /// strictly newer — departed members cannot sway elections, while voters
+  /// added by a config the receiver has not yet learned still can.
+  Zxid config_zxid;
 };
 
 /// Follower -> prospective leader: my acceptedEpoch (f.p) and history tail.

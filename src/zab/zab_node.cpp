@@ -43,6 +43,15 @@ ZabNode::ZabNode(ZabConfig cfg, Env& env, storage::ZabStorage& storage,
   assert(cfg_.id != kNoNode);
   assert(cfg_.is_voting(cfg_.id) || cfg_.is_observer(cfg_.id));
 
+  // The constructed member set is config version 0; reconfig txns found in
+  // the log/snapshot supersede it (start() rescans).
+  seed_config_.voters = cfg_.peers;
+  std::sort(seed_config_.voters.begin(), seed_config_.voters.end());
+  seed_config_.observers = cfg_.observers;
+  std::sort(seed_config_.observers.begin(), seed_config_.observers.end());
+  seed_config_.version = 0;
+  active_config_ = seed_config_;
+
   // Watchdog thresholds are deploy-time knobs, overridable per process.
   cfg_.stall_commit_timeout =
       env_millis_or("ZAB_STALL_COMMIT_MS", cfg_.stall_commit_timeout);
@@ -102,6 +111,13 @@ ZabNode::ZabNode(ZabConfig cfg, Env& env, storage::ZabStorage& storage,
   g_commit_stalled_ = &metrics_->gauge("zab.stall.commit_stalled");
   g_synced_followers_ = &metrics_->gauge("zab.quorum.synced_followers");
   g_quorum_healthy_ = &metrics_->gauge("zab.quorum.healthy");
+  c_reconfig_proposed_ = &metrics_->counter("zab.reconfig.proposed");
+  c_reconfig_committed_ = &metrics_->counter("zab.reconfig.committed");
+  c_reconfig_aborted_ = &metrics_->counter("zab.reconfig.aborted");
+  h_reconfig_join_sync_ = &metrics_->histogram("zab.reconfig.join_sync_ns");
+  g_reconfig_quorum_size_ = &metrics_->gauge("zab.reconfig.quorum_size");
+  g_reconfig_version_ = &metrics_->gauge("zab.reconfig.config_version");
+  refresh_config_gauges();
 }
 
 ZabNode::~ZabNode() = default;
@@ -121,18 +137,31 @@ void ZabNode::start() {
   if (auto snap = storage_->snapshot()) {
     last_delivered_ = snap->last_included;
     commit_watermark_ = snap->last_included;
+    // The on-disk snapshot body may be wrapped with the cluster config that
+    // was active when it was taken; installers only ever see the app bytes.
+    Bytes app_state;
+    (void)unwrap_snapshot_state(snap->state, app_state);
     for (auto& inst : snapshot_installers_) {
-      inst(snap->last_included, snap->state);
+      inst(snap->last_included, app_state);
     }
   }
   const auto entries = storage_->entries_in(last_delivered_, last_logged_);
   undelivered_.assign(entries.begin(), entries.end());
+  // Recover the member set before electing: the LATEST config found in
+  // snapshot or log governs, even if its reconfig txn never committed —
+  // quorum decisions must never regress to a member set an already-agreed
+  // change replaced.
+  rescan_cluster_config();
 
   ZAB_INFO() << "node " << cfg_.id << " starting: last_logged="
              << to_string(last_logged_)
              << " acceptedEpoch=" << storage_->accepted_epoch()
              << " currentEpoch=" << storage_->current_epoch();
   trace_.set_epoch(storage_->current_epoch());
+  if (active_config_.version != 0) {
+    ZAB_INFO() << "node " << cfg_.id << " recovered cluster config "
+               << to_string(active_config_);
+  }
   arm_watchdog();
   start_election();
 }
@@ -282,7 +311,7 @@ void ZabNode::watchdog_tick() {
 
   if (role_ == Role::kLeading && activated_) {
     for (const auto& [nid, fs] : followers_) {
-      if (!cfg_.is_voting(nid) ||
+      if (!active_config_.is_voter(nid) ||
           fs.stage != FollowerState::Stage::kActive) {
         continue;
       }
@@ -394,7 +423,8 @@ ZabNode::Readiness ZabNode::readiness() const {
   const TimePoint now = env_->now();
   std::size_t live = 1;  // self
   for (const auto& [nid, fs] : followers_) {
-    if (cfg_.is_voting(nid) && fs.stage == FollowerState::Stage::kActive &&
+    if (active_config_.is_voter(nid) &&
+        fs.stage == FollowerState::Stage::kActive &&
         now - fs.last_contact <= cfg_.follower_timeout) {
       ++live;
     }
@@ -480,7 +510,7 @@ void ZabNode::send_to(NodeId to, const Message& m) {
 void ZabNode::broadcast_to_peers(const Message& m) {
   const Bytes wire = encode_message(m);
   const auto t = static_cast<std::size_t>(message_type(m));
-  for (NodeId p : cfg_.all_members()) {
+  for (NodeId p : active_config_.all_members()) {
     if (p == cfg_.id) continue;
     ++stats_.sent[t];
     env_->send(p, wire);
@@ -561,6 +591,13 @@ void ZabNode::go_to_election() {
   newleader_acks_.clear();
   synced_observers_.clear();
   proposals_.clear();
+  // A reconfig that never committed dies with the leadership; the ACTIVE
+  // config stays — whether the change survives is the next epoch's call
+  // (the txn is in storage, so sync replay can still resurrect it).
+  if (pending_config_) {
+    c_reconfig_aborted_->add();
+    pending_config_.reset();
+  }
   // Unflushed batched txns are outstanding proposals of the epoch we just
   // left; their fate is the next epoch's to decide (they are in storage, so
   // sync replay will resurrect whatever survives).
@@ -626,6 +663,12 @@ void ZabNode::try_deliver() {
     if (auto it = spans_.find(key); it != spans_.end()) {
       it->second.span.deliver_ns = now;
     }
+    // Membership changes activate at delivery, before the application
+    // handlers run, so every observer of this txn already sees the new
+    // member set.
+    if (auto rc = try_decode_reconfig_txn(t.data)) {
+      apply_cluster_config(rc->config, t.zxid, /*committed=*/true);
+    }
     for (auto& h : deliver_handlers_) h(t);
     // No reply will be written from this node (follower-forwarded op, or no
     // client waiter): the span ends at delivery.
@@ -644,7 +687,11 @@ void ZabNode::try_deliver() {
 void ZabNode::maybe_snapshot() {
   if (cfg_.snapshot_every == 0 || !snapshot_provider_) return;
   if (delivered_since_snapshot_ < cfg_.snapshot_every) return;
-  storage::Snapshot snap{last_delivered_, snapshot_provider_()};
+  // The config rides the snapshot: a replica whose whole history got
+  // compacted away must still recover the member set it agreed to.
+  storage::Snapshot snap{
+      last_delivered_,
+      wrap_snapshot_state(active_config_, snapshot_provider_())};
   if (Status st = storage_->save_snapshot(snap); !st.is_ok()) {
     ZAB_ERROR() << "node " << cfg_.id << ": snapshot failed: " << st.to_string();
     return;
@@ -652,6 +699,111 @@ void ZabNode::maybe_snapshot() {
   storage_->purge_log(cfg_.log_retain);
   delivered_since_snapshot_ = 0;
   ++stats_.snapshots_taken;
+}
+
+// --- Dynamic membership -----------------------------------------------------------
+
+void ZabNode::refresh_config_gauges() {
+  g_reconfig_quorum_size_->set(
+      static_cast<std::int64_t>(active_config_.quorum_size()));
+  g_reconfig_version_->set(
+      static_cast<std::int64_t>(active_config_.version));
+}
+
+void ZabNode::apply_cluster_config(const ClusterConfig& c, Zxid z,
+                                   bool committed) {
+  if (c.version <= active_config_.version) {
+    // Already active (redelivery after snapshot+replay overlap); just make
+    // sure a pending marker it satisfied is gone.
+    if (pending_config_ && pending_config_->zxid <= z) pending_config_.reset();
+    return;
+  }
+  active_config_ = c;
+  active_config_.config_zxid = z;
+  if (pending_config_ && pending_config_->zxid <= z) pending_config_.reset();
+  refresh_config_gauges();
+  if (committed) c_reconfig_committed_->add();
+  ZAB_INFO() << "node " << cfg_.id << ": cluster config "
+             << to_string(active_config_) << " active"
+             << (committed ? "" : " (state transfer)");
+  for (auto& h : reconfig_handlers_) h(active_config_, z);
+
+  if (role_ == Role::kLeading && activated_) {
+    // Forget members the new config dropped (their heartbeats stop); late
+    // joiners not yet in followers_ are unaffected.
+    std::erase_if(followers_, [this](const auto& kv) {
+      return !active_config_.is_member(kv.first);
+    });
+    // This runs inside try_deliver, itself possibly inside
+    // leader_try_commit: never re-enter those, and never tear down the
+    // leadership mid-delivery. A fresh stack re-evaluates both — the commit
+    // that activated this config is already on the wire, so a leader that
+    // removed itself steps down having done its last duty, and proposals
+    // whose joint-quorum window just closed get re-checked.
+    env_->set_timer(0, [this] {
+      if (role_ != Role::kLeading) return;
+      if (!active_config_.is_voter(cfg_.id)) {
+        ZAB_INFO() << "node " << cfg_.id
+                   << ": removed from voter set by reconfig; stepping down";
+        go_to_election();
+        return;
+      }
+      if (is_active_leader()) leader_try_commit();
+    });
+  }
+}
+
+void ZabNode::rescan_cluster_config() {
+  ClusterConfig best = seed_config_;
+  if (auto snap = storage_->snapshot()) {
+    Bytes ignored;
+    if (auto snap_cfg = unwrap_snapshot_state(snap->state, ignored)) {
+      if (snap_cfg->version > best.version) best = *snap_cfg;
+    }
+  }
+  // Surviving log entries in zxid order; the LAST reconfig wins, committed
+  // or not (an uncommitted one may still be resurrected by the next
+  // epoch's sync, and quorum decisions must already honor it).
+  for (const Txn& t : storage_->entries_in(Zxid::zero(), last_logged_)) {
+    if (auto rc = try_decode_reconfig_txn(t.data)) {
+      if (rc->config.version > best.version) best = rc->config;
+    }
+  }
+  active_config_ = best;
+  refresh_config_gauges();
+}
+
+Result<Zxid> ZabNode::propose_reconfig(ClusterConfig target, NodeId origin,
+                                       std::uint64_t req_id) {
+  if (!is_active_leader()) return Status::not_leader();
+  if (pending_config_) {
+    return Status::not_ready("reconfiguration already in flight");
+  }
+  if (target.voters.empty()) {
+    return Status::not_ready("target config has no voters");
+  }
+  std::sort(target.voters.begin(), target.voters.end());
+  std::sort(target.observers.begin(), target.observers.end());
+  target.version = active_config_.version + 1;
+  // The txn's zxid is the NEXT zxid broadcast() will assign; stamping it
+  // into the config ties the joint-quorum window and vote filtering to the
+  // exact point of the change in the total order.
+  const Zxid z{establishing_epoch_, next_counter_ + 1};
+  target.config_zxid = z;
+  // Register the pending window BEFORE broadcasting: with synchronous
+  // storage on a single-voter ensemble the whole commit+deliver chain runs
+  // inside broadcast(), and apply_cluster_config must find (and clear) it.
+  pending_config_ = PendingReconfig{target, z};
+  auto res = broadcast(encode_reconfig_txn({target, origin, req_id}));
+  if (!res.is_ok()) {
+    pending_config_.reset();
+    return res;
+  }
+  assert(res.value() == z);
+  c_reconfig_proposed_->add();
+  ZAB_INFO() << "node " << cfg_.id << ": proposed reconfig "
+             << to_string(target) << " at " << to_string(res.value());
+  return res;
 }
 
 // --- Durability notifications ---------------------------------------------------------
@@ -906,6 +1058,11 @@ void ZabNode::on_trunc(NodeId from, const TruncMsg& m) {
     undelivered_.pop_back();
   }
   drop_txn_timings_after(m.truncate_to);
+  if (active_config_.config_zxid > m.truncate_to) {
+    // The reconfig txn our config came from belonged to the abandoned
+    // branch; fall back to the latest config the surviving history carries.
+    rescan_cluster_config();
+  }
 }
 
 void ZabNode::on_snap(NodeId from, SnapMsg m) {
@@ -919,8 +1076,15 @@ void ZabNode::on_snap(NodeId from, SnapMsg m) {
     go_to_election();
     return;
   }
+  // The wire body is stored verbatim (so a later re-sync ships it onward
+  // unchanged); installers get the unwrapped app bytes, and the config the
+  // leader wrapped in becomes ours — full state transfer covers membership.
+  Bytes app_state;
+  if (auto snap_cfg = unwrap_snapshot_state(snap.state, app_state)) {
+    apply_cluster_config(*snap_cfg, snap.last_included, /*committed=*/false);
+  }
   for (auto& inst : snapshot_installers_) {
-    inst(snap.last_included, snap.state);
+    inst(snap.last_included, app_state);
   }
   undelivered_.clear();
   propose_time_.clear();

@@ -25,6 +25,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <unordered_map>
 
@@ -37,6 +38,7 @@
 #include "common/trace.h"
 #include "common/txn.h"
 #include "storage/zab_storage.h"
+#include "zab/cluster_config.h"
 #include "zab/config.h"
 #include "zab/messages.h"
 
@@ -85,6 +87,10 @@ class ZabNode {
   /// ticks that flagged a NEW commit/lag stall, so the sink can force an
   /// immediate crash-file dump on top of the rolling publish.
   using PostMortemFn = std::function<void(const std::string&, bool stalled)>;
+  /// Invoked whenever a new cluster config activates on this node (reconfig
+  /// txn delivered, snapshot installed, or recovery scan), with the config
+  /// and the zxid it activated at.
+  using ReconfigFn = std::function<void(const ClusterConfig&, Zxid)>;
 
   /// `metrics` is the node-wide registry the protocol publishes into; when
   /// null the node owns a private one (metrics() works either way). Sharing
@@ -121,6 +127,10 @@ class ZabNode {
   void set_postmortem_sink(PostMortemFn fn) {
     postmortem_sink_ = std::move(fn);
   }
+  /// Additive, like deliver handlers.
+  void add_reconfig_handler(ReconfigFn fn) {
+    reconfig_handlers_.push_back(std::move(fn));
+  }
 
   /// Recover local state from storage and start electing. Call once.
   void start();
@@ -139,6 +149,24 @@ class ZabNode {
   /// Any role: route an operation to the current leader (forwards when
   /// following). kNotReady when no leader is known.
   Status submit(Bytes op);
+
+  /// Leader-only: broadcast a membership change (the complete target
+  /// config). Stamps version and config_zxid, then rides the ordinary
+  /// pipeline; until it commits, proposals at or after its zxid need ack
+  /// quorums in BOTH the old and the new voter sets. One reconfiguration in
+  /// flight at a time (kNotReady otherwise). The new config activates
+  /// everywhere at delivery; a leader no longer in the new voter set steps
+  /// down right after — on a fresh stack, the commit already on the wire.
+  Result<Zxid> propose_reconfig(ClusterConfig target, NodeId origin,
+                                std::uint64_t req_id);
+  /// The active (committed, or latest-recovered-from-log) cluster config.
+  [[nodiscard]] const ClusterConfig& cluster_config() const {
+    return active_config_;
+  }
+  /// True while a proposed reconfiguration awaits commit (leader only).
+  [[nodiscard]] bool reconfig_in_flight() const {
+    return pending_config_.has_value();
+  }
 
   // --- Introspection ----------------------------------------------------------
   [[nodiscard]] NodeId id() const { return cfg_.id; }
@@ -236,7 +264,21 @@ class ZabNode {
   void try_deliver();
   void maybe_snapshot();
   void note_append_durable(Zxid z);
-  [[nodiscard]] std::size_t quorum() const { return cfg_.quorum_size(); }
+  [[nodiscard]] std::size_t quorum() const {
+    return active_config_.quorum_size();
+  }
+
+  // --- Dynamic membership (zab_node.cpp) ---
+  /// Activate `c` at `z` (idempotent by version). `committed` distinguishes
+  /// a delivered reconfig txn from a snapshot/recovery adoption for the
+  /// zab.reconfig.committed counter.
+  void apply_cluster_config(const ClusterConfig& c, Zxid z, bool committed);
+  /// Rebuild active_config_ from seed + snapshot wrapper + surviving log
+  /// entries (the "latest config in the log, committed or not" rule). Used
+  /// at start(), after a TRUNC that cut below the active config's zxid, and
+  /// when taking over leadership.
+  void rescan_cluster_config();
+  void refresh_config_gauges();
 
   // --- Election / Phase 0 (election.cpp) ---
   struct Vote {
@@ -288,13 +330,25 @@ class ZabNode {
     Epoch current_epoch = kNoEpoch;
     Zxid last_zxid;
     TimePoint last_contact = 0;
+    /// When the sync stream to this follower started (-1: never). Late
+    /// joins against an activated leader report zab.reconfig.join_sync_ns
+    /// from it.
+    TimePoint sync_started = -1;
     /// Clock-offset estimate from PING/PONG exchanges (remote minus local).
     clock_sync::OffsetEstimator clock;
   };
   struct Proposal {
     Txn txn;
     std::set<NodeId> acks;  // includes self once locally durable
+    /// The quorum trace/histogram fires once, at the ack that first
+    /// satisfies the (possibly joint) quorum — a flag, because under a
+    /// pending reconfig "exactly at quorum()" is no longer a single count.
+    bool quorum_traced = false;
   };
+  /// True when `p` has ack quorums in every voter set it is answerable to:
+  /// the active config, plus the pending one for proposals at or after the
+  /// in-flight reconfig's zxid (joint quorum during the handoff window).
+  [[nodiscard]] bool proposal_quorum_met(const Proposal& p) const;
 
   void leader_begin_discovery();
   void on_cepoch(NodeId from, const CEpochMsg& m);
@@ -330,6 +384,7 @@ class ZabNode {
   storage::ZabStorage* storage_;
   std::vector<DeliverFn> deliver_handlers_;
   std::vector<StateFn> state_handlers_;
+  std::vector<ReconfigFn> reconfig_handlers_;
   SnapshotProvider snapshot_provider_;
   std::vector<SnapshotInstaller> snapshot_installers_;
   RequestFn request_handler_;
@@ -407,6 +462,24 @@ class ZabNode {
   std::set<std::uint64_t> stall_flagged_;    // zxids already counted as stalled
   std::set<NodeId> lag_stalled_;             // followers currently lag-stalled
   TimePoint last_stall_log_ = -1;            // rate limit: 1 warn/s
+
+  // --- Dynamic membership state ---
+  /// The constructed member set (ZabConfig peers/observers), version 0.
+  ClusterConfig seed_config_;
+  /// What every quorum/membership decision evaluates against.
+  ClusterConfig active_config_;
+  struct PendingReconfig {
+    ClusterConfig config;
+    Zxid zxid;  // the reconfig proposal's own zxid
+  };
+  /// Leader: the one reconfiguration allowed in flight.
+  std::optional<PendingReconfig> pending_config_;
+  AtomicCounter* c_reconfig_proposed_ = nullptr;
+  AtomicCounter* c_reconfig_committed_ = nullptr;
+  AtomicCounter* c_reconfig_aborted_ = nullptr;
+  Histogram* h_reconfig_join_sync_ = nullptr;
+  Gauge* g_reconfig_quorum_size_ = nullptr;
+  Gauge* g_reconfig_version_ = nullptr;
 
   // --- Common state ---
   Role role_ = Role::kLooking;

@@ -20,13 +20,14 @@ T roundtrip(const T& in) {
 }
 
 TEST(Messages, VoteRoundTrip) {
-  VoteMsg m{3, Zxid{4, 17}, 4, 99, Role::kLeading};
+  VoteMsg m{3, Zxid{4, 17}, 4, 99, Role::kLeading, Zxid{2, 5}};
   const VoteMsg r = roundtrip(m);
   EXPECT_EQ(r.proposed_leader, 3u);
   EXPECT_EQ(r.proposed_zxid, (Zxid{4, 17}));
   EXPECT_EQ(r.proposed_epoch, 4u);
   EXPECT_EQ(r.round, 99u);
   EXPECT_EQ(r.sender_role, Role::kLeading);
+  EXPECT_EQ(r.config_zxid, (Zxid{2, 5}));
 }
 
 TEST(Messages, DiscoveryPhaseRoundTrips) {
@@ -181,7 +182,8 @@ TEST(Messages, BadTagAndBadRoleRejected) {
 
   Bytes vote = encode_message(
       Message{VoteMsg{1, Zxid{1, 1}, 1, 1, Role::kLooking}});
-  vote.back() = 0x17;  // invalid role enum
+  // The role byte sits just before the trailing 8-byte config_zxid.
+  vote[vote.size() - 9] = 0x17;  // invalid role enum
   EXPECT_FALSE(decode_message(vote).has_value());
 }
 

@@ -1,0 +1,504 @@
+// Dynamic membership reconfiguration (docs/PROTOCOL.md §16).
+//
+// Covers the replicated-config codecs (wire, snapshot envelope, client
+// request), the joint-quorum commit rule during the handoff window, learner
+// promotion, voter removal, leader self-removal, and the end-to-end rolling
+// resize: grow a live 3-node ensemble to 5 and shrink back to 3 under
+// client load with zero committed-txn loss.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/runtime_cluster.h"
+#include "harness/sim_cluster.h"
+#include "pb/admin_status.h"
+#include "pb/ops.h"
+#include "pb/remote_client.h"
+#include "zab/cluster_config.h"
+
+namespace zab {
+namespace {
+
+using harness::make_op;
+using harness::SimCluster;
+
+// --- Codecs --------------------------------------------------------------------
+
+ClusterConfig sample_config() {
+  ClusterConfig c;
+  c.voters = {1, 2, 3, 7};
+  c.observers = {9};
+  c.addrs = {{1, "10.0.0.1:8101"}, {7, "10.0.0.7:8107"}, {9, "h9:1"}};
+  c.version = 12;
+  c.config_zxid = Zxid{4, 200};
+  return c;
+}
+
+TEST(ReconfigCodec, ClusterConfigRoundTrip) {
+  const ClusterConfig in = sample_config();
+  BufWriter w;
+  encode_cluster_config(w, in);
+  const Bytes wire = std::move(w).take();
+
+  BufReader r(wire);
+  ClusterConfig out;
+  ASSERT_TRUE(decode_cluster_config(r, out));
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(out, in);
+  EXPECT_EQ(out.quorum_size(), 3u);
+  EXPECT_TRUE(out.is_voter(7));
+  EXPECT_FALSE(out.is_voter(9));
+  EXPECT_TRUE(out.is_observer(9));
+  EXPECT_TRUE(out.is_member(9));
+  EXPECT_FALSE(out.is_member(8));
+}
+
+TEST(ReconfigCodec, ReconfigTxnSniffAcceptsOnlyMagicPayloads) {
+  const ReconfigTxn in{sample_config(), 3, 77};
+  const Bytes wire = encode_reconfig_txn(in);
+
+  const auto out = try_decode_reconfig_txn(wire);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->config, in.config);
+  EXPECT_EQ(out->origin, 3u);
+  EXPECT_EQ(out->req_id, 77u);
+
+  // Ordinary application payloads (no magic) are not reconfigs.
+  EXPECT_FALSE(try_decode_reconfig_txn(make_op(1, 16)).has_value());
+  EXPECT_FALSE(try_decode_reconfig_txn(Bytes{}).has_value());
+
+  // Truncations never decode (and never crash).
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        try_decode_reconfig_txn(std::span<const std::uint8_t>(wire.data(), len))
+            .has_value())
+        << "len " << len;
+  }
+}
+
+TEST(ReconfigCodec, SnapshotEnvelopeRoundTripAndLegacyFallback) {
+  const ClusterConfig cfg = sample_config();
+  const Bytes app = make_op(42, 64);
+
+  const Bytes wrapped = wrap_snapshot_state(cfg, app);
+  Bytes app_out;
+  const auto cfg_out = unwrap_snapshot_state(wrapped, app_out);
+  ASSERT_TRUE(cfg_out.has_value());
+  EXPECT_EQ(*cfg_out, cfg);
+  EXPECT_EQ(app_out, app);
+
+  // A pre-reconfig snapshot (no envelope) passes through untouched.
+  Bytes legacy_out;
+  EXPECT_FALSE(unwrap_snapshot_state(app, legacy_out).has_value());
+  EXPECT_EQ(legacy_out, app);
+
+  // An empty snapshot is legacy too.
+  Bytes empty_out;
+  EXPECT_FALSE(unwrap_snapshot_state(Bytes{}, empty_out).has_value());
+  EXPECT_TRUE(empty_out.empty());
+}
+
+TEST(ReconfigCodec, ReconfigRequestRoundTripAndValidation) {
+  pb::ReconfigRequest in;
+  in.action = pb::ReconfigAction::kAddObserver;
+  in.node = 9;
+  in.addr = "10.1.2.3:8109";
+  const Bytes wire = pb::encode_reconfig_request(in);
+
+  const auto out = pb::decode_reconfig_request(wire);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value().action, pb::ReconfigAction::kAddObserver);
+  EXPECT_EQ(out.value().node, 9u);
+  EXPECT_EQ(out.value().addr, "10.1.2.3:8109");
+
+  // Out-of-range action byte rejected.
+  Bytes bad = wire;
+  bad[0] = 9;
+  EXPECT_FALSE(pb::decode_reconfig_request(bad).is_ok());
+
+  // Truncations rejected.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(pb::decode_reconfig_request(
+                     std::span<const std::uint8_t>(wire.data(), len))
+                     .is_ok());
+  }
+}
+
+TEST(ReconfigCodec, ConfigJsonCarriesEnsembleShape) {
+  const std::string j = pb::cluster_config_json(sample_config());
+  EXPECT_NE(j.find("\"version\":12"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"quorum_size\":3"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"voters\":[1,2,3,7]"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"observers\":[9]"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"addrs\""), std::string::npos) << j;
+  EXPECT_NE(j.find("10.0.0.7:8107"), std::string::npos) << j;
+}
+
+// --- Protocol-level behavior on the simulator ----------------------------------
+
+// Run the sim in slices until `pred` holds (or sim-time budget expires).
+bool sim_wait(SimCluster& c, Duration max_wait,
+              const std::function<bool()>& pred) {
+  const Duration slice = millis(10);
+  for (Duration waited = 0; waited < max_wait; waited += slice) {
+    if (pred()) return true;
+    c.run_for(slice);
+  }
+  return pred();
+}
+
+TEST(ReconfigSim, ObserverPromotionMakesItAVoter) {
+  harness::ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.n_observers = 1;  // node 4
+  cfg.seed = 7001;
+  SimCluster c(cfg);
+
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+  ASSERT_TRUE(c.replicate_ops(5).is_ok());
+  EXPECT_FALSE(c.node(l).cluster_config().is_voter(4));
+
+  ClusterConfig target = c.node(l).cluster_config();
+  target.voters.push_back(4);
+  target.observers.clear();
+  auto r = c.node(l).propose_reconfig(target, kNoNode, 0);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+
+  // Every node — including the promoted learner — activates the new config.
+  ASSERT_TRUE(sim_wait(c, seconds(30), [&] {
+    for (NodeId id = 1; id <= 4; ++id) {
+      const ClusterConfig& cc = c.node(id).cluster_config();
+      if (cc.version != 1 || !cc.is_voter(4) || cc.is_observer(4)) {
+        return false;
+      }
+    }
+    return true;
+  }));
+  EXPECT_EQ(c.node(l).cluster_config().quorum_size(), 3u);
+  EXPECT_FALSE(c.node(l).reconfig_in_flight());
+
+  // The new voter carries quorum weight: with one original voter down,
+  // 3 of the 4 voters (incl. node 4) still commit.
+  const NodeId down = l == 1 ? 2 : 1;
+  c.crash(down);
+  ASSERT_TRUE(c.replicate_ops(5).is_ok());
+
+  for (const auto& v : c.checker().check()) ADD_FAILURE() << v;
+}
+
+TEST(ReconfigSim, JointQuorumGatesTheHandoffWindow) {
+  harness::ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.n_observers = 2;  // nodes 4, 5
+  cfg.seed = 7002;
+  SimCluster c(cfg);
+
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+  ASSERT_TRUE(c.replicate_ops(3).is_ok());
+
+  // Take the ensemble down to {leader, one voter}: still a quorum of the
+  // old set, not of the proposed 5-voter set.
+  NodeId other = kNoNode;
+  for (NodeId id = 1; id <= 3; ++id) {
+    if (id != l) {
+      if (other == kNoNode) {
+        other = id;
+      } else {
+        c.crash(id);
+      }
+    }
+  }
+  c.crash(4);
+  c.crash(5);
+
+  ClusterConfig target = c.node(l).cluster_config();
+  target.voters = {1, 2, 3, 4, 5};
+  target.observers.clear();
+  auto r = c.node(l).propose_reconfig(target, kNoNode, 0);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+
+  // Old quorum (2/3) is acking, but the new set needs 3/5: the config must
+  // NOT activate on two acks.
+  c.run_for(seconds(2));
+  EXPECT_TRUE(c.node(l).reconfig_in_flight());
+  EXPECT_EQ(c.node(l).cluster_config().version, 0u);
+
+  // A second reconfig is refused while one is in flight.
+  auto second = c.node(l).propose_reconfig(target, kNoNode, 0);
+  EXPECT_FALSE(second.is_ok());
+
+  // One pending-set voter returns, syncs, and its durable watermark
+  // completes the joint quorum.
+  c.restart(4);
+  ASSERT_TRUE(sim_wait(c, seconds(30), [&] {
+    return c.node(l).cluster_config().version == 1 &&
+           !c.node(l).reconfig_in_flight();
+  }));
+  EXPECT_TRUE(c.node(l).cluster_config().is_voter(4));
+
+  for (const auto& v : c.checker().check()) ADD_FAILURE() << v;
+}
+
+TEST(ReconfigSim, RemovedVoterStopsCountingAndCannotDisturb) {
+  harness::ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 7003;
+  SimCluster c(cfg);
+
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+  ASSERT_TRUE(c.replicate_ops(3).is_ok());
+
+  NodeId victim = kNoNode;
+  for (NodeId id = 1; id <= 3; ++id) {
+    if (id != l) victim = id;
+  }
+  ClusterConfig target = c.node(l).cluster_config();
+  std::erase(target.voters, victim);
+  auto r = c.node(l).propose_reconfig(target, kNoNode, 0);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+
+  ASSERT_TRUE(sim_wait(c, seconds(30), [&] {
+    return c.node(l).cluster_config().version == 1;
+  }));
+  EXPECT_EQ(c.node(l).cluster_config().quorum_size(), 2u);
+  EXPECT_FALSE(c.node(l).cluster_config().is_member(victim));
+
+  // The survivors commit without the departed member at all.
+  c.crash(victim);
+  ASSERT_TRUE(c.replicate_ops(5).is_ok());
+
+  // A restarted departed member rescans the log, learns it is no longer a
+  // voter, and cannot unseat the leader (its votes are rejected).
+  c.restart(victim);
+  c.run_for(seconds(3));
+  EXPECT_EQ(c.leader_id(), l);
+  EXPECT_FALSE(c.node(victim).cluster_config().is_voter(victim));
+  ASSERT_TRUE(c.replicate_ops(3).is_ok());
+
+  for (const auto& v : c.checker().check()) ADD_FAILURE() << v;
+}
+
+TEST(ReconfigSim, LeaderSelfRemovalCommitsThenHandsOff) {
+  harness::ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 7004;
+  SimCluster c(cfg);
+
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+  ASSERT_TRUE(c.replicate_ops(3).is_ok());
+
+  ClusterConfig target = c.node(l).cluster_config();
+  std::erase(target.voters, l);
+  auto r = c.node(l).propose_reconfig(target, kNoNode, 0);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+
+  // The removal commits first (the departing leader still counts in the old
+  // quorum), then the leader steps down and a remaining voter takes over.
+  ASSERT_TRUE(sim_wait(c, seconds(30), [&] {
+    const NodeId now = c.leader_id();
+    return now != kNoNode && now != l;
+  }));
+  const NodeId successor = c.leader_id();
+  EXPECT_NE(successor, l);
+  EXPECT_EQ(c.node(successor).cluster_config().version, 1u);
+  EXPECT_FALSE(c.node(successor).cluster_config().is_member(l));
+
+  // The shrunken ensemble keeps committing.
+  ASSERT_TRUE(c.replicate_ops(5).is_ok());
+  EXPECT_NE(c.node(l).role(), Role::kLeading);
+
+  for (const auto& v : c.checker().check()) ADD_FAILURE() << v;
+}
+
+TEST(ReconfigSim, ProposalValidation) {
+  harness::ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 7005;
+  SimCluster c(cfg);
+
+  const NodeId l = c.wait_for_leader();
+  ASSERT_NE(l, kNoNode);
+
+  // Empty voter set refused outright.
+  ClusterConfig empty;
+  auto r = c.node(l).propose_reconfig(empty, kNoNode, 0);
+  EXPECT_FALSE(r.is_ok());
+
+  // Followers refuse to propose.
+  const NodeId f = l == 1 ? 2 : 1;
+  ClusterConfig target = c.node(l).cluster_config();
+  auto fr = c.node(f).propose_reconfig(target, kNoNode, 0);
+  EXPECT_FALSE(fr.is_ok());
+  EXPECT_EQ(fr.status().code(), Code::kNotLeader);
+}
+
+// --- End-to-end rolling resize (threads, TCP client service) -------------------
+
+TEST(ReconfigE2E, RollingResizeUnderLiveLoad) {
+  harness::RuntimeClusterConfig rc;
+  rc.n = 3;
+  rc.with_client_service = true;
+  rc.seed = 8001;
+  harness::RuntimeCluster cluster(rc);
+  ASSERT_TRUE(cluster.start().is_ok());
+  ASSERT_NE(cluster.wait_for_leader(), kNoNode);
+
+  std::vector<pb::Endpoint> servers;
+  for (NodeId id = 1; id <= 3; ++id) {
+    servers.push_back({"127.0.0.1", cluster.client_port(id)});
+  }
+
+  {
+    // Parent znode for the writer's keys.
+    pb::RemoteClient setup(pb::ClientConfig{.servers = servers});
+    auto parent = setup.create("/resize", Bytes{});
+    ASSERT_TRUE(parent.is_ok()) << parent.status().to_string();
+  }
+
+  // Background writer: every acknowledged create is a commitment the
+  // ensemble must honor across both membership changes.
+  std::atomic<bool> stop{false};
+  std::mutex mu;
+  std::vector<std::string> acked_paths;
+  std::thread writer([&] {
+    pb::RemoteClient wc(pb::ClientConfig{.servers = servers});
+    std::uint64_t i = 0;
+    while (!stop.load()) {
+      const std::string path = "/resize/k" + std::to_string(i);
+      auto r = wc.create(path, to_bytes("v" + std::to_string(i)));
+      if (r.is_ok() || r.status().code() == Code::kExists) {
+        // kExists: the earlier attempt committed but its reply was lost.
+        std::lock_guard<std::mutex> lk(mu);
+        acked_paths.push_back(path);
+        ++i;
+      }
+    }
+  });
+
+  pb::RemoteClient admin(pb::ClientConfig{.servers = servers});
+
+  // Grow 3 -> 5: each joiner boots as a learner, syncs, and is promoted by
+  // the committed config txn.
+  ASSERT_TRUE(cluster.add_server(4).is_ok());
+  auto a4 = admin.reconfig_add(
+      4, "127.0.0.1:" + std::to_string(cluster.client_port(4)));
+  ASSERT_TRUE(a4.is_ok()) << a4.status().to_string();
+
+  ASSERT_TRUE(cluster.add_server(5).is_ok());
+  auto a5 = admin.reconfig_add(
+      5, "127.0.0.1:" + std::to_string(cluster.client_port(5)));
+  ASSERT_TRUE(a5.is_ok()) << a5.status().to_string();
+
+  auto grown = admin.config(/*refresh_endpoints=*/false);
+  ASSERT_TRUE(grown.is_ok());
+  std::size_t voters = 0;
+  for (const auto& m : grown.value().members) voters += m.voter ? 1 : 0;
+  EXPECT_EQ(voters, 5u);
+
+  // Duplicate add is refused by the primary's resolution step.
+  auto dup = admin.reconfig_add(
+      4, "127.0.0.1:" + std::to_string(cluster.client_port(4)));
+  EXPECT_FALSE(dup.is_ok());
+  EXPECT_EQ(dup.status().code(), Code::kExists);
+
+  // Let traffic commit across the 5-voter ensemble for a moment.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // Shrink 5 -> 3: commit the removal FIRST, then tear the server down —
+  // the surviving quorum never waits on a dead member.
+  auto r5 = admin.reconfig_remove(5);
+  ASSERT_TRUE(r5.is_ok()) << r5.status().to_string();
+  cluster.remove_server(5);
+  auto r4 = admin.reconfig_remove(4);
+  ASSERT_TRUE(r4.is_ok()) << r4.status().to_string();
+  cluster.remove_server(4);
+
+  // Removing an unknown id is refused.
+  auto rn = admin.reconfig_remove(9);
+  EXPECT_FALSE(rn.is_ok());
+  EXPECT_EQ(rn.status().code(), Code::kNotFound);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true);
+  writer.join();
+
+  std::vector<std::string> committed;
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    committed = acked_paths;
+  }
+  ASSERT_GT(committed.size(), 0u);
+
+  // Zero committed-txn loss: every acknowledged write survives both resizes.
+  pb::RemoteClient reader(pb::ClientConfig{.servers = servers});
+  for (const std::string& p : committed) {
+    auto g = reader.get(
+        p, pb::ReadOptions{.consistency = pb::ReadConsistency::kLinearizable});
+    EXPECT_TRUE(g.is_ok()) << p << ": " << g.status().to_string();
+  }
+
+  // Final ensemble: the original three voters, config version 4
+  // (add, add, remove, remove).
+  auto fin = reader.config(/*refresh_endpoints=*/false);
+  ASSERT_TRUE(fin.is_ok());
+  std::set<NodeId> final_voters;
+  for (const auto& m : fin.value().members) {
+    if (m.voter) final_voters.insert(m.id);
+  }
+  EXPECT_EQ(final_voters, (std::set<NodeId>{1, 2, 3}));
+  EXPECT_NE(fin.value().json.find("\"version\":4"), std::string::npos)
+      << fin.value().json;
+
+  cluster.stop();
+}
+
+TEST(ReconfigE2E, AdminPlaneExposesEnsemble) {
+  harness::RuntimeClusterConfig rc;
+  rc.n = 3;
+  rc.with_admin = true;
+  rc.seed = 8002;
+  harness::RuntimeCluster cluster(rc);
+  ASSERT_TRUE(cluster.start().is_ok());
+  ASSERT_NE(cluster.wait_for_leader(), kNoNode);
+
+  auto status = cluster.admin_get(1, "/status");
+  ASSERT_TRUE(status.is_ok());
+  const std::string status_body = net::http_body(status.value());
+  EXPECT_NE(status_body.find("\"ensemble\""), std::string::npos)
+      << status_body;
+  EXPECT_NE(status_body.find("\"voters\":[1,2,3]"), std::string::npos)
+      << status_body;
+
+  auto config = cluster.admin_get(2, "/config");
+  ASSERT_TRUE(config.is_ok());
+  const std::string config_body = net::http_body(config.value());
+  EXPECT_NE(config_body.find("\"voters\":[1,2,3]"), std::string::npos)
+      << config_body;
+  EXPECT_NE(config_body.find("\"config_zxid\""), std::string::npos)
+      << config_body;
+
+  // The reconfig metric family is exported (check_prometheus.py lints it).
+  auto metrics = cluster.admin_get(3, "/metrics");
+  ASSERT_TRUE(metrics.is_ok());
+  const std::string metrics_body = net::http_body(metrics.value());
+  for (const char* name :
+       {"zab_reconfig_proposed", "zab_reconfig_committed",
+        "zab_reconfig_aborted", "zab_reconfig_quorum_size",
+        "zab_reconfig_config_version", "zab_reconfig_join_sync_ns"}) {
+    EXPECT_NE(metrics_body.find(name), std::string::npos) << name;
+  }
+
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace zab

@@ -254,6 +254,231 @@ TEST(ZabBatchingEquivalence, OnAndOffDeliverByteIdenticalSequences) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Reconfiguration safety (docs/PROTOCOL.md §16).
+//
+// A membership change is just another txn in primary order, so the paper's
+// invariants must survive a mid-run promote (observer 4 -> voter) and a
+// mid-run voter removal layered on top of a randomized fault schedule. On
+// top of the usual checker properties we require a single agreed config
+// sequence: every node that activates config version v activates it at the
+// same zxid, and each node's config versions activate in increasing order.
+
+struct ReconfigChaosParams {
+  std::uint64_t seed;
+  double loss;
+};
+
+class ZabReconfigSafety
+    : public ::testing::TestWithParam<ReconfigChaosParams> {};
+
+TEST_P(ZabReconfigSafety, ConfigSequenceAgreesAndDeliveriesStayPrefixes) {
+  const ReconfigChaosParams p = GetParam();
+  // Fixed topology: 3 voters + 1 observer (the sim cannot mint new nodes
+  // mid-run, so growth is modeled as promoting the pre-booted learner).
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.n_observers = 1;
+  cfg.seed = p.seed;
+  cfg.net.loss_probability = p.loss;
+
+  // Per-node activation history: (config version, activation zxid).
+  std::map<NodeId, std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      config_seq;
+  cfg.boot_hook = [&config_seq](NodeId id, ZabNode& n) {
+    n.add_reconfig_handler(
+        [&config_seq, id](const zab::ClusterConfig& cc, Zxid z) {
+          config_seq[id].push_back({cc.version, z.packed()});
+        });
+  };
+  SimCluster c(cfg);
+
+  Deliveries delivered;
+  c.add_deliver_hook([&delivered](NodeId n, const Txn& t) {
+    delivered[n].push_back(t.data);
+  });
+
+  Rng rng(p.seed ^ 0x5ec0f19);
+  std::uint64_t op = 0;
+  bool promote_done = false;
+  bool remove_done = false;
+  NodeId remove_victim = kNoNode;
+
+  // Membership changes proposed mid-run, retried until a leader accepts
+  // them (also reused after quiescence if the fault schedule starved them).
+  auto try_promote = [&] {
+    if (promote_done) return;
+    if (const NodeId l = c.leader_id(); l != kNoNode) {
+      const zab::ClusterConfig cc = c.node(l).cluster_config();
+      if (cc.is_voter(4)) {
+        promote_done = true;
+      } else if (!c.node(l).reconfig_in_flight()) {
+        zab::ClusterConfig target = cc;
+        target.voters.push_back(4);
+        target.observers.clear();
+        (void)c.node(l).propose_reconfig(target, kNoNode, 0);
+      }
+    }
+  };
+  auto try_remove = [&] {
+    if (!promote_done || remove_done) return;
+    if (const NodeId l = c.leader_id(); l != kNoNode) {
+      const zab::ClusterConfig cc = c.node(l).cluster_config();
+      if (remove_victim != kNoNode && !cc.is_member(remove_victim)) {
+        remove_done = true;
+      } else if (!c.node(l).reconfig_in_flight()) {
+        if (remove_victim == kNoNode) {
+          // Pick one original voter that is not leading right now; the
+          // promoted node 4 stays so the final ensemble is still 3-wide.
+          for (NodeId cand : cc.voters) {
+            if (cand != l && cand != 4) remove_victim = cand;
+          }
+        }
+        if (remove_victim != kNoNode && cc.is_member(remove_victim)) {
+          zab::ClusterConfig target = cc;
+          std::erase(target.voters, remove_victim);
+          std::erase(target.observers, remove_victim);
+          target.addrs.erase(remove_victim);
+          (void)c.node(l).propose_reconfig(target, kNoNode, 0);
+        }
+      }
+    }
+  };
+
+  const int kSteps = 120;
+  for (int step = 0; step < kSteps; ++step) {
+    const int burst = static_cast<int>(rng.range(0, 6));
+    for (int i = 0; i < burst; ++i) {
+      (void)c.submit(make_op(op++, 16));
+    }
+
+    if (step >= 30) try_promote();
+    if (step >= 70) try_remove();
+
+    // Fault action: keep at most one node down at a time so every quorum —
+    // old, new, and joint during handoff windows — stays reachable.
+    const auto dice = rng.below(100);
+    const NodeId victim = static_cast<NodeId>(rng.range(1, 4));
+    if (dice < 10) {
+      if (c.up_nodes().size() == 4 && c.is_up(victim)) c.crash(victim);
+    } else if (dice < 30) {
+      if (!c.is_up(victim)) c.restart(victim);
+    } else if (dice < 36) {
+      std::set<NodeId> iso{victim};
+      std::set<NodeId> rest;
+      for (NodeId i = 1; i <= 4; ++i) {
+        if (i != victim) rest.insert(i);
+      }
+      c.network().set_partition({iso, rest});
+    } else if (dice < 44) {
+      c.network().heal();
+    }
+
+    c.run_for(millis(static_cast<std::int64_t>(rng.range(5, 120))));
+  }
+
+  // Quiesce: heal, restart everyone (the removed member reboots too — it
+  // must rescan its log, see it is no longer a voter, and stay harmless).
+  c.network().heal();
+  for (NodeId i = 1; i <= 4; ++i) {
+    if (!c.is_up(i)) c.restart(i);
+  }
+  ASSERT_NE(c.wait_for_leader(seconds(60)), kNoNode)
+      << "no leader after quiescence, seed=" << p.seed;
+
+  // If the fault schedule starved either membership change, finish it now
+  // on the healed ensemble so every run exercises both transitions.
+  for (int i = 0; i < 600 && !(promote_done && remove_done); ++i) {
+    try_promote();
+    try_remove();
+    c.run_for(millis(100));
+  }
+
+  const NodeId l = c.leader_id();
+  ASSERT_NE(l, kNoNode) << "seed=" << p.seed;
+  Status st = c.replicate_ops(1, 16, seconds(60));
+  ASSERT_TRUE(st.is_ok()) << st.to_string() << " seed=" << p.seed;
+
+  // Both membership changes must have committed on the final history.
+  const zab::ClusterConfig final_cfg = c.node(l).cluster_config();
+  ASSERT_TRUE(promote_done && remove_done)
+      << "seed=" << p.seed << ": reconfigs did not both commit (promote="
+      << promote_done << " remove=" << remove_done << ")";
+  EXPECT_TRUE(final_cfg.is_voter(4)) << "seed=" << p.seed;
+  EXPECT_FALSE(final_cfg.is_member(remove_victim)) << "seed=" << p.seed;
+  EXPECT_GE(final_cfg.version, 2u) << "seed=" << p.seed;
+
+  // The paper's invariants hold over everything delivered.
+  for (const auto& v : c.checker().check()) {
+    ADD_FAILURE() << "seed=" << p.seed << ": " << v;
+  }
+  // Agreement at quiescence is asserted over the surviving members only:
+  // the removed node's frontier legitimately stops where it left.
+  std::vector<NodeId> members;
+  for (NodeId id : final_cfg.all_members()) {
+    if (c.is_up(id)) members.push_back(id);
+  }
+  for (const auto& v : c.checker().check_agreement(members)) {
+    ADD_FAILURE() << "seed=" << p.seed << ": " << v;
+  }
+
+  // Identical per-node delivery prefixes: every node's deduped stream is a
+  // prefix of the longest one (total order makes the dedup the commit
+  // order; replays after restart repeat only an existing prefix).
+  std::vector<Bytes> ref;
+  for (const auto& [nid, raw] : delivered) {
+    std::vector<Bytes> seq = first_occurrences(raw);
+    if (seq.size() > ref.size()) ref = std::move(seq);
+  }
+  for (const auto& [nid, raw] : delivered) {
+    const std::vector<Bytes> seq = first_occurrences(raw);
+    ASSERT_LE(seq.size(), ref.size()) << "seed=" << p.seed;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      ASSERT_EQ(seq[i], ref[i]) << "seed=" << p.seed << ": node "
+                                << unsigned{nid}
+                                << " diverges at index " << i;
+    }
+  }
+
+  // A single agreed config sequence: version -> activation zxid is a
+  // function (no node activates version v at a different zxid), and each
+  // node's activations are version-monotonic after dedup.
+  std::map<std::uint64_t, std::uint64_t> version_zxid;
+  for (const auto& [nid, seq] : config_seq) {
+    std::uint64_t last_version = 0;
+    for (const auto& [version, zxid] : seq) {
+      auto [it, inserted] = version_zxid.emplace(version, zxid);
+      EXPECT_EQ(it->second, zxid)
+          << "seed=" << p.seed << ": node " << unsigned{nid}
+          << " activated config v" << version << " at a different zxid";
+      // Replays after restart may repeat a version; they must never go back.
+      EXPECT_GE(version, last_version)
+          << "seed=" << p.seed << ": node " << unsigned{nid}
+          << " activated configs out of order";
+      last_version = std::max(last_version, version);
+    }
+  }
+  EXPECT_GE(version_zxid.size(), 2u) << "seed=" << p.seed;
+}
+
+std::vector<ReconfigChaosParams> reconfig_grid() {
+  std::vector<ReconfigChaosParams> out;
+  for (std::uint64_t seed = 101; seed <= 106; ++seed) {
+    out.push_back({seed, 0.0});
+  }
+  for (std::uint64_t seed = 107; seed <= 110; ++seed) {
+    out.push_back({seed, 0.005});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, ZabReconfigSafety, ::testing::ValuesIn(reconfig_grid()),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_loss" +
+             std::to_string(static_cast<int>(info.param.loss * 1000));
+    });
+
 INSTANTIATE_TEST_SUITE_P(Schedules, ZabChaos, ::testing::ValuesIn(chaos_grid()),
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param.seed) +

@@ -30,6 +30,12 @@ Checks (text format 0.0.4):
     zab_read_parked_ns and zab_sync_barrier_ns summaries — a scrape with
     only part of the set makes the served-vs-parked read dashboards (and
     the not-ready rotation alarm) silently wrong
+  - reconfiguration families: when any zab_reconfig_* family appears, the
+    full membership set must travel together — the zab_reconfig_proposed /
+    _committed / _aborted counters, the zab_reconfig_join_sync_ns summary,
+    and the zab_reconfig_quorum_size / _config_version gauges — alerting on
+    a config_version that never advances (or an aborted spike) needs the
+    whole family in every scrape
 
 Exit status 0 when clean, 1 with one "line N: ..." diagnostic per problem.
 """
@@ -243,6 +249,43 @@ def lint(lines):
             if types[name] != "summary":
                 errors.append(
                     f"line 0: {name} must be a summary, is {types[name]}"
+                )
+
+    # Reconfiguration families travel as a set: the membership dashboards
+    # join the proposed/committed/aborted rates against the config_version
+    # and quorum_size gauges, and the join-sync summary is the capacity
+    # signal for adding servers — a partial scrape hides a stuck or
+    # thrashing reconfiguration.
+    reconfig = {
+        name
+        for name in types
+        if name.startswith("zab_reconfig_") and not name.endswith("_max")
+    }
+    if reconfig:
+        counters = {
+            "zab_reconfig_" + r for r in ("proposed", "committed", "aborted")
+        }
+        summaries = {"zab_reconfig_join_sync_ns"}
+        gauges = {"zab_reconfig_quorum_size", "zab_reconfig_config_version"}
+        expected = counters | summaries | gauges
+        for name in sorted(expected - reconfig):
+            errors.append(f"line 0: incomplete reconfig set: missing {name}")
+        for name in sorted(reconfig - expected):
+            errors.append(f"line 0: unknown reconfig family {name}")
+        for name in sorted(reconfig & counters):
+            if types[name] != "counter":
+                errors.append(
+                    f"line 0: {name} must be a counter, is {types[name]}"
+                )
+        for name in sorted(reconfig & summaries):
+            if types[name] != "summary":
+                errors.append(
+                    f"line 0: {name} must be a summary, is {types[name]}"
+                )
+        for name in sorted(reconfig & gauges):
+            if types[name] != "gauge":
+                errors.append(
+                    f"line 0: {name} must be a gauge, is {types[name]}"
                 )
     return errors
 
